@@ -1,0 +1,71 @@
+// Extension (beyond the paper): effect of an LRU buffer pool on the disk
+// reads the paper counts. The paper's numbers assume cold reads per query;
+// a real deployment keeps hot pages cached. The interesting question is
+// whether the SR-tree's "fanout problem" (Section 5.3 — extra node-level
+// reads against the SS-tree) survives caching: directory pages are exactly
+// the pages an LRU pool pins.
+//
+// Method: PageFile's LRU cache simulation replays the precise page-access
+// trace; IoStats::cache_misses counts the reads that would still reach the
+// disk with a pool of the given size.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const size_t n = options.full ? 50000 : 10000;
+  const Dataset data = bench::MakeRealDataset(n, options.dim, options.seed);
+  const std::vector<Point> queries = SampleQueriesFromDataset(
+      data, QueryCount(options), options.seed + 17);
+  const std::vector<size_t> pool_sizes = {0, 8, 32, 128, 512};
+
+  std::vector<std::string> cols = {"index", "dir pages"};
+  for (const size_t p : pool_sizes) {
+    cols.push_back(p == 0 ? "cold" : "pool " + std::to_string(p));
+  }
+  Table table("Disk reads per k-NN query under an LRU buffer pool "
+              "(real data set, n=" + std::to_string(n) + ")",
+              cols);
+
+  for (const IndexType type :
+       {IndexType::kRStarTree, IndexType::kSSTree, IndexType::kSRTree}) {
+    IndexConfig config;
+    config.dim = options.dim;
+    auto index = MakeIndex(type, config);
+    BuildIndexFromDataset(*index, data);
+    const TreeStats stats = index->GetTreeStats();
+
+    std::vector<std::string> row = {index->name(),
+                                    std::to_string(stats.node_count)};
+    for (const size_t pool : pool_sizes) {
+      index->SimulateBufferPool(pool);
+      index->ResetIoStats();
+      for (const Point& q : queries) {
+        (void)index->NearestNeighbors(q, options.k);
+      }
+      const double misses =
+          static_cast<double>(index->io_stats().cache_misses) /
+          static_cast<double>(queries.size());
+      row.push_back(FormatNum(misses));
+    }
+    index->SimulateBufferPool(0);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,84 @@
+// Extension (beyond the paper): Section 2.6 lists the X-tree as related
+// work and calls the effectiveness of its mechanisms for the SR-tree "an
+// open question". This bench puts the X-tree next to the R*-tree, the
+// SS-tree and the SR-tree on the paper's workloads, and reports its
+// supernode population — the empirical half of that question.
+
+#include "bench/bench_util.h"
+#include "src/workload/cluster.h"
+#include "src/xtree/x_tree.h"
+
+namespace srtree {
+namespace {
+
+void RunOn(const std::string& label, const Dataset& data,
+           const BenchOptions& options) {
+  const std::vector<Point> queries = SampleQueriesFromDataset(
+      data, QueryCount(options), options.seed + 17);
+
+  Table table("X-tree vs the paper's trees — " + label,
+              {"index", "reads/query", "CPU ms/query", "height", "pages"});
+  for (const IndexType type :
+       {IndexType::kRStarTree, IndexType::kXTree, IndexType::kSSTree,
+        IndexType::kSRTree}) {
+    IndexConfig config;
+    config.dim = data.dim();
+    auto index = MakeIndex(type, config);
+    BuildIndexFromDataset(*index, data);
+    const QueryMetrics metrics = RunKnnWorkload(*index, queries, options.k);
+    const TreeStats stats = index->GetTreeStats();
+    table.AddRow({index->name(), FormatNum(metrics.disk_reads),
+                  FormatNum(metrics.cpu_ms), std::to_string(stats.height),
+                  std::to_string(stats.node_count + stats.leaf_count)});
+  }
+  table.Print();
+
+  // Supernode population of the X-tree on this workload.
+  XTree::Options xtree_options;
+  xtree_options.dim = data.dim();
+  XTree xtree(xtree_options);
+  BuildIndexFromDataset(xtree, data);
+  const XTree::SupernodeStats super = xtree.GetSupernodeStats();
+  Table super_table("X-tree supernodes — " + label,
+                    {"directory nodes", "supernodes", "supernode pages",
+                     "overlap-free splits", "extensions"});
+  super_table.AddRow({std::to_string(super.directory_nodes),
+                      std::to_string(super.supernodes),
+                      std::to_string(super.supernode_pages),
+                      std::to_string(xtree.overlap_free_splits()),
+                      std::to_string(xtree.supernode_extensions())});
+  super_table.Print();
+}
+
+int Run(const BenchOptions& options) {
+  const size_t n = options.full ? 50000 : 10000;
+  RunOn("uniform data set (n=" + std::to_string(n) + ", D=" +
+            std::to_string(options.dim) + ")",
+        MakeUniformDataset(n, options.dim, options.seed), options);
+  RunOn("real data set (n=" + std::to_string(n) + ", D=" +
+            std::to_string(options.dim) + ")",
+        bench::MakeRealDataset(n, options.dim, options.seed), options);
+
+  ClusterConfig cluster_config;
+  cluster_config.num_clusters = 100;
+  cluster_config.points_per_cluster = n / 100;
+  cluster_config.dim = options.dim;
+  cluster_config.seed = options.seed;
+  RunOn("cluster data set (n=" + std::to_string(n) + ", D=" +
+            std::to_string(options.dim) + ")",
+        MakeClusterDataset(cluster_config), options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

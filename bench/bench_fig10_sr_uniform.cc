@@ -1,0 +1,34 @@
+// Figure 10: k-NN query performance of the SR-tree against the R*-tree,
+// SS-tree and VAMSplit R-tree on the uniform data set.
+//
+// Expected shape (Section 5.1): the SR-tree cuts the SS-tree's CPU time to
+// ~91% and its disk reads to ~93% on uniform data; the static VAMSplit
+// R-tree still wins this workload.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  bench::RunQueryPerformanceFigure(
+      options,
+      {IndexType::kRStarTree, IndexType::kSSTree, IndexType::kVamSplitRTree,
+       IndexType::kSRTree},
+      UniformSizeLadder(options), /*real_data=*/false,
+      "Figure 10 (uniform data set)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

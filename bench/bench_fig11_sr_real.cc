@@ -1,0 +1,35 @@
+// Figure 11: k-NN query performance of the SR-tree against the R*-tree,
+// SS-tree and VAMSplit R-tree on the real data set (synthetic color
+// histograms).
+//
+// Expected shape (Section 5.1): the SR-tree cuts the SS-tree's CPU time to
+// ~67% and its disk reads to ~68%, and edges out even the static VAMSplit
+// R-tree on this non-uniform data.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  bench::RunQueryPerformanceFigure(
+      options,
+      {IndexType::kRStarTree, IndexType::kSSTree, IndexType::kVamSplitRTree,
+       IndexType::kSRTree},
+      RealSizeLadder(options), /*real_data=*/true,
+      "Figure 11 (real data set)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,73 @@
+// Figure 12: average volume and average diameter of the leaf-level regions
+// of R*-trees, SS-trees, and SR-trees on the uniform data set.
+//
+// For the SR-tree the true region is the intersection of its sphere and
+// rectangle, so (as in the paper) both upper bounds are reported: the real
+// volume is at most the rectangle's, the real diameter at most the
+// sphere's.
+//
+// Expected shape (Section 5.2): SR rect volume is the smallest of all —
+// about 1/1000 of the SS-tree sphere volume — while the SR sphere diameter
+// matches the SS-tree's.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int64_t> sizes = UniformSizeLadder(options);
+  Table volume_table(
+      "Figure 12a: average leaf-region volume (uniform data set)",
+      {"data set size", "R*-tree rects", "SS-tree spheres", "SR-tree rects",
+       "SR-tree spheres"});
+  Table diameter_table(
+      "Figure 12b: average leaf-region diameter (uniform data set)",
+      {"data set size", "R*-tree diagonal", "SS-tree sphere diam",
+       "SR-tree sphere diam", "SR-tree diagonal"});
+
+  for (const int64_t n : sizes) {
+    const Dataset data = MakeUniformDataset(static_cast<size_t>(n),
+                                            options.dim, options.seed);
+    IndexConfig config;
+    config.dim = options.dim;
+
+    auto rstar = MakeIndex(IndexType::kRStarTree, config);
+    BuildIndexFromDataset(*rstar, data);
+    const RegionSummary rs = rstar->LeafRegionSummary();
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const RegionSummary sss = ss->LeafRegionSummary();
+
+    auto sr = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*sr, data);
+    const RegionSummary srs = sr->LeafRegionSummary();
+
+    volume_table.AddRow(
+        {std::to_string(n), FormatNum(rs.avg_rect_volume),
+         FormatNum(sss.avg_sphere_volume), FormatNum(srs.avg_rect_volume),
+         FormatNum(srs.avg_sphere_volume)});
+    diameter_table.AddRow(
+        {std::to_string(n), FormatNum(rs.avg_rect_diagonal),
+         FormatNum(sss.avg_sphere_diameter),
+         FormatNum(srs.avg_sphere_diameter),
+         FormatNum(srs.avg_rect_diagonal)});
+  }
+  volume_table.Print();
+  diameter_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

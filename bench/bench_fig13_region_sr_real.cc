@@ -1,0 +1,69 @@
+// Figure 13: average volume and average diameter of the leaf-level regions
+// of R*-trees, SS-trees, and SR-trees on the real data set (synthetic
+// color histograms).
+//
+// Expected shape (Section 5.2): the gap widens on non-uniform data — SR
+// rect volumes are many orders of magnitude below the SS-tree's sphere
+// volumes, with sphere diameters as short as the SS-tree's.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int64_t> sizes = RealSizeLadder(options);
+  Table volume_table(
+      "Figure 13a: average leaf-region volume (real data set)",
+      {"data set size", "R*-tree rects", "SS-tree spheres", "SR-tree rects",
+       "SR-tree spheres"});
+  Table diameter_table(
+      "Figure 13b: average leaf-region diameter (real data set)",
+      {"data set size", "R*-tree diagonal", "SS-tree sphere diam",
+       "SR-tree sphere diam", "SR-tree diagonal"});
+
+  for (const int64_t n : sizes) {
+    const Dataset data = bench::MakeRealDataset(static_cast<size_t>(n),
+                                                options.dim, options.seed);
+    IndexConfig config;
+    config.dim = options.dim;
+
+    auto rstar = MakeIndex(IndexType::kRStarTree, config);
+    BuildIndexFromDataset(*rstar, data);
+    const RegionSummary rs = rstar->LeafRegionSummary();
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const RegionSummary sss = ss->LeafRegionSummary();
+
+    auto sr = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*sr, data);
+    const RegionSummary srs = sr->LeafRegionSummary();
+
+    volume_table.AddRow(
+        {std::to_string(n), FormatNum(rs.avg_rect_volume),
+         FormatNum(sss.avg_sphere_volume), FormatNum(srs.avg_rect_volume),
+         FormatNum(srs.avg_sphere_volume)});
+    diameter_table.AddRow(
+        {std::to_string(n), FormatNum(rs.avg_rect_diagonal),
+         FormatNum(sss.avg_sphere_diameter),
+         FormatNum(srs.avg_sphere_diameter),
+         FormatNum(srs.avg_rect_diagonal)});
+  }
+  volume_table.Print();
+  diameter_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,62 @@
+// Figure 14: the number of node-level reads and leaf-level reads per k-NN
+// query for SS-trees and SR-trees on the real data set.
+//
+// Expected shape (Section 5.3): the SR-tree incurs MORE node-level reads
+// (its fanout is a third of the SS-tree's) but saves more leaf-level reads
+// than it loses, so its total is lower.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int64_t> sizes = RealSizeLadder(options);
+  Table node_table("Figure 14a: node-level reads per query (real data set)",
+                   {"data set size", "SS-tree", "SR-tree"});
+  Table leaf_table("Figure 14b: leaf-level reads per query (real data set)",
+                   {"data set size", "SS-tree", "SR-tree"});
+  Table total_table("Figure 14 (total): disk reads per query (real data set)",
+                    {"data set size", "SS-tree", "SR-tree"});
+
+  for (const int64_t n : sizes) {
+    const Dataset data = bench::MakeRealDataset(static_cast<size_t>(n),
+                                                options.dim, options.seed);
+    const std::vector<Point> queries = SampleQueriesFromDataset(
+        data, QueryCount(options), options.seed + 17);
+    IndexConfig config;
+    config.dim = options.dim;
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const QueryMetrics ssm = RunKnnWorkload(*ss, queries, options.k);
+
+    auto sr = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*sr, data);
+    const QueryMetrics srm = RunKnnWorkload(*sr, queries, options.k);
+
+    node_table.AddRow({std::to_string(n), FormatNum(ssm.nonleaf_reads),
+                       FormatNum(srm.nonleaf_reads)});
+    leaf_table.AddRow({std::to_string(n), FormatNum(ssm.leaf_reads),
+                       FormatNum(srm.leaf_reads)});
+    total_table.AddRow({std::to_string(n), FormatNum(ssm.disk_reads),
+                        FormatNum(srm.disk_reads)});
+  }
+  node_table.Print();
+  leaf_table.Print();
+  total_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,63 @@
+// Figure 15: k-NN query performance of SR-trees and SS-trees on the
+// uniform data set with varying dimensionality (fixed data set size) —
+// (a) CPU time, (b) disk reads.
+//
+// Expected shape (Section 5.4): both trees degrade sharply beyond ~16
+// dimensions; by D=32..64 the uniform data set defeats every index (see
+// Figures 16 and 17 for why), so the curves converge.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int> dims = {1, 2, 4, 8, 16, 32, 64};
+  const size_t n = options.sizes.empty()
+                       ? (options.full ? 100000u : 10000u)
+                       : static_cast<size_t>(options.sizes[0]);
+
+  Table cpu_table("Figure 15a: CPU time per query [ms] vs dimensionality "
+                  "(uniform, n=" + std::to_string(n) + ")",
+                  {"dimensionality", "SS-tree", "SR-tree"});
+  Table read_table("Figure 15b: disk reads per query vs dimensionality "
+                   "(uniform, n=" + std::to_string(n) + ")",
+                   {"dimensionality", "SS-tree", "SR-tree"});
+
+  for (const int dim : dims) {
+    const Dataset data = MakeUniformDataset(n, dim, options.seed);
+    const std::vector<Point> queries = SampleQueriesFromDataset(
+        data, QueryCount(options), options.seed + 17);
+    IndexConfig config;
+    config.dim = dim;
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const QueryMetrics ssm = RunKnnWorkload(*ss, queries, options.k);
+
+    auto sr = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*sr, data);
+    const QueryMetrics srm = RunKnnWorkload(*sr, queries, options.k);
+
+    cpu_table.AddRow({std::to_string(dim), FormatNum(ssm.cpu_ms),
+                      FormatNum(srm.cpu_ms)});
+    read_table.AddRow({std::to_string(dim), FormatNum(ssm.disk_reads),
+                       FormatNum(srm.disk_reads)});
+  }
+  cpu_table.Print();
+  read_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

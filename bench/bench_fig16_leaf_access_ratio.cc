@@ -1,0 +1,58 @@
+// Figure 16: the ratio of leaves accessed per k-NN query to the total
+// number of leaves, for SR-trees and SS-trees on the uniform data set with
+// varying dimensionality.
+//
+// Expected shape (Section 5.4): the proportion climbs with dimensionality
+// and reaches 100% by D=32..64 — the indices are forced to touch every
+// leaf because uniform high-dimensional data cannot be partitioned into
+// neighborhoods.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int> dims = {1, 2, 4, 8, 16, 32, 64};
+  const size_t n = options.sizes.empty()
+                       ? (options.full ? 100000u : 10000u)
+                       : static_cast<size_t>(options.sizes[0]);
+
+  Table table("Figure 16: accessed leaves / total leaves [%] vs "
+              "dimensionality (uniform, n=" + std::to_string(n) + ")",
+              {"dimensionality", "SS-tree", "SR-tree"});
+
+  for (const int dim : dims) {
+    const Dataset data = MakeUniformDataset(n, dim, options.seed);
+    const std::vector<Point> queries = SampleQueriesFromDataset(
+        data, QueryCount(options), options.seed + 17);
+    IndexConfig config;
+    config.dim = dim;
+
+    std::vector<std::string> row = {std::to_string(dim)};
+    for (const IndexType type : {IndexType::kSSTree, IndexType::kSRTree}) {
+      auto index = MakeIndex(type, config);
+      BuildIndexFromDataset(*index, data);
+      const uint64_t total_leaves = index->GetTreeStats().leaf_count;
+      const QueryMetrics metrics = RunKnnWorkload(*index, queries, options.k);
+      row.push_back(FormatNum(100.0 * metrics.leaf_reads /
+                              static_cast<double>(total_leaves)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

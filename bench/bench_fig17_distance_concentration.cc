@@ -1,0 +1,52 @@
+// Figure 17: the minimum, average and maximum of the pairwise distances
+// between points of the uniform data set, with varying dimensionality.
+//
+// Expected shape (Section 5.4): the minimum grows drastically with
+// dimensionality; the min/max ratio rises to ~24% at D=16, ~40% at D=32,
+// ~53% at D=64 — distances concentrate, so "neighborhoods" stop existing
+// and the uniform data set stops being a meaningful k-NN benchmark.
+//
+// Statistics are exact over all pairs of a fixed-size random sample of the
+// data set (the statistic concentrates; see DESIGN.md).
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int> dims = {1, 2, 4, 8, 16, 32, 64};
+  const size_t n = options.sizes.empty()
+                       ? (options.full ? 100000u : 10000u)
+                       : static_cast<size_t>(options.sizes[0]);
+  const size_t sample = options.full ? 2000 : 1000;
+
+  Table table("Figure 17: pairwise distances in the uniform data set "
+              "(n=" + std::to_string(n) + ", sample=" +
+                  std::to_string(sample) + ")",
+              {"dimensionality", "min", "avg", "max", "min/max [%]"});
+
+  for (const int dim : dims) {
+    const Dataset data = MakeUniformDataset(n, dim, options.seed);
+    const DistanceStats stats =
+        ComputePairwiseDistances(data, sample, options.seed + 23);
+    table.AddRow({std::to_string(dim), FormatNum(stats.min),
+                  FormatNum(stats.avg), FormatNum(stats.max),
+                  FormatNum(100.0 * stats.min / stats.max)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,70 @@
+// Figure 18: k-NN query performance of SR-trees and SS-trees on the
+// cluster data set with varying dimensionality (100 clusters of 1000
+// points at paper scale) — (a) CPU time, (b) disk reads.
+//
+// Expected shape (Section 5.4): unlike the uniform set, clustered data
+// stays indexable at high dimensionality, and the SR-tree's margin over
+// the SS-tree holds from low to high dimensions (the paper reports ~2x).
+
+#include "bench/bench_util.h"
+#include "src/workload/cluster.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int> dims = {1, 2, 4, 8, 16, 32, 64};
+  const size_t clusters = 100;
+  const size_t per_cluster = options.full ? 1000 : 200;
+
+  Table cpu_table("Figure 18a: CPU time per query [ms] vs dimensionality "
+                  "(cluster data set, " + std::to_string(clusters) + "x" +
+                      std::to_string(per_cluster) + ")",
+                  {"dimensionality", "SS-tree", "SR-tree"});
+  Table read_table("Figure 18b: disk reads per query vs dimensionality "
+                   "(cluster data set, " + std::to_string(clusters) + "x" +
+                       std::to_string(per_cluster) + ")",
+                   {"dimensionality", "SS-tree", "SR-tree"});
+
+  for (const int dim : dims) {
+    ClusterConfig cluster_config;
+    cluster_config.num_clusters = clusters;
+    cluster_config.points_per_cluster = per_cluster;
+    cluster_config.dim = dim;
+    cluster_config.seed = options.seed;
+    const Dataset data = MakeClusterDataset(cluster_config);
+    const std::vector<Point> queries = SampleQueriesFromDataset(
+        data, QueryCount(options), options.seed + 17);
+    IndexConfig config;
+    config.dim = dim;
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const QueryMetrics ssm = RunKnnWorkload(*ss, queries, options.k);
+
+    auto sr = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*sr, data);
+    const QueryMetrics srm = RunKnnWorkload(*sr, queries, options.k);
+
+    cpu_table.AddRow({std::to_string(dim), FormatNum(ssm.cpu_ms),
+                      FormatNum(srm.cpu_ms)});
+    read_table.AddRow({std::to_string(dim), FormatNum(ssm.disk_reads),
+                       FormatNum(srm.disk_reads)});
+  }
+  cpu_table.Print();
+  read_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,71 @@
+// Figure 19: k-NN query performance of SR-trees and SS-trees on the
+// cluster data set with a varying number of clusters at fixed total size
+// (100,000 points, D=16 at paper scale). One cluster = a single sphere;
+// #clusters = #points = the uniform-like extreme.
+//
+// Expected shape (Section 5.4): the SR-tree's improvement over the SS-tree
+// is largest at intermediate cluster counts (~88% at 100 clusters in the
+// paper) and smallest at the uniform extreme (~36%) — "the SR-tree is more
+// effective for less uniform data sets".
+
+#include "bench/bench_util.h"
+#include "src/workload/cluster.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const size_t total = options.full ? 100000 : 20000;
+  std::vector<size_t> cluster_counts = {1, 10, 100, 1000, 10000, total};
+
+  Table cpu_table("Figure 19a: CPU time per query [ms] vs number of clusters"
+                  " (cluster data set, n=" + std::to_string(total) + ")",
+                  {"clusters", "SS-tree", "SR-tree", "SS/SR ratio"});
+  Table read_table("Figure 19b: disk reads per query vs number of clusters"
+                   " (cluster data set, n=" + std::to_string(total) + ")",
+                   {"clusters", "SS-tree", "SR-tree", "SS/SR ratio"});
+
+  for (const size_t clusters : cluster_counts) {
+    ClusterConfig cluster_config;
+    cluster_config.num_clusters = clusters;
+    cluster_config.points_per_cluster = total / clusters;
+    cluster_config.dim = options.dim;
+    cluster_config.seed = options.seed;
+    const Dataset data = MakeClusterDataset(cluster_config);
+    const std::vector<Point> queries = SampleQueriesFromDataset(
+        data, QueryCount(options), options.seed + 17);
+    IndexConfig config;
+    config.dim = options.dim;
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const QueryMetrics ssm = RunKnnWorkload(*ss, queries, options.k);
+
+    auto sr = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*sr, data);
+    const QueryMetrics srm = RunKnnWorkload(*sr, queries, options.k);
+
+    cpu_table.AddRow({std::to_string(clusters), FormatNum(ssm.cpu_ms),
+                      FormatNum(srm.cpu_ms),
+                      FormatNum(ssm.cpu_ms / srm.cpu_ms)});
+    read_table.AddRow({std::to_string(clusters), FormatNum(ssm.disk_reads),
+                       FormatNum(srm.disk_reads),
+                       FormatNum(ssm.disk_reads / srm.disk_reads)});
+  }
+  cpu_table.Print();
+  read_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

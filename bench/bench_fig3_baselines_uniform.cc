@@ -1,0 +1,35 @@
+// Figure 3: k-NN query performance of the K-D-B-tree, R*-tree, SS-tree and
+// VAMSplit R-tree on the uniform data set — (a) CPU time, (b) disk reads —
+// as a function of data set size.
+//
+// Expected shape (Section 3.1): the static VAMSplit R-tree wins overall;
+// among the dynamic structures the SS-tree clearly beats the R*-tree and
+// the K-D-B-tree.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  bench::RunQueryPerformanceFigure(
+      options,
+      {IndexType::kKdbTree, IndexType::kRStarTree, IndexType::kSSTree,
+       IndexType::kVamSplitRTree},
+      UniformSizeLadder(options), /*real_data=*/false,
+      "Figure 3 (uniform data set)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

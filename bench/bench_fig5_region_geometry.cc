@@ -1,0 +1,60 @@
+// Figure 5: average volume and average diameter of the leaf-level regions
+// of SS-trees and R*-trees built on the uniform data set.
+//
+// Expected shape (Section 3.2): R*-tree rectangles have tiny volume
+// (~2% of the spheres') but LONG diagonals; SS-tree spheres have huge
+// volume but SHORT diameters — each shape wins one metric.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int64_t> sizes = UniformSizeLadder(options);
+  Table volume_table(
+      "Figure 5a: average leaf-region volume (uniform data set)",
+      {"data set size", "SS-tree (spheres)", "R*-tree (rects)"});
+  Table diameter_table(
+      "Figure 5b: average leaf-region diameter (uniform data set)",
+      {"data set size", "SS-tree (sphere diameter)",
+       "R*-tree (rect diagonal)"});
+
+  for (const int64_t n : sizes) {
+    const Dataset data = MakeUniformDataset(static_cast<size_t>(n),
+                                            options.dim, options.seed);
+    IndexConfig config;
+    config.dim = options.dim;
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const RegionSummary ss_summary = ss->LeafRegionSummary();
+
+    auto rstar = MakeIndex(IndexType::kRStarTree, config);
+    BuildIndexFromDataset(*rstar, data);
+    const RegionSummary rstar_summary = rstar->LeafRegionSummary();
+
+    volume_table.AddRow({std::to_string(n),
+                         FormatNum(ss_summary.avg_sphere_volume),
+                         FormatNum(rstar_summary.avg_rect_volume)});
+    diameter_table.AddRow({std::to_string(n),
+                           FormatNum(ss_summary.avg_sphere_diameter),
+                           FormatNum(rstar_summary.avg_rect_diagonal)});
+  }
+  volume_table.Print();
+  diameter_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

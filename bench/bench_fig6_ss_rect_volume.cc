@@ -1,0 +1,57 @@
+// Figure 6: the average volume of the SS-tree's leaf-level regions when
+// determined by bounding rectangles instead of bounding spheres, on the
+// uniform data set. The R*-tree's leaf rectangles are plotted alongside
+// for comparison.
+//
+// Expected shape (Section 3.3): at 100k points the SS-tree's leaf
+// rectangles are ~1/900 the volume of its spheres and ~1/18 of the
+// R*-tree's leaf rectangles.
+
+#include "bench/bench_util.h"
+
+namespace srtree {
+namespace {
+
+int Run(const BenchOptions& options) {
+  const std::vector<int64_t> sizes = UniformSizeLadder(options);
+  Table table("Figure 6: average leaf-region volume of SS-tree leaves "
+              "(uniform data set)",
+              {"data set size", "SS-tree spheres", "SS-tree rects",
+               "R*-tree rects", "sphere/rect ratio"});
+
+  for (const int64_t n : sizes) {
+    const Dataset data = MakeUniformDataset(static_cast<size_t>(n),
+                                            options.dim, options.seed);
+    IndexConfig config;
+    config.dim = options.dim;
+
+    auto ss = MakeIndex(IndexType::kSSTree, config);
+    BuildIndexFromDataset(*ss, data);
+    const RegionSummary ss_summary = ss->LeafRegionSummary();
+
+    auto rstar = MakeIndex(IndexType::kRStarTree, config);
+    BuildIndexFromDataset(*rstar, data);
+    const RegionSummary rstar_summary = rstar->LeafRegionSummary();
+
+    table.AddRow({std::to_string(n), FormatNum(ss_summary.avg_sphere_volume),
+                  FormatNum(ss_summary.avg_rect_volume),
+                  FormatNum(rstar_summary.avg_rect_volume),
+                  FormatNum(ss_summary.avg_sphere_volume /
+                            ss_summary.avg_rect_volume)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

@@ -1,0 +1,116 @@
+// Google Benchmark micro-benchmarks for the geometry and storage
+// primitives on every index structure's hot path: distances, MINDIST /
+// MAXDIST, node (de)serialization, and paged I/O.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/geometry/point.h"
+#include "src/geometry/rect.h"
+#include "src/geometry/sphere.h"
+#include "src/geometry/volume.h"
+#include "src/storage/page.h"
+#include "src/storage/page_file.h"
+
+namespace srtree {
+namespace {
+
+Point RandomPoint(Xoshiro256& rng, int dim) {
+  Point p(dim);
+  for (double& c : p) c = rng.NextDouble();
+  return p;
+}
+
+void BM_SquaredDistance(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Xoshiro256 rng(1);
+  const Point a = RandomPoint(rng, dim);
+  const Point b = RandomPoint(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredDistance(a, b));
+  }
+}
+BENCHMARK(BM_SquaredDistance)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_RectMinDist(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Xoshiro256 rng(2);
+  Rect rect = Rect::FromPoint(RandomPoint(rng, dim));
+  for (int i = 0; i < 10; ++i) rect.Expand(RandomPoint(rng, dim));
+  const Point q = RandomPoint(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rect.MinDistSq(q));
+  }
+}
+BENCHMARK(BM_RectMinDist)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_RectMaxDist(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Xoshiro256 rng(3);
+  Rect rect = Rect::FromPoint(RandomPoint(rng, dim));
+  for (int i = 0; i < 10; ++i) rect.Expand(RandomPoint(rng, dim));
+  const Point q = RandomPoint(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rect.MaxDistSq(q));
+  }
+}
+BENCHMARK(BM_RectMaxDist)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_SphereMinDist(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Xoshiro256 rng(4);
+  const Sphere sphere(RandomPoint(rng, dim), 0.3);
+  const Point q = RandomPoint(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sphere.MinDist(q));
+  }
+}
+BENCHMARK(BM_SphereMinDist)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_BallVolume(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BallVolume(dim, 0.75));
+  }
+}
+BENCHMARK(BM_BallVolume)->Arg(16)->Arg(64);
+
+void BM_PageSerializeLeaf(benchmark::State& state) {
+  // Serializing a 12-entry, 16-d leaf — the paper's node layout.
+  const int dim = 16;
+  Xoshiro256 rng(5);
+  std::vector<Point> points;
+  for (int i = 0; i < 12; ++i) points.push_back(RandomPoint(rng, dim));
+  std::vector<char> buf(kDefaultPageSize);
+  for (auto _ : state) {
+    PageWriter w(buf.data(), buf.size());
+    w.PutU8(0);
+    w.PutU8(0);
+    w.PutU16(12);
+    w.PutU32(0);
+    for (const Point& p : points) {
+      w.PutDoubles(p);
+      w.PutU32(7);
+      w.Skip(512);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_PageSerializeLeaf);
+
+void BM_PageFileReadWrite(benchmark::State& state) {
+  PageFile file(kDefaultPageSize);
+  const PageId id = file.Allocate();
+  std::vector<char> buf(kDefaultPageSize, 'x');
+  for (auto _ : state) {
+    file.Write(id, buf.data());
+    file.Read(id, buf.data(), 0);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_PageFileReadWrite);
+
+}  // namespace
+}  // namespace srtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Side-by-side comparison of all five index structures on a workload of
+// your choosing — a miniature of the paper's evaluation you can point at
+// your own parameters.
+//
+//   $ ./index_comparison --n 10000 --dim 16 --workload real --k 21
+
+#include <cstdio>
+
+#include "src/benchlib/experiment.h"
+#include "src/benchlib/report.h"
+#include "src/common/flags.h"
+#include "src/workload/cluster.h"
+#include "src/workload/histogram.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace {
+
+srtree::Dataset MakeData(const std::string& workload, size_t n, int dim,
+                         uint64_t seed) {
+  if (workload == "uniform") {
+    return srtree::MakeUniformDataset(n, dim, seed);
+  }
+  if (workload == "cluster") {
+    srtree::ClusterConfig config;
+    config.num_clusters = 100;
+    config.points_per_cluster = (n + 99) / 100;
+    config.dim = dim;
+    config.seed = seed;
+    return srtree::MakeClusterDataset(config);
+  }
+  srtree::HistogramConfig config;
+  config.n = n;
+  config.dim = dim;
+  config.seed = seed;
+  return srtree::MakeHistogramDataset(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srtree;
+
+  FlagParser parser;
+  parser.AddInt("n", 10000, "number of points");
+  parser.AddInt("dim", 16, "dimensionality");
+  parser.AddString("workload", "real", "uniform | cluster | real");
+  parser.AddInt("k", 21, "nearest neighbors per query");
+  parser.AddInt("queries", 100, "number of query trials");
+  parser.AddInt("seed", 1, "random seed");
+  const Status flag_status = parser.Parse(argc, argv);
+  if (flag_status.IsNotFound()) return 0;
+  if (!flag_status.ok()) {
+    std::fprintf(stderr, "%s\n", flag_status.ToString().c_str());
+    return 1;
+  }
+
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const int dim = static_cast<int>(parser.GetInt("dim"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+  const Dataset data = MakeData(parser.GetString("workload"), n, dim, seed);
+  const std::vector<Point> queries = SampleQueriesFromDataset(
+      data, static_cast<size_t>(parser.GetInt("queries")), seed + 17);
+  const int k = static_cast<int>(parser.GetInt("k"));
+
+  Table table("Index comparison — " + parser.GetString("workload") +
+                  " workload, n=" + std::to_string(data.size()) + ", D=" +
+                  std::to_string(dim) + ", k=" + std::to_string(k),
+              {"index", "height", "leaves", "build CPU [s]",
+               "reads/query", "CPU ms/query"});
+
+  std::vector<IndexType> types = AllTreeTypes();
+  types.push_back(IndexType::kScan);
+  for (const IndexType type : types) {
+    IndexConfig config;
+    config.dim = dim;
+    auto index = MakeIndex(type, config);
+    const BuildMetrics build = BuildIndexFromDataset(*index, data);
+    const Status invariants = index->CheckInvariants();
+    if (!invariants.ok()) {
+      std::fprintf(stderr, "%s: %s\n", index->name().c_str(),
+                   invariants.ToString().c_str());
+      return 1;
+    }
+    const QueryMetrics query = RunKnnWorkload(*index, queries, k);
+    const TreeStats stats = index->GetTreeStats();
+    table.AddRow({index->name(), std::to_string(stats.height),
+                  std::to_string(stats.leaf_count),
+                  FormatNum(build.total_cpu_seconds),
+                  FormatNum(query.disk_reads), FormatNum(query.cpu_ms)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Persistence workflow: build an SR-tree over a feature catalog, save it to
+// a single index file, reopen it (options restore from the file), and
+// verify the reopened index serves identical queries and accepts updates.
+//
+//   $ ./persistent_catalog [--vectors 5000] [--path /tmp/catalog.srt]
+
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/core/sr_tree.h"
+#include "src/workload/histogram.h"
+#include "src/workload/queries.h"
+
+int main(int argc, char** argv) {
+  using namespace srtree;
+
+  FlagParser parser;
+  parser.AddInt("vectors", 5000, "catalog size");
+  parser.AddString("path", "/tmp/catalog.srt", "index file path");
+  parser.AddInt("seed", 11, "random seed");
+  const Status flag_status = parser.Parse(argc, argv);
+  if (flag_status.IsNotFound()) return 0;
+  if (!flag_status.ok()) {
+    std::fprintf(stderr, "%s\n", flag_status.ToString().c_str());
+    return 1;
+  }
+  const std::string path = parser.GetString("path");
+
+  // Phase 1: ingest the catalog and save the index.
+  HistogramConfig config;
+  config.n = static_cast<size_t>(parser.GetInt("vectors"));
+  config.dim = 16;
+  config.seed = static_cast<uint64_t>(parser.GetInt("seed"));
+  const Dataset features = MakeHistogramDataset(config);
+
+  {
+    SRTree::Options options;
+    options.dim = features.dim();
+    SRTree index(options);
+    for (size_t i = 0; i < features.size(); ++i) {
+      const Status status =
+          index.Insert(features.point(i), static_cast<uint32_t>(i));
+      if (!status.ok()) {
+        std::fprintf(stderr, "insert: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    const Status status = index.Save(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %zu vectors (height %d) to %s\n", index.size(),
+                index.height(), path.c_str());
+  }  // the in-memory index is gone here
+
+  // Phase 2: reopen and serve queries.
+  auto reopened = SRTree::Open(path);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "open: %s\n", reopened.status().ToString().c_str());
+    return 1;
+  }
+  SRTree& index = **reopened;
+  std::printf("reopened: %zu vectors, dim %d, invariants %s\n", index.size(),
+              index.dim(), index.CheckInvariants().ok() ? "hold" : "VIOLATED");
+
+  const PointView query = features.point(0);
+  std::printf("\n5 nearest catalog entries to vector #0:\n");
+  for (const Neighbor& n : index.NearestNeighbors(query, 5)) {
+    std::printf("  #%-7u distance %.5f\n", n.oid, n.distance);
+  }
+
+  // The reopened index is fully writable.
+  const Status status = index.Insert(Point(16, 1.0 / 16.0), 999999);
+  std::printf("\ninsert after reopen: %s; new size %zu\n",
+              status.ok() ? "ok" : status.ToString().c_str(), index.size());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: build an SR-tree over a handful of 2-d points, run a k-NN
+// query and a range query, and inspect the tree.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "src/core/sr_tree.h"
+
+int main() {
+  using srtree::Point;
+  using srtree::SRTree;
+
+  // An SR-tree over 2-d points. Every option has a paper-faithful default
+  // (8 KB pages, 40% minimum utilization, 30% forced reinsertion); only
+  // the dimensionality is required.
+  SRTree::Options options;
+  options.dim = 2;
+  options.leaf_data_size = 0;  // no per-point payload in this demo
+  SRTree tree(options);
+
+  // Insert a few labeled points: (point, object id).
+  const Point cities[] = {
+      {0.10, 0.20},  // 0: harbor
+      {0.15, 0.25},  // 1: old town
+      {0.80, 0.75},  // 2: airport
+      {0.82, 0.70},  // 3: business park
+      {0.45, 0.55},  // 4: central station
+      {0.05, 0.90},  // 5: lighthouse
+  };
+  const char* names[] = {"harbor",          "old town",   "airport",
+                         "business park",   "central sta", "lighthouse"};
+  for (uint32_t id = 0; id < 6; ++id) {
+    const srtree::Status status = tree.Insert(cities[id], id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The 3 nearest neighbors of a query point.
+  const Point query = {0.12, 0.22};
+  std::printf("3 nearest neighbors of (%.2f, %.2f):\n", query[0], query[1]);
+  for (const srtree::Neighbor& n : tree.NearestNeighbors(query, 3)) {
+    std::printf("  %-13s  distance %.4f\n", names[n.oid], n.distance);
+  }
+
+  // Everything within radius 0.2.
+  std::printf("\nwithin radius 0.20:\n");
+  for (const srtree::Neighbor& n : tree.RangeSearch(query, 0.2)) {
+    std::printf("  %-13s  distance %.4f\n", names[n.oid], n.distance);
+  }
+
+  // Deletion keeps the structure valid.
+  (void)tree.Delete(cities[1], 1);
+  std::printf("\nafter deleting 'old town': %zu points, invariants %s\n",
+              tree.size(),
+              tree.CheckInvariants().ok() ? "hold" : "VIOLATED");
+
+  const srtree::TreeStats stats = tree.GetTreeStats();
+  std::printf("tree height %d, %llu leaves, %llu disk reads so far\n",
+              stats.height,
+              static_cast<unsigned long long>(stats.leaf_count),
+              static_cast<unsigned long long>(tree.io_stats().reads));
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "src/benchlib/options.h"
+
+namespace srtree {
+
+void AddBenchFlags(FlagParser& parser) {
+  parser.AddBool("full", false, "run at the paper's full scale");
+  parser.AddInt("dim", 16, "dimensionality of the feature vectors");
+  parser.AddInt("k", 21, "number of nearest neighbors per query");
+  parser.AddInt("queries", 0, "query trials (0 = default for the scale)");
+  parser.AddInt("seed", 1, "base random seed");
+  parser.AddString("sizes", "", "comma-separated dataset sizes override");
+}
+
+BenchOptions GetBenchOptions(const FlagParser& parser) {
+  BenchOptions options;
+  options.full = parser.GetBool("full");
+  options.dim = static_cast<int>(parser.GetInt("dim"));
+  options.k = static_cast<int>(parser.GetInt("k"));
+  options.num_queries = static_cast<size_t>(parser.GetInt("queries"));
+  options.seed = static_cast<uint64_t>(parser.GetInt("seed"));
+  options.sizes = parser.GetIntList("sizes");
+  return options;
+}
+
+std::vector<int64_t> UniformSizeLadder(const BenchOptions& options) {
+  if (!options.sizes.empty()) return options.sizes;
+  if (options.full) {
+    return {10000, 20000, 40000, 60000, 80000, 100000};
+  }
+  return {2000, 4000, 8000, 12000, 16000, 20000};
+}
+
+std::vector<int64_t> RealSizeLadder(const BenchOptions& options) {
+  if (!options.sizes.empty()) return options.sizes;
+  if (options.full) {
+    return {2000, 4000, 8000, 12000, 16000, 20000};
+  }
+  return {1000, 2000, 4000, 6000, 8000, 10000};
+}
+
+size_t QueryCount(const BenchOptions& options) {
+  if (options.num_queries > 0) return options.num_queries;
+  return options.full ? 1000 : 100;
+}
+
+}  // namespace srtree

@@ -1,0 +1,42 @@
+// Common command-line options shared by the bench binaries.
+//
+// Defaults are scaled down so the full suite completes in minutes on a
+// laptop; `--full` switches every experiment to the paper's sizes
+// (Section 3.1 / Section 5).
+
+#ifndef SRTREE_BENCHLIB_OPTIONS_H_
+#define SRTREE_BENCHLIB_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/flags.h"
+
+namespace srtree {
+
+struct BenchOptions {
+  bool full = false;
+  int dim = 16;
+  int k = 21;            // paper: nearest 21 points
+  size_t num_queries = 0;  // 0 = pick by `full` (1000 paper / 100 reduced)
+  uint64_t seed = 1;
+  std::vector<int64_t> sizes;  // dataset sizes; empty = experiment default
+};
+
+// Registers the shared flags on `parser`.
+void AddBenchFlags(FlagParser& parser);
+
+// Extracts the shared options after Parse().
+BenchOptions GetBenchOptions(const FlagParser& parser);
+
+// Dataset size ladders. Paper scale: 10k..100k uniform, 2k..20k real;
+// reduced scale keeps the same shape at a fifth of the size.
+std::vector<int64_t> UniformSizeLadder(const BenchOptions& options);
+std::vector<int64_t> RealSizeLadder(const BenchOptions& options);
+
+// Number of query trials (paper: 1000).
+size_t QueryCount(const BenchOptions& options);
+
+}  // namespace srtree
+
+#endif  // SRTREE_BENCHLIB_OPTIONS_H_

@@ -1,0 +1,84 @@
+#include "src/benchlib/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string separator = "+";
+  for (const size_t w : widths) separator += std::string(w + 2, '-') + "+";
+  separator += "\n";
+
+  std::string out = "\n== " + title_ + " ==\n";
+  out += separator;
+  out += format_row(columns_);
+  out += separator;
+  for (const auto& row : rows_) out += format_row(row);
+  out += separator;
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += ",";
+      line += cells[c];
+    }
+    return line + "\n";
+  };
+  std::string out = "csv: " + join(columns_);
+  for (const auto& row : rows_) out += "csv: " + join(row);
+  return out;
+}
+
+void Table::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fputs(ToCsv().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatNum(double value) {
+  char buf[64];
+  const double mag = std::fabs(value);
+  if (value == 0.0) {
+    return "0";
+  } else if (mag >= 1e6 || mag < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  } else if (mag >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+  }
+  return buf;
+}
+
+}  // namespace srtree

@@ -1,0 +1,39 @@
+// ASCII table / series output for the bench binaries. Every experiment
+// prints the same rows or series its paper table/figure shows, plus a CSV
+// block that is trivial to plot.
+
+#ifndef SRTREE_BENCHLIB_REPORT_H_
+#define SRTREE_BENCHLIB_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace srtree {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Aligned, boxed ASCII rendering.
+  std::string ToString() const;
+  // Comma-separated rendering (header + rows), for plotting.
+  std::string ToCsv() const;
+
+  // Prints both renderings to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Compact numeric formatting: fixed for "normal" magnitudes, scientific for
+// the tiny high-dimensional volumes of Figures 5/6/12/13.
+std::string FormatNum(double value);
+
+}  // namespace srtree
+
+#endif  // SRTREE_BENCHLIB_REPORT_H_

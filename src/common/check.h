@@ -1,0 +1,51 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// CHECK* macros are always on; DCHECK* compile to no-ops in NDEBUG builds.
+// A failed check prints the failing condition with its source location and
+// aborts, which is the appropriate response to a broken internal invariant
+// in a storage engine (continuing would corrupt pages).
+
+#ifndef SRTREE_COMMON_CHECK_H_
+#define SRTREE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SRTREE_CHECK_IMPL(condition, text)                                 \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, text);                                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK(condition) SRTREE_CHECK_IMPL((condition), #condition)
+#define CHECK_EQ(a, b) SRTREE_CHECK_IMPL((a) == (b), #a " == " #b)
+#define CHECK_NE(a, b) SRTREE_CHECK_IMPL((a) != (b), #a " != " #b)
+#define CHECK_LT(a, b) SRTREE_CHECK_IMPL((a) < (b), #a " < " #b)
+#define CHECK_LE(a, b) SRTREE_CHECK_IMPL((a) <= (b), #a " <= " #b)
+#define CHECK_GT(a, b) SRTREE_CHECK_IMPL((a) > (b), #a " > " #b)
+#define CHECK_GE(a, b) SRTREE_CHECK_IMPL((a) >= (b), #a " >= " #b)
+
+#ifdef NDEBUG
+#define DCHECK(condition) \
+  do {                    \
+  } while (0)
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#else
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#endif  // SRTREE_COMMON_CHECK_H_

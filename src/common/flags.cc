@@ -1,0 +1,121 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  const std::string& def,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kString, def, help};
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t def,
+                               const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(def), help};
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name, double def,
+                                  const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, std::to_string(def), help};
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool def,
+                                const std::string& help) {
+  flags_[name] = Flag{Type::kBool, def ? "true" : "false", help};
+  return *this;
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return Status::NotFound("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + arg + "\n" +
+                                     Usage());
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + arg + " needs a value");
+      }
+    }
+    it->second.value = value;
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::Find(const std::string& name,
+                                         Type type) const {
+  auto it = flags_.find(name);
+  CHECK(it != flags_.end());
+  CHECK(it->second.type == type);
+  return it->second;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  return Find(name, Type::kString).value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(Find(name, Type::kInt).value.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(Find(name, Type::kDouble).value.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = Find(name, Type::kBool).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<int64_t> FlagParser::GetIntList(const std::string& name) const {
+  const std::string& value = Find(name, Type::kString).value;
+  std::vector<int64_t> result;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string item = value.substr(pos, comma - pos);
+    if (!item.empty()) result.push_back(std::strtoll(item.c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return result;
+}
+
+std::string FlagParser::Usage() const {
+  std::string usage = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    usage += "  --" + name + " (default: " + flag.value + ")  " + flag.help +
+             "\n";
+  }
+  return usage;
+}
+
+}  // namespace srtree

@@ -1,0 +1,62 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports "--name value", "--name=value", and boolean "--name". Unknown
+// flags are an error so typos in experiment scripts fail loudly instead of
+// silently running the default configuration.
+
+#ifndef SRTREE_COMMON_FLAGS_H_
+#define SRTREE_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace srtree {
+
+class FlagParser {
+ public:
+  // Registers a flag with a default value and a help line. Returns *this so
+  // registrations chain.
+  FlagParser& AddString(const std::string& name, const std::string& def,
+                        const std::string& help);
+  FlagParser& AddInt(const std::string& name, int64_t def,
+                     const std::string& help);
+  FlagParser& AddDouble(const std::string& name, double def,
+                        const std::string& help);
+  FlagParser& AddBool(const std::string& name, bool def,
+                      const std::string& help);
+
+  // Parses argv. On "--help", prints usage and returns a NotFound status the
+  // caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  // Parses a comma-separated integer list flag, e.g. "--sizes 1000,2000".
+  std::vector<int64_t> GetIntList(const std::string& name) const;
+
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    Type type;
+    std::string value;
+    std::string help;
+  };
+
+  const Flag& Find(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_COMMON_FLAGS_H_

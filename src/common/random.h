@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All experiment code draws randomness through Xoshiro256ss so that a seed
+// fully determines a dataset/query workload, independent of the standard
+// library implementation (std::mt19937 distributions are not portable
+// across standard libraries).
+
+#ifndef SRTREE_COMMON_RANDOM_H_
+#define SRTREE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace srtree {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via
+// SplitMix64. Fast, high quality, and trivially reproducible.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Standard normal via the polar Box-Muller method.
+  double Gaussian();
+
+  // Gamma(shape, 1) via Marsaglia-Tsang; used by the Dirichlet sampler in
+  // the histogram workload.
+  double Gamma(double shape);
+
+  // Point drawn uniformly from the surface of the unit (dim-1)-sphere.
+  std::vector<double> OnUnitSphere(int dim);
+
+  // Zipf-distributed integer in [0, n) with exponent s (s > 0); rank 0 is
+  // the most popular. Uses an inverse-CDF table, so construct once per
+  // workload via ZipfTable below when n is large.
+  uint64_t state0() const { return s_[0]; }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Precomputed inverse-CDF sampler for a Zipf distribution over n ranks.
+class ZipfTable {
+ public:
+  ZipfTable(int n, double exponent);
+
+  // Samples a rank in [0, n).
+  int Sample(Xoshiro256& rng) const;
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_COMMON_RANDOM_H_

@@ -1,0 +1,119 @@
+// Status / StatusOr: exception-free error propagation, RocksDB style.
+//
+// Library entry points that can fail return a Status (or a StatusOr<T> when
+// they also produce a value). Internal invariant violations use CHECK
+// instead; Status is reserved for conditions a caller can reasonably hit,
+// e.g. deleting a point that is not in the index.
+
+#ifndef SRTREE_COMMON_STATUS_H_
+#define SRTREE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kIoError,
+  kFailedPrecondition,
+  kUnimplemented,
+};
+
+// Value-semantic error holder. Ok statuses are cheap (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  // Human-readable "<CODE>: <message>" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value or the Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    CHECK(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-ok Status to the caller.
+#define RETURN_IF_ERROR(expr)            \
+  do {                                   \
+    ::srtree::Status _st = (expr);       \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+}  // namespace srtree
+
+#endif  // SRTREE_COMMON_STATUS_H_

@@ -1,0 +1,57 @@
+// Wall-clock and per-process CPU timers used by the experiment harness.
+//
+// The paper reports CPU time per operation; CpuTimer reads
+// CLOCK_PROCESS_CPUTIME_ID, the closest modern equivalent. WallTimer is used
+// for coarse progress reporting only.
+
+#ifndef SRTREE_COMMON_TIMER_H_
+#define SRTREE_COMMON_TIMER_H_
+
+#include <time.h>
+
+#include <chrono>
+
+namespace srtree {
+
+// Elapsed wall-clock time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Elapsed CPU time consumed by this process since construction/Reset().
+class CpuTimer {
+ public:
+  CpuTimer() { Reset(); }
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+
+  double start_ = 0.0;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_COMMON_TIMER_H_

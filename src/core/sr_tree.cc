@@ -1,0 +1,851 @@
+#include "src/core/sr_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace srtree {
+namespace {
+
+constexpr size_t kHeaderBytes = 8;
+
+// Floating-point slack for sphere-containment checks (see ss_tree.cc).
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+SRTree::SRTree(const Options& options) : options_(options), file_(options.page_size) {
+  CHECK_GT(options_.dim, 0);
+  CHECK_GT(options_.min_utilization, 0.0);
+  CHECK_LE(options_.min_utilization, 0.5);
+  CHECK_GT(options_.reinsert_fraction, 0.0);
+  CHECK_LT(options_.reinsert_fraction, 1.0);
+
+  const size_t dim = static_cast<size_t>(options_.dim);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + options_.leaf_data_size;
+  // center + radius + rect(lo,hi) + weight + child: the entry is three times
+  // the SS-tree's and one and a half times the R*-tree's (Section 5.3).
+  const size_t node_entry = dim * sizeof(double) + sizeof(double) +
+                            2 * dim * sizeof(double) + 2 * sizeof(uint32_t);
+  leaf_cap_ = (options_.page_size - kHeaderBytes) / leaf_entry;
+  node_cap_ = (options_.page_size - kHeaderBytes) / node_entry;
+  CHECK_GE(leaf_cap_, 2u);
+  CHECK_GE(node_cap_, 2u);
+  leaf_min_ = std::max<size_t>(
+      1, static_cast<size_t>(options_.min_utilization * leaf_cap_));
+  node_min_ = std::max<size_t>(
+      1, static_cast<size_t>(options_.min_utilization * node_cap_));
+
+  Node root;
+  root.id = file_.Allocate();
+  root.level = 0;
+  WriteNode(root);
+  root_id_ = root.id;
+}
+
+
+// --------------------------------------------------------------------------
+// Persistence
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Index-file header preceding the page-file image.
+constexpr uint32_t kSrTreeMagic = 0x53525431;  // "SRT1"
+
+struct SrTreeHeader {
+  uint32_t magic;
+  int32_t dim;
+  uint64_t page_size;
+  uint64_t leaf_data_size;
+  double min_utilization;
+  double reinsert_fraction;
+  uint8_t use_rect_in_radius;
+  uint8_t use_rect_in_mindist;
+  uint8_t pad[6];
+  uint32_t root_id;
+  int32_t root_level;
+  uint64_t size;
+};
+
+}  // namespace
+
+Status SRTree::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  SrTreeHeader header = {};
+  header.magic = kSrTreeMagic;
+  header.dim = options_.dim;
+  header.page_size = options_.page_size;
+  header.leaf_data_size = options_.leaf_data_size;
+  header.min_utilization = options_.min_utilization;
+  header.reinsert_fraction = options_.reinsert_fraction;
+  header.use_rect_in_radius = options_.use_rect_in_radius ? 1 : 0;
+  header.use_rect_in_mindist = options_.use_rect_in_mindist ? 1 : 0;
+  header.root_id = root_id_;
+  header.root_level = root_level_;
+  header.size = size_;
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (!out.good()) return Status::IoError("short write: " + path);
+  return file_.SaveTo(out);
+}
+
+StatusOr<std::unique_ptr<SRTree>> SRTree::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  SrTreeHeader header = {};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in.good() || header.magic != kSrTreeMagic) {
+    return Status::Corruption("not an SR-tree index file");
+  }
+  Options options;
+  options.dim = header.dim;
+  options.page_size = header.page_size;
+  options.leaf_data_size = header.leaf_data_size;
+  options.min_utilization = header.min_utilization;
+  options.reinsert_fraction = header.reinsert_fraction;
+  options.use_rect_in_radius = header.use_rect_in_radius != 0;
+  options.use_rect_in_mindist = header.use_rect_in_mindist != 0;
+  if (options.dim <= 0 || options.page_size == 0) {
+    return Status::Corruption("implausible SR-tree header");
+  }
+  auto tree = std::make_unique<SRTree>(options);
+  RETURN_IF_ERROR(tree->file_.LoadFrom(in));
+  tree->root_id_ = header.root_id;
+  tree->root_level_ = header.root_level;
+  tree->size_ = header.size;
+  tree->maintenance_ = MaintenanceStats{};
+  RETURN_IF_ERROR(tree->CheckInvariants());
+  return tree;
+}
+
+// --------------------------------------------------------------------------
+// Page I/O
+// --------------------------------------------------------------------------
+
+void SRTree::SerializeNode(const Node& node, char* buf) const {
+  CHECK_LE(node.count(), Capacity(node));
+  PageWriter w(buf, options_.page_size);
+  w.PutU8(static_cast<uint8_t>(node.level));
+  w.PutU8(0);
+  w.PutU16(static_cast<uint16_t>(node.count()));
+  w.PutU32(0);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      w.PutDoubles(e.point);
+      w.PutU32(e.oid);
+      w.Skip(options_.leaf_data_size);
+    }
+  } else {
+    for (const NodeEntry& e : node.children) {
+      w.PutDoubles(e.sphere.center());
+      w.PutDouble(e.sphere.radius());
+      w.PutDoubles(e.rect.lo());
+      w.PutDoubles(e.rect.hi());
+      w.PutU32(e.weight);
+      w.PutU32(e.child);
+    }
+  }
+}
+
+SRTree::Node SRTree::DeserializeNode(const char* buf, PageId id) const {
+  PageReader r(buf, options_.page_size);
+  Node node;
+  node.id = id;
+  node.level = r.GetU8();
+  r.GetU8();
+  const size_t count = r.GetU16();
+  r.GetU32();
+  const size_t dim = static_cast<size_t>(options_.dim);
+  if (node.level == 0) {
+    node.points.resize(count);
+    for (LeafEntry& e : node.points) {
+      e.point.resize(dim);
+      r.GetDoubles(e.point);
+      e.oid = r.GetU32();
+      r.Skip(options_.leaf_data_size);
+    }
+  } else {
+    node.children.resize(count);
+    for (NodeEntry& e : node.children) {
+      Point center(dim);
+      r.GetDoubles(center);
+      const double radius = r.GetDouble();
+      e.sphere = Sphere(std::move(center), radius);
+      Point lo(dim), hi(dim);
+      r.GetDoubles(lo);
+      r.GetDoubles(hi);
+      e.rect = Rect(std::move(lo), std::move(hi));
+      e.weight = r.GetU32();
+      e.child = r.GetU32();
+    }
+  }
+  return node;
+}
+
+SRTree::Node SRTree::ReadNode(PageId id, int level) {
+  std::vector<char> buf(options_.page_size);
+  file_.Read(id, buf.data(), level);
+  Node node = DeserializeNode(buf.data(), id);
+  DCHECK_EQ(node.level, level);
+  return node;
+}
+
+SRTree::Node SRTree::PeekNode(PageId id) const {
+  return DeserializeNode(file_.PeekPage(id), id);
+}
+
+void SRTree::WriteNode(const Node& node) {
+  std::vector<char> buf(options_.page_size);
+  SerializeNode(node, buf.data());
+  file_.Write(node.id, buf.data());
+}
+
+// --------------------------------------------------------------------------
+// Region helpers
+// --------------------------------------------------------------------------
+
+Point SRTree::NodeCentroid(const Node& node, uint32_t& weight) const {
+  Point centroid(options_.dim, 0.0);
+  uint64_t total = 0;
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      for (int d = 0; d < options_.dim; ++d) centroid[d] += e.point[d];
+    }
+    total = node.points.size();
+  } else {
+    for (const NodeEntry& e : node.children) {
+      const double w = static_cast<double>(e.weight);
+      for (int d = 0; d < options_.dim; ++d) {
+        centroid[d] += w * e.sphere.center()[d];
+      }
+      total += e.weight;
+    }
+  }
+  CHECK_GT(total, 0u);
+  for (double& c : centroid) c /= static_cast<double>(total);
+  weight = static_cast<uint32_t>(total);
+  return centroid;
+}
+
+SRTree::NodeEntry SRTree::ComputeEntry(const Node& node) const {
+  NodeEntry entry;
+  Point center = NodeCentroid(node, entry.weight);
+
+  Rect bound = Rect::Empty(options_.dim);
+  double d_s = 0.0;  // reach of the child spheres from the new center
+  double d_r = 0.0;  // reach of the child rectangles from the new center
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      bound.Expand(e.point);
+      d_s = std::max(d_s, Distance(center, e.point));
+    }
+    d_r = d_s;  // a point is its own rectangle
+  } else {
+    for (const NodeEntry& e : node.children) {
+      bound.Expand(e.rect);
+      d_s = std::max(d_s,
+                     Distance(center, e.sphere.center()) + e.sphere.radius());
+      d_r = std::max(d_r, std::sqrt(e.rect.MaxDistSq(center)));
+    }
+  }
+  // Section 4.2: the radius is min(d_s, d_r). Both bound every point of the
+  // subtree, so the smaller one still covers them while shrinking the
+  // sphere below what the SS-tree would use.
+  const double radius =
+      options_.use_rect_in_radius ? std::min(d_s, d_r) : d_s;
+  entry.sphere = Sphere(std::move(center), radius);
+  entry.rect = std::move(bound);
+  entry.child = node.id;
+  return entry;
+}
+
+PointView SRTree::EntryCentroid(const Node& node, size_t i) const {
+  return node.is_leaf() ? PointView(node.points[i].point)
+                        : PointView(node.children[i].sphere.center());
+}
+
+double SRTree::EntryMinDist(const NodeEntry& entry, PointView query) const {
+  const double d_s = entry.sphere.MinDist(query);
+  if (!options_.use_rect_in_mindist) return d_s;
+  const double d_r = std::sqrt(entry.rect.MinDistSq(query));
+  // Section 4.4: the true region is the intersection of both shapes, so the
+  // larger of the two lower bounds is still a lower bound — and sharper.
+  return std::max(d_s, d_r);
+}
+
+// --------------------------------------------------------------------------
+// Insertion
+// --------------------------------------------------------------------------
+
+Status SRTree::Insert(PointView point, uint32_t oid) {
+  if (static_cast<int>(point.size()) != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  reinserted_nodes_.clear();
+  std::deque<Pending> pending;
+  Pending item;
+  item.level = 0;
+  item.leaf = LeafEntry{Point(point.begin(), point.end()), oid};
+  pending.push_back(std::move(item));
+  ProcessPending(pending);
+  ++size_;
+  return Status::OK();
+}
+
+void SRTree::ProcessPending(std::deque<Pending>& pending) {
+  while (!pending.empty()) {
+    Pending item = std::move(pending.front());
+    pending.pop_front();
+    InsertPending(item, pending);
+  }
+}
+
+void SRTree::InsertPending(const Pending& item, std::deque<Pending>& pending) {
+  const PointView centroid =
+      item.level == 0 ? PointView(item.leaf.point)
+                      : PointView(item.node.sphere.center());
+  CHECK_LE(item.level, root_level_);
+
+  std::vector<Node> path;
+  std::vector<int> idx;
+  Node cur = ReadNode(root_id_, root_level_);
+  while (cur.level > item.level) {
+    const int i = ChooseSubtree(cur, centroid);
+    const PageId child = cur.children[i].child;
+    const int child_level = cur.level - 1;
+    path.push_back(std::move(cur));
+    idx.push_back(i);
+    cur = ReadNode(child, child_level);
+  }
+  if (item.level == 0) {
+    cur.points.push_back(item.leaf);
+  } else {
+    cur.children.push_back(item.node);
+  }
+  path.push_back(std::move(cur));
+  ResolvePath(path, idx, pending);
+}
+
+int SRTree::ChooseSubtree(const Node& node, PointView centroid) const {
+  DCHECK(!node.is_leaf());
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const double d =
+        SquaredDistance(node.children[i].sphere.center(), centroid);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void SRTree::ResolvePath(std::vector<Node>& path, std::vector<int>& idx,
+                         std::deque<Pending>& pending) {
+  int i = static_cast<int>(path.size()) - 1;
+  while (true) {
+    Node& n = path[i];
+    if (n.count() <= Capacity(n)) break;
+    const bool is_root = (i == 0);
+    if (!is_root && reinserted_nodes_.insert(n.id).second) {
+      std::vector<Pending> removed = RemoveForReinsert(n);
+      WritePathRefreshingEntries(path, idx, i);
+      for (Pending& p : removed) pending.push_back(std::move(p));
+      return;
+    }
+    Node right = SplitNode(n);
+    if (is_root) {
+      GrowRoot(n, right);
+      return;
+    }
+    WriteNode(right);
+    WriteNode(n);
+    Node& parent = path[i - 1];
+    parent.children[idx[i - 1]] = ComputeEntry(n);
+    parent.children.push_back(ComputeEntry(right));
+    --i;
+  }
+  WritePathRefreshingEntries(path, idx, i);
+}
+
+void SRTree::WritePathRefreshingEntries(std::vector<Node>& path,
+                                        const std::vector<int>& idx,
+                                        int from) {
+  WriteNode(path[from]);
+  for (int j = from - 1; j >= 0; --j) {
+    path[j].children[idx[j]] = ComputeEntry(path[j + 1]);
+    WriteNode(path[j]);
+  }
+}
+
+std::vector<SRTree::Pending> SRTree::RemoveForReinsert(Node& node) {
+  ++maintenance_.reinsertions;
+  const size_t total = node.count();
+  size_t evict = static_cast<size_t>(
+      std::lround(options_.reinsert_fraction * static_cast<double>(total)));
+  evict = std::clamp<size_t>(evict, 1, total - MinEntries(node));
+
+  uint32_t weight = 0;
+  const Point centroid = NodeCentroid(node, weight);
+  std::vector<std::pair<double, size_t>> by_distance(total);
+  for (size_t i = 0; i < total; ++i) {
+    by_distance[i] = {SquaredDistance(EntryCentroid(node, i), centroid), i};
+  }
+  std::sort(by_distance.begin(), by_distance.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<size_t> evicted;
+  for (size_t i = 0; i < evict; ++i) evicted.push_back(by_distance[i].second);
+  std::vector<Pending> removed(evict);
+  for (size_t i = 0; i < evict; ++i) {
+    Pending& p = removed[evict - 1 - i];  // closest-first reinsertion
+    p.level = node.level;
+    if (node.is_leaf()) {
+      p.leaf = node.points[evicted[i]];
+    } else {
+      p.node = node.children[evicted[i]];
+    }
+  }
+  std::sort(evicted.begin(), evicted.end(), std::greater<size_t>());
+  for (size_t pos : evicted) {
+    if (node.is_leaf()) {
+      node.points.erase(node.points.begin() + pos);
+    } else {
+      node.children.erase(node.children.begin() + pos);
+    }
+  }
+  return removed;
+}
+
+SRTree::Node SRTree::SplitNode(Node& node) {
+  ++maintenance_.splits;
+  const size_t total = node.count();
+  const size_t m = MinEntries(node);
+  CHECK_GE(total, 2 * m);
+
+  // The SR-tree inherits the SS-tree split: dimension of highest centroid
+  // variance, position of least summed variance (Section 4.2).
+  int best_dim = 0;
+  double best_var = -1.0;
+  for (int d = 0; d < options_.dim; ++d) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (size_t i = 0; i < total; ++i) {
+      const double x = EntryCentroid(node, i)[d];
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / static_cast<double>(total);
+    const double var = sum_sq / static_cast<double>(total) - mean * mean;
+    if (var > best_var) {
+      best_var = var;
+      best_dim = d;
+    }
+  }
+
+  std::vector<size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return EntryCentroid(node, a)[best_dim] < EntryCentroid(node, b)[best_dim];
+  });
+
+  std::vector<double> prefix_sum(total + 1, 0.0), prefix_sq(total + 1, 0.0);
+  for (size_t i = 0; i < total; ++i) {
+    const double x = EntryCentroid(node, order[i])[best_dim];
+    prefix_sum[i + 1] = prefix_sum[i] + x;
+    prefix_sq[i + 1] = prefix_sq[i] + x * x;
+  }
+  auto group_variance = [&](size_t begin, size_t end) {
+    const double n = static_cast<double>(end - begin);
+    const double sum = prefix_sum[end] - prefix_sum[begin];
+    const double sq = prefix_sq[end] - prefix_sq[begin];
+    const double mean = sum / n;
+    return sq / n - mean * mean;
+  };
+
+  size_t best_split = m;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t split = m; split + m <= total; ++split) {
+    const double cost = group_variance(0, split) + group_variance(split, total);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_split = split;
+    }
+  }
+
+  Node right;
+  right.id = file_.Allocate();
+  right.level = node.level;
+  if (node.is_leaf()) {
+    std::vector<LeafEntry> left_points, right_points;
+    for (size_t i = 0; i < total; ++i) {
+      auto& dst = (i < best_split) ? left_points : right_points;
+      dst.push_back(std::move(node.points[order[i]]));
+    }
+    node.points = std::move(left_points);
+    right.points = std::move(right_points);
+  } else {
+    std::vector<NodeEntry> left_children, right_children;
+    for (size_t i = 0; i < total; ++i) {
+      auto& dst = (i < best_split) ? left_children : right_children;
+      dst.push_back(std::move(node.children[order[i]]));
+    }
+    node.children = std::move(left_children);
+    right.children = std::move(right_children);
+  }
+  return right;
+}
+
+void SRTree::GrowRoot(Node& left, Node& right) {
+  WriteNode(left);
+  WriteNode(right);
+  Node root;
+  root.id = file_.Allocate();
+  root.level = left.level + 1;
+  root.children.push_back(ComputeEntry(left));
+  root.children.push_back(ComputeEntry(right));
+  WriteNode(root);
+  root_id_ = root.id;
+  root_level_ = root.level;
+}
+
+// --------------------------------------------------------------------------
+// Deletion
+// --------------------------------------------------------------------------
+
+Status SRTree::Delete(PointView point, uint32_t oid) {
+  if (static_cast<int>(point.size()) != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  std::vector<Node> path;
+  std::vector<int> idx;
+  Node root = ReadNode(root_id_, root_level_);
+  if (!FindLeafPath(root, point, oid, path, idx)) {
+    return Status::NotFound("point not present");
+  }
+  Node& leaf = path.back();
+  bool erased = false;
+  for (size_t i = 0; i < leaf.points.size(); ++i) {
+    if (leaf.points[i].oid == oid &&
+        std::equal(point.begin(), point.end(), leaf.points[i].point.begin(),
+                   leaf.points[i].point.end())) {
+      leaf.points.erase(leaf.points.begin() + i);
+      erased = true;
+      break;
+    }
+  }
+  CHECK(erased);
+  CondenseTree(path, idx);
+  ShrinkRoot();
+  --size_;
+  return Status::OK();
+}
+
+bool SRTree::FindLeafPath(const Node& node, PointView point, uint32_t oid,
+                          std::vector<Node>& path, std::vector<int>& idx) {
+  path.push_back(node);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      if (e.oid == oid && std::equal(point.begin(), point.end(),
+                                     e.point.begin(), e.point.end())) {
+        return true;
+      }
+    }
+    path.pop_back();
+    return false;
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const NodeEntry& e = node.children[i];
+    if (!e.rect.Contains(point)) continue;
+    if (Distance(e.sphere.center(), point) >
+        e.sphere.radius() * (1.0 + kEps) + kEps) {
+      continue;
+    }
+    idx.push_back(static_cast<int>(i));
+    Node child = ReadNode(e.child, node.level - 1);
+    if (FindLeafPath(child, point, oid, path, idx)) return true;
+    idx.pop_back();
+  }
+  path.pop_back();
+  return false;
+}
+
+void SRTree::CondenseTree(std::vector<Node>& path, std::vector<int>& idx) {
+  std::deque<Pending> orphans;
+  for (int i = static_cast<int>(path.size()) - 1; i >= 1; --i) {
+    Node& n = path[i];
+    Node& parent = path[i - 1];
+    if (n.count() < MinEntries(n)) {
+      if (n.is_leaf()) {
+        for (LeafEntry& e : n.points) {
+          Pending p;
+          p.level = 0;
+          p.leaf = std::move(e);
+          orphans.push_back(std::move(p));
+        }
+      } else {
+        for (NodeEntry& e : n.children) {
+          Pending p;
+          p.level = n.level;
+          p.node = e;
+          orphans.push_back(std::move(p));
+        }
+      }
+      file_.Free(n.id);
+      parent.children.erase(parent.children.begin() + idx[i - 1]);
+    } else {
+      WriteNode(n);
+      parent.children[idx[i - 1]] = ComputeEntry(n);
+    }
+  }
+  WriteNode(path[0]);
+
+  reinserted_nodes_.clear();
+  ProcessPending(orphans);
+}
+
+void SRTree::ShrinkRoot() {
+  for (;;) {
+    Node root = PeekNode(root_id_);
+    if (root.is_leaf()) return;
+    if (root.children.empty()) {
+      file_.Free(root.id);
+      Node leaf;
+      leaf.id = file_.Allocate();
+      leaf.level = 0;
+      WriteNode(leaf);
+      root_id_ = leaf.id;
+      root_level_ = 0;
+      return;
+    }
+    if (root.children.size() > 1) return;
+    const PageId child = root.children[0].child;
+    file_.Free(root.id);
+    root_id_ = child;
+    --root_level_;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Search
+// --------------------------------------------------------------------------
+
+std::vector<Neighbor> SRTree::NearestNeighbors(PointView query, int k) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  KnnCandidates candidates(k);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  return candidates.TakeSorted();
+}
+
+void SRTree::SearchKnn(PageId id, int level, PointView query,
+                       KnnCandidates& cand) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      cand.Offer(Distance(e.point, query), e.oid);
+    }
+    return;
+  }
+  std::vector<std::pair<double, size_t>> order(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    order[i] = {EntryMinDist(node.children[i], query), i};
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [mindist, i] : order) {
+    if (mindist > cand.PruneDistance()) break;
+    SearchKnn(node.children[i].child, level - 1, query, cand);
+  }
+}
+
+
+std::vector<Neighbor> SRTree::NearestNeighborsBestFirst(PointView query,
+                                                       int k) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  KnnCandidates candidates(k);
+  if (size_ == 0) return candidates.TakeSorted();
+
+  // Global best-first traversal: always expand the pending subtree with the
+  // smallest MINDIST. Stops once that bound exceeds the k-th candidate.
+  struct Pending {
+    double mindist;
+    PageId id;
+    int level;
+    bool operator>(const Pending& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      frontier;
+  frontier.push(Pending{0.0, root_id_, root_level_});
+  while (!frontier.empty()) {
+    const Pending next = frontier.top();
+    frontier.pop();
+    if (next.mindist > candidates.PruneDistance()) break;
+    Node node = ReadNode(next.id, next.level);
+    if (node.is_leaf()) {
+      for (const LeafEntry& e : node.points) {
+        candidates.Offer(Distance(e.point, query), e.oid);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const double d = EntryMinDist(node.children[i], query);
+      if (d <= candidates.PruneDistance()) {
+        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      }
+    }
+  }
+  return candidates.TakeSorted();
+}
+
+std::vector<Neighbor> SRTree::RangeSearch(PointView query, double radius) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  std::vector<Neighbor> result;
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.oid < b.oid;
+            });
+  return result;
+}
+
+void SRTree::SearchRange(PageId id, int level, PointView query, double radius,
+                         std::vector<Neighbor>& out) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      const double d = Distance(e.point, query);
+      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    }
+    return;
+  }
+  for (const NodeEntry& e : node.children) {
+    if (EntryMinDist(e, query) <= radius) {
+      SearchRange(e.child, level - 1, query, radius, out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Stats & validation
+// --------------------------------------------------------------------------
+
+TreeStats SRTree::GetTreeStats() const {
+  TreeStats stats;
+  stats.height = root_level_ + 1;
+  CollectStats(PeekNode(root_id_), stats);
+  return stats;
+}
+
+void SRTree::CollectStats(const Node& node, TreeStats& stats) const {
+  if (node.is_leaf()) {
+    ++stats.leaf_count;
+    stats.entry_count += node.points.size();
+    return;
+  }
+  ++stats.node_count;
+  for (const NodeEntry& e : node.children) {
+    CollectStats(PeekNode(e.child), stats);
+  }
+}
+
+RegionSummary SRTree::LeafRegionSummary() const {
+  RegionStatsCollector collector;
+  CollectRegions(PeekNode(root_id_), collector);
+  return collector.Finish();
+}
+
+void SRTree::CollectRegions(const Node& node,
+                            RegionStatsCollector& collector) const {
+  if (node.is_leaf()) {
+    if (node.points.empty()) return;
+    collector.CountLeaf();
+    const NodeEntry entry = ComputeEntry(node);
+    collector.AddSphere(entry.sphere);
+    collector.AddRect(entry.rect);
+    return;
+  }
+  for (const NodeEntry& e : node.children) {
+    CollectRegions(PeekNode(e.child), collector);
+  }
+}
+
+Status SRTree::CheckInvariants() const {
+  const Node root = PeekNode(root_id_);
+  if (root.level != root_level_) {
+    return Status::Corruption("root level mismatch");
+  }
+  if (!root.is_leaf() && root.children.size() < 2) {
+    return Status::Corruption("internal root must have >= 2 children");
+  }
+  std::vector<Point> points;
+  RETURN_IF_ERROR(CheckNode(root, /*expected=*/nullptr, points));
+  if (points.size() != size_) {
+    return Status::Corruption("point count mismatch");
+  }
+  return Status::OK();
+}
+
+Status SRTree::CheckNode(const Node& node, const NodeEntry* expected,
+                         std::vector<Point>& subtree_points) const {
+  const bool is_root = expected == nullptr;
+  if (!is_root && node.count() < MinEntries(node)) {
+    return Status::Corruption("node below minimum utilization");
+  }
+  if (node.count() > Capacity(node)) {
+    return Status::Corruption("node above capacity");
+  }
+
+  std::vector<Point> local;
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) local.push_back(e.point);
+  } else {
+    uint64_t weight_sum = 0;
+    for (const NodeEntry& e : node.children) {
+      const Node child = PeekNode(e.child);
+      if (child.level != node.level - 1) {
+        return Status::Corruption("child level mismatch (unbalanced tree)");
+      }
+      std::vector<Point> child_points;
+      RETURN_IF_ERROR(CheckNode(child, &e, child_points));
+      weight_sum += e.weight;
+      for (Point& p : child_points) local.push_back(std::move(p));
+    }
+    if (weight_sum != local.size()) {
+      return Status::Corruption("child weights do not sum to point count");
+    }
+  }
+
+  if (expected != nullptr) {
+    if (expected->weight != local.size()) {
+      return Status::Corruption("entry weight mismatch");
+    }
+    // The rectangle must be the exact MBR (min/max arithmetic is exact).
+    Rect mbr = Rect::Empty(options_.dim);
+    for (const Point& p : local) mbr.Expand(p);
+    if (!(mbr == expected->rect)) {
+      return Status::Corruption("parent entry rect is not the exact MBR");
+    }
+    // Every point of the subtree must lie inside the bounding sphere.
+    const Sphere& sphere = expected->sphere;
+    for (const Point& p : local) {
+      if (Distance(sphere.center(), p) >
+          sphere.radius() * (1.0 + kEps) + kEps) {
+        return Status::Corruption("point escapes bounding sphere");
+      }
+    }
+  }
+
+  for (Point& p : local) subtree_points.push_back(std::move(p));
+  return Status::OK();
+}
+
+}  // namespace srtree

@@ -1,0 +1,195 @@
+// SR-tree (Katayama & Satoh, SIGMOD 1997) — the paper's contribution and
+// this library's primary index structure.
+//
+// A region is the INTERSECTION of a bounding sphere and a bounding
+// rectangle (Section 4.1):
+//   * insertion is centroid-based, inherited from the SS-tree;
+//   * the parent sphere radius is min(d_s, d_r): the max distance from the
+//     centroid to the child spheres vs. to the child rectangles
+//     (Section 4.2), which keeps spheres tighter than the SS-tree's;
+//   * the bounding rectangle is the exact MBR, maintained as in the R-tree;
+//   * nearest-neighbor search uses MINDIST = max(sphere, rectangle)
+//     (Section 4.4), a sharper lower bound than either shape alone.
+//
+// The node entry stores both shapes, so its fanout is one third of the
+// SS-tree's and two thirds of the R*-tree's — the Section 5.3 trade-off the
+// experiments quantify.
+
+#ifndef SRTREE_CORE_SR_TREE_H_
+#define SRTREE_CORE_SR_TREE_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/geometry/rect.h"
+#include "src/geometry/sphere.h"
+#include "src/index/knn.h"
+#include "src/index/point_index.h"
+#include "src/storage/page_file.h"
+
+namespace srtree {
+
+class SRTree : public PointIndex {
+ public:
+  struct Options {
+    int dim = 2;
+    size_t page_size = kDefaultPageSize;
+    size_t leaf_data_size = 512;
+    double min_utilization = 0.4;
+    double reinsert_fraction = 0.3;
+
+    // Ablation switches (the paper's design choices; both true = SR-tree).
+    // When use_rect_in_radius is false, the parent sphere radius falls back
+    // to the SS-tree rule d_s (Section 4.2's min(d_s, d_r) disabled).
+    bool use_rect_in_radius = true;
+    // When use_rect_in_mindist is false, k-NN pruning uses only the sphere
+    // MINDIST (Section 4.4's max(d_s, d_r) disabled).
+    bool use_rect_in_mindist = true;
+  };
+
+  explicit SRTree(const Options& options);
+
+  // Persists the index — options, tree metadata, and the full page file —
+  // to a single file at `path`.
+  Status Save(const std::string& path) const;
+
+  // Opens an index previously written by Save(); the options are restored
+  // from the file.
+  static StatusOr<std::unique_ptr<SRTree>> Open(const std::string& path);
+
+  int dim() const override { return options_.dim; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "SR-tree"; }
+
+  Status Insert(PointView point, uint32_t oid) override;
+  Status Delete(PointView point, uint32_t oid) override;
+
+  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
+  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
+                                                  int k) override;
+  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
+
+  TreeStats GetTreeStats() const override;
+  Status CheckInvariants() const override;
+
+  // Reports both shapes of the leaf regions; the true region (their
+  // intersection) is bounded above by each (Section 5.2).
+  RegionSummary LeafRegionSummary() const override;
+
+  MaintenanceStats GetMaintenanceStats() const override {
+    return maintenance_;
+  }
+
+  const IoStats& io_stats() const override { return file_.stats(); }
+  void ResetIoStats() override { file_.stats().Reset(); }
+
+  void SimulateBufferPool(size_t capacity) override {
+    file_.SimulateCache(capacity);
+  }
+
+  size_t leaf_capacity() const { return leaf_cap_; }
+  size_t node_capacity() const { return node_cap_; }
+  int height() const { return root_level_ + 1; }
+
+ private:
+  struct LeafEntry {
+    Point point;
+    uint32_t oid;
+  };
+
+  struct NodeEntry {
+    Sphere sphere;  // center = centroid of underlying points
+    Rect rect;      // exact MBR of underlying points
+    uint32_t weight;
+    PageId child;
+  };
+
+  struct Node {
+    PageId id = kInvalidPageId;
+    int level = 0;
+    std::vector<NodeEntry> children;
+    std::vector<LeafEntry> points;
+
+    bool is_leaf() const { return level == 0; }
+    size_t count() const { return is_leaf() ? points.size() : children.size(); }
+  };
+
+  struct Pending {
+    int level;
+    LeafEntry leaf;
+    NodeEntry node;
+  };
+
+  // --- page I/O ---
+  Node ReadNode(PageId id, int level);
+  Node PeekNode(PageId id) const;
+  void WriteNode(const Node& node);
+  void SerializeNode(const Node& node, char* buf) const;
+  Node DeserializeNode(const char* buf, PageId id) const;
+
+  size_t Capacity(const Node& node) const {
+    return node.is_leaf() ? leaf_cap_ : node_cap_;
+  }
+  size_t MinEntries(const Node& node) const {
+    return node.is_leaf() ? leaf_min_ : node_min_;
+  }
+
+  // --- region helpers ---
+  Point NodeCentroid(const Node& node, uint32_t& weight) const;
+  // Sphere (radius = min(d_s, d_r)), exact MBR, and weight for `node`.
+  NodeEntry ComputeEntry(const Node& node) const;
+  PointView EntryCentroid(const Node& node, size_t i) const;
+  // MINDIST from a query point to an entry's region (Section 4.4).
+  double EntryMinDist(const NodeEntry& entry, PointView query) const;
+
+  // --- insertion machinery ---
+  void ProcessPending(std::deque<Pending>& pending);
+  void InsertPending(const Pending& item, std::deque<Pending>& pending);
+  int ChooseSubtree(const Node& node, PointView centroid) const;
+  void ResolvePath(std::vector<Node>& path, std::vector<int>& idx,
+                   std::deque<Pending>& pending);
+  void WritePathRefreshingEntries(std::vector<Node>& path,
+                                  const std::vector<int>& idx, int from);
+  std::vector<Pending> RemoveForReinsert(Node& node);
+  Node SplitNode(Node& node);
+  void GrowRoot(Node& left, Node& right);
+
+  // --- deletion machinery ---
+  bool FindLeafPath(const Node& node, PointView point, uint32_t oid,
+                    std::vector<Node>& path, std::vector<int>& idx);
+  void CondenseTree(std::vector<Node>& path, std::vector<int>& idx);
+  void ShrinkRoot();
+
+  // --- search ---
+  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
+  void SearchRange(PageId id, int level, PointView query, double radius,
+                   std::vector<Neighbor>& out);
+
+  // --- validation / stats ---
+  Status CheckNode(const Node& node, const NodeEntry* expected,
+                   std::vector<Point>& subtree_points) const;
+  void CollectStats(const Node& node, TreeStats& stats) const;
+  void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
+
+  Options options_;
+  size_t leaf_cap_;
+  size_t node_cap_;
+  size_t leaf_min_;
+  size_t node_min_;
+
+  mutable PageFile file_;
+  PageId root_id_;
+  int root_level_ = 0;
+  size_t size_ = 0;
+  MaintenanceStats maintenance_;
+
+  // Per-node forced-reinsertion bookkeeping, inherited from the SS-tree.
+  std::set<PageId> reinserted_nodes_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_CORE_SR_TREE_H_

@@ -1,0 +1,39 @@
+// Points and Euclidean distance primitives.
+//
+// A point is a flat span of doubles; indices never own coordinate storage
+// beyond their pages, so the cheap non-owning view keeps hot loops free of
+// allocation. `Point` (an owning vector) is used at API boundaries.
+
+#ifndef SRTREE_GEOMETRY_POINT_H_
+#define SRTREE_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+using Point = std::vector<double>;
+using PointView = std::span<const double>;
+
+// Squared L2 distance between two points of equal dimensionality.
+inline double SquaredDistance(PointView a, PointView b) {
+  DCHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// L2 distance between two points of equal dimensionality.
+inline double Distance(PointView a, PointView b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace srtree
+
+#endif  // SRTREE_GEOMETRY_POINT_H_

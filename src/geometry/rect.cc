@@ -1,0 +1,154 @@
+#include "src/geometry/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+Rect Rect::Empty(int dim) {
+  CHECK_GT(dim, 0);
+  Rect r;
+  r.lo_.assign(dim, std::numeric_limits<double>::infinity());
+  r.hi_.assign(dim, -std::numeric_limits<double>::infinity());
+  return r;
+}
+
+Rect Rect::FromPoint(PointView p) {
+  Rect r;
+  r.lo_.assign(p.begin(), p.end());
+  r.hi_ = r.lo_;
+  return r;
+}
+
+Rect::Rect(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  CHECK_EQ(lo_.size(), hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) DCHECK_LE(lo_[i], hi_[i]);
+}
+
+bool Rect::IsEmpty() const {
+  if (lo_.empty()) return true;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (lo_[i] > hi_[i]) return true;
+  }
+  return false;
+}
+
+void Rect::Expand(PointView p) {
+  DCHECK_EQ(p.size(), lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo_[i] = std::min(lo_[i], p[i]);
+    hi_[i] = std::max(hi_[i], p[i]);
+  }
+}
+
+void Rect::Expand(const Rect& other) {
+  DCHECK_EQ(other.dim(), dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+}
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Rect result = a;
+  result.Expand(b);
+  return result;
+}
+
+bool Rect::Contains(PointView p) const {
+  DCHECK_EQ(p.size(), lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsRect(const Rect& other) const {
+  DCHECK_EQ(other.dim(), dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  DCHECK_EQ(other.dim(), dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+double Rect::MinDistSq(PointView p) const {
+  DCHECK_EQ(p.size(), lo_.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    double d = 0.0;
+    if (p[i] < lo_[i]) {
+      d = lo_[i] - p[i];
+    } else if (p[i] > hi_[i]) {
+      d = p[i] - hi_[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Rect::MaxDistSq(PointView p) const {
+  DCHECK_EQ(p.size(), lo_.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    // The farthest vertex picks, per dimension, whichever bound is farther.
+    const double d = std::max(std::abs(p[i] - lo_[i]), std::abs(hi_[i] - p[i]));
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double edge = hi_[i] - lo_[i];
+    if (edge <= 0.0) return 0.0;
+    v *= edge;
+  }
+  return v;
+}
+
+double Rect::Margin() const {
+  double m = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) m += hi_[i] - lo_[i];
+  return m;
+}
+
+double Rect::OverlapVolume(const Rect& other) const {
+  DCHECK_EQ(other.dim(), dim());
+  double v = 1.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double lo = std::max(lo_[i], other.lo_[i]);
+    const double hi = std::min(hi_[i], other.hi_[i]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+Point Rect::Center() const {
+  Point c(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+double Rect::Diagonal() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double edge = hi_[i] - lo_[i];
+    sum += edge * edge;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace srtree

@@ -1,0 +1,34 @@
+#include "src/geometry/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/geometry/volume.h"
+
+namespace srtree {
+
+Sphere::Sphere(Point center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  CHECK_GE(radius_, 0.0);
+}
+
+bool Sphere::Contains(PointView p) const {
+  return SquaredDistance(center_, p) <= radius_ * radius_;
+}
+
+double Sphere::MinDist(PointView p) const {
+  return std::max(0.0, Distance(center_, p) - radius_);
+}
+
+double Sphere::MaxDist(PointView p) const {
+  return Distance(center_, p) + radius_;
+}
+
+bool Sphere::IntersectsRect(const Rect& rect) const {
+  return rect.MinDistSq(center_) <= radius_ * radius_;
+}
+
+double Sphere::Volume() const { return BallVolume(dim(), radius_); }
+
+}  // namespace srtree

@@ -1,0 +1,29 @@
+#include "src/geometry/volume.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+double UnitBallVolume(int dim) {
+  CHECK_GT(dim, 0);
+  return std::exp(LogBallVolume(dim, 1.0));
+}
+
+double LogBallVolume(int dim, double radius) {
+  CHECK_GT(dim, 0);
+  CHECK_GE(radius, 0.0);
+  if (radius == 0.0) return -std::numeric_limits<double>::infinity();
+  const double d = static_cast<double>(dim);
+  return 0.5 * d * std::log(M_PI) - std::lgamma(0.5 * d + 1.0) +
+         d * std::log(radius);
+}
+
+double BallVolume(int dim, double radius) {
+  if (radius == 0.0) return 0.0;
+  return std::exp(LogBallVolume(dim, radius));
+}
+
+}  // namespace srtree

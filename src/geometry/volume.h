@@ -1,0 +1,25 @@
+// Exact volumes of high-dimensional balls.
+//
+// Section 3 of the paper compares the average *volume* of bounding spheres
+// and bounding rectangles; the D-ball volume V_D(r) = pi^{D/2} r^D /
+// Gamma(D/2 + 1) shrinks super-exponentially with D, which is exactly the
+// effect the SR-tree exploits. Computed in log space to stay finite at
+// D = 64.
+
+#ifndef SRTREE_GEOMETRY_VOLUME_H_
+#define SRTREE_GEOMETRY_VOLUME_H_
+
+namespace srtree {
+
+// Volume of the unit ball in `dim` dimensions.
+double UnitBallVolume(int dim);
+
+// Volume of a ball of radius `radius` in `dim` dimensions.
+double BallVolume(int dim, double radius);
+
+// log(V) of a ball; safe when the plain volume would underflow to zero.
+double LogBallVolume(int dim, double radius);
+
+}  // namespace srtree
+
+#endif  // SRTREE_GEOMETRY_VOLUME_H_

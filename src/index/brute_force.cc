@@ -1,0 +1,86 @@
+#include "src/index/brute_force.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/index/knn.h"
+
+namespace srtree {
+
+BruteForceIndex::BruteForceIndex(const Options& options) : options_(options) {
+  CHECK_GT(options_.dim, 0);
+}
+
+Status BruteForceIndex::Insert(PointView point, uint32_t oid) {
+  if (static_cast<int>(point.size()) != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  points_.emplace_back(point.begin(), point.end());
+  oids_.push_back(oid);
+  stats_.RecordWrite();
+  return Status::OK();
+}
+
+Status BruteForceIndex::Delete(PointView point, uint32_t oid) {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (oids_[i] == oid && std::equal(point.begin(), point.end(),
+                                      points_[i].begin(), points_[i].end())) {
+      points_[i] = std::move(points_.back());
+      points_.pop_back();
+      oids_[i] = oids_.back();
+      oids_.pop_back();
+      stats_.RecordWrite();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("point not present");
+}
+
+size_t BruteForceIndex::leaf_capacity() const {
+  const size_t entry_bytes = options_.dim * sizeof(double) +
+                             sizeof(uint32_t) + options_.leaf_data_size;
+  return std::max<size_t>(1, options_.page_size / entry_bytes);
+}
+
+void BruteForceIndex::ChargeScan() {
+  const size_t entries_per_page = leaf_capacity();
+  const size_t pages =
+      (points_.size() + entries_per_page - 1) / entries_per_page;
+  for (size_t i = 0; i < pages; ++i) stats_.RecordRead(/*level=*/0);
+}
+
+std::vector<Neighbor> BruteForceIndex::NearestNeighbors(PointView query,
+                                                        int k) {
+  ChargeScan();
+  KnnCandidates candidates(k);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    candidates.Offer(Distance(points_[i], query), oids_[i]);
+  }
+  return candidates.TakeSorted();
+}
+
+std::vector<Neighbor> BruteForceIndex::RangeSearch(PointView query,
+                                                   double radius) {
+  ChargeScan();
+  std::vector<Neighbor> result;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const double d = Distance(points_[i], query);
+    if (d <= radius) result.push_back(Neighbor{d, oids_[i]});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.oid < b.oid;
+            });
+  return result;
+}
+
+TreeStats BruteForceIndex::GetTreeStats() const {
+  TreeStats stats;
+  stats.height = 1;
+  stats.leaf_count = 1;
+  stats.entry_count = points_.size();
+  return stats;
+}
+
+}  // namespace srtree

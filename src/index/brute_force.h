@@ -1,0 +1,64 @@
+// Linear-scan index: ground truth for tests and the "no index" baseline.
+//
+// Disk accounting models a sequential scan: each query charges the number
+// of 8 KB blocks a flat file of (point + 512-byte data area) entries would
+// occupy, which makes the brute-force baseline comparable to the trees in
+// the harness.
+
+#ifndef SRTREE_INDEX_BRUTE_FORCE_H_
+#define SRTREE_INDEX_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "src/index/point_index.h"
+#include "src/storage/page.h"
+
+namespace srtree {
+
+class BruteForceIndex : public PointIndex {
+ public:
+  struct Options {
+    int dim = 2;
+    size_t page_size = kDefaultPageSize;
+    size_t leaf_data_size = 512;
+  };
+
+  explicit BruteForceIndex(const Options& options);
+
+  int dim() const override { return options_.dim; }
+  size_t size() const override { return points_.size(); }
+  std::string name() const override { return "scan"; }
+
+  Status Insert(PointView point, uint32_t oid) override;
+  Status Delete(PointView point, uint32_t oid) override;
+
+  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
+  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
+                                                  int k) override {
+    return NearestNeighbors(query, k);  // a scan has no traversal order
+  }
+  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
+
+  // A scan file packs leaf entries sequentially; there are no nodes.
+  size_t leaf_capacity() const override;
+  size_t node_capacity() const override { return 0; }
+
+  TreeStats GetTreeStats() const override;
+  Status CheckInvariants() const override { return Status::OK(); }
+  RegionSummary LeafRegionSummary() const override { return {}; }
+
+  const IoStats& io_stats() const override { return stats_; }
+  void ResetIoStats() override { stats_.Reset(); }
+
+ private:
+  void ChargeScan();
+
+  Options options_;
+  std::vector<Point> points_;
+  std::vector<uint32_t> oids_;
+  IoStats stats_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_INDEX_BRUTE_FORCE_H_

@@ -1,0 +1,40 @@
+#include "src/index/knn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+KnnCandidates::KnnCandidates(int k) : k_(k) { CHECK_GT(k, 0); }
+
+double KnnCandidates::PruneDistance() const {
+  if (!full()) return std::numeric_limits<double>::infinity();
+  return heap_.top().distance;
+}
+
+void KnnCandidates::Offer(double distance, uint32_t oid) {
+  const Neighbor candidate{distance, oid};
+  if (!full()) {
+    heap_.push(candidate);
+    return;
+  }
+  if (Worse()(candidate, heap_.top())) {
+    heap_.pop();
+    heap_.push(candidate);
+  }
+}
+
+std::vector<Neighbor> KnnCandidates::TakeSorted() {
+  std::vector<Neighbor> result;
+  result.reserve(heap_.size());
+  while (!heap_.empty()) {
+    result.push_back(heap_.top());
+    heap_.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace srtree

@@ -1,0 +1,49 @@
+// Bounded candidate set for the depth-first k-NN search of Roussopoulos,
+// Kelley & Vincent (SIGMOD'95), shared by every tree.
+//
+// The set keeps the k best (distance, oid) pairs seen so far in a max-heap;
+// PruneDistance() is the radius below which a region can still contribute —
+// infinite until the set fills, then the current k-th distance.
+
+#ifndef SRTREE_INDEX_KNN_H_
+#define SRTREE_INDEX_KNN_H_
+
+#include <queue>
+#include <vector>
+
+#include "src/index/point_index.h"
+
+namespace srtree {
+
+class KnnCandidates {
+ public:
+  explicit KnnCandidates(int k);
+
+  // Current pruning radius (see above). A subtree whose MINDIST exceeds
+  // this cannot improve the result set.
+  double PruneDistance() const;
+
+  // Offers a candidate; kept only if it beats the current k-th distance.
+  // Ties on distance are broken toward smaller oid for determinism.
+  void Offer(double distance, uint32_t oid);
+
+  bool full() const { return static_cast<int>(heap_.size()) == k_; }
+
+  // Extracts the final result, closest first.
+  std::vector<Neighbor> TakeSorted();
+
+ private:
+  struct Worse {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.oid < b.oid;  // larger oid = worse, popped first
+    }
+  };
+
+  int k_;
+  std::priority_queue<Neighbor, std::vector<Neighbor>, Worse> heap_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_INDEX_KNN_H_

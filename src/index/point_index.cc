@@ -1,0 +1,19 @@
+#include "src/index/point_index.h"
+
+namespace srtree {
+
+Status PointIndex::BulkLoad(const std::vector<Point>& points,
+                            const std::vector<uint32_t>& oids) {
+  if (points.size() != oids.size()) {
+    return Status::InvalidArgument("points/oids size mismatch");
+  }
+  if (size() != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty index");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    RETURN_IF_ERROR(Insert(points[i], oids[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace srtree

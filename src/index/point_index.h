@@ -1,0 +1,119 @@
+// PointIndex: the common interface of every index structure in this library.
+//
+// All five trees (SR, SS, R*, K-D-B, VAMSplit R) plus the brute-force
+// baseline implement this interface, which is what lets the experiment
+// harness, the invariant checkers, and the property tests treat them
+// uniformly.
+
+#ifndef SRTREE_INDEX_POINT_INDEX_H_
+#define SRTREE_INDEX_POINT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/point.h"
+#include "src/index/region_stats.h"
+#include "src/storage/io_stats.h"
+
+namespace srtree {
+
+// One k-NN / range-search result: the point's object id and its distance
+// from the query.
+struct Neighbor {
+  double distance = 0.0;
+  uint32_t oid = 0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+// Structural statistics gathered by walking the tree (no I/O accounting).
+struct TreeStats {
+  int height = 0;           // number of levels; a lone leaf has height 1
+  uint64_t node_count = 0;  // non-leaf pages
+  uint64_t leaf_count = 0;  // leaf pages
+  uint64_t entry_count = 0; // indexed points
+};
+
+// Counters of structural maintenance performed since construction. Which
+// fields a structure uses depends on its algorithms: the R*/SS/SR trees
+// split and force-reinsert; the K-D-B-tree splits and force-splits
+// descendants; static structures report zeros.
+struct MaintenanceStats {
+  uint64_t splits = 0;         // page splits (leaf or node)
+  uint64_t reinsertions = 0;   // forced-reinsertion events
+  uint64_t forced_splits = 0;  // K-D-B downward forced splits
+};
+
+class PointIndex {
+ public:
+  virtual ~PointIndex() = default;
+
+  virtual int dim() const = 0;
+
+  // Number of points currently indexed.
+  virtual size_t size() const = 0;
+
+  // Short identifier used in reports, e.g. "SR-tree".
+  virtual std::string name() const = 0;
+
+  virtual Status Insert(PointView point, uint32_t oid) = 0;
+
+  // Removes one (point, oid) pair. NotFound if absent. Static structures
+  // return Unimplemented.
+  virtual Status Delete(PointView point, uint32_t oid) = 0;
+
+  // Builds the index from scratch. The default implementation inserts
+  // sequentially; bulk-loaded structures (VAMSplit R-tree) override it.
+  // Fails if the index is non-empty.
+  virtual Status BulkLoad(const std::vector<Point>& points,
+                          const std::vector<uint32_t>& oids);
+
+  // The k nearest neighbors of `query`, closest first; ties broken by oid.
+  // Returns fewer than k when the index holds fewer points. Uses the
+  // paper's depth-first branch-and-bound (Roussopoulos et al.).
+  virtual std::vector<Neighbor> NearestNeighbors(PointView query, int k) = 0;
+
+  // The same result via the best-first (global priority queue) traversal of
+  // Hjaltason & Samet — reads no more pages than any algorithm using the
+  // same MINDIST bound, at the price of queue memory. Identical to
+  // NearestNeighbors for flat structures.
+  virtual std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
+                                                          int k) = 0;
+
+  // All points within `radius` of `query` (closed ball), closest first.
+  virtual std::vector<Neighbor> RangeSearch(PointView query,
+                                            double radius) = 0;
+
+  // Fanout limits implied by the serialized page layout (the paper's
+  // Table 1). node_capacity() is 0 for flat structures without nodes.
+  virtual size_t leaf_capacity() const = 0;
+  virtual size_t node_capacity() const = 0;
+
+  virtual TreeStats GetTreeStats() const = 0;
+
+  // Structural maintenance counters (see MaintenanceStats).
+  virtual MaintenanceStats GetMaintenanceStats() const { return {}; }
+
+  // Deep structural validation (region containment, utilization, balance).
+  // Used by tests and debug builds; walks pages without I/O accounting.
+  virtual Status CheckInvariants() const = 0;
+
+  // Geometry of leaf-level regions — volumes and diameters for the
+  // Figure 5/6/12/13 experiments.
+  virtual RegionSummary LeafRegionSummary() const = 0;
+
+  // Disk access counters for the measurements; reset between experiment
+  // phases.
+  virtual const IoStats& io_stats() const = 0;
+  virtual void ResetIoStats() = 0;
+
+  // Enables LRU-cache simulation on the underlying page file (see
+  // PageFile::SimulateCache). No-op for structures without one.
+  virtual void SimulateBufferPool(size_t capacity) { (void)capacity; }
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_INDEX_POINT_INDEX_H_

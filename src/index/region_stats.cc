@@ -1,0 +1,33 @@
+#include "src/index/region_stats.h"
+
+namespace srtree {
+
+void RegionStatsCollector::AddSphere(const Sphere& sphere) {
+  ++sphere_count_;
+  sphere_volume_sum_ += sphere.Volume();
+  sphere_diameter_sum_ += sphere.Diameter();
+}
+
+void RegionStatsCollector::AddRect(const Rect& rect) {
+  ++rect_count_;
+  rect_volume_sum_ += rect.Volume();
+  rect_diagonal_sum_ += rect.Diagonal();
+}
+
+RegionSummary RegionStatsCollector::Finish() const {
+  RegionSummary summary;
+  summary.leaf_count = leaf_count_;
+  summary.has_spheres = sphere_count_ > 0;
+  summary.has_rects = rect_count_ > 0;
+  if (sphere_count_ > 0) {
+    summary.avg_sphere_volume = sphere_volume_sum_ / sphere_count_;
+    summary.avg_sphere_diameter = sphere_diameter_sum_ / sphere_count_;
+  }
+  if (rect_count_ > 0) {
+    summary.avg_rect_volume = rect_volume_sum_ / rect_count_;
+    summary.avg_rect_diagonal = rect_diagonal_sum_ / rect_count_;
+  }
+  return summary;
+}
+
+}  // namespace srtree

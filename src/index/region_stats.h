@@ -1,0 +1,51 @@
+// Aggregation of leaf-region geometry (Figures 5, 6, 12, 13).
+//
+// For sphere-shaped regions the "diameter" is 2r; for rectangles it is the
+// main diagonal — exactly the quantities the paper plots. The SR-tree
+// reports both of its shapes; its true region (the intersection) is bounded
+// above by each, as Section 5.2 notes.
+
+#ifndef SRTREE_INDEX_REGION_STATS_H_
+#define SRTREE_INDEX_REGION_STATS_H_
+
+#include <cstdint>
+
+#include "src/geometry/rect.h"
+#include "src/geometry/sphere.h"
+
+namespace srtree {
+
+struct RegionSummary {
+  uint64_t leaf_count = 0;
+  bool has_spheres = false;
+  bool has_rects = false;
+  double avg_sphere_volume = 0.0;
+  double avg_sphere_diameter = 0.0;
+  double avg_rect_volume = 0.0;
+  double avg_rect_diagonal = 0.0;
+};
+
+class RegionStatsCollector {
+ public:
+  void AddSphere(const Sphere& sphere);
+  void AddRect(const Rect& rect);
+
+  // Marks one leaf processed (a leaf may contribute a sphere, a rect, or —
+  // for the SR-tree — both).
+  void CountLeaf() { ++leaf_count_; }
+
+  RegionSummary Finish() const;
+
+ private:
+  uint64_t leaf_count_ = 0;
+  uint64_t sphere_count_ = 0;
+  uint64_t rect_count_ = 0;
+  double sphere_volume_sum_ = 0.0;
+  double sphere_diameter_sum_ = 0.0;
+  double rect_volume_sum_ = 0.0;
+  double rect_diagonal_sum_ = 0.0;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_INDEX_REGION_STATS_H_

@@ -1,0 +1,615 @@
+#include "src/kdb/kdb_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace srtree {
+namespace {
+
+constexpr size_t kHeaderBytes = 8;
+
+bool SamePoint(PointView a, PointView b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+KdbTree::KdbTree(const Options& options) : options_(options), file_(options.page_size) {
+  CHECK_GT(options_.dim, 0);
+  CHECK_LT(options_.domain_lo, options_.domain_hi);
+
+  const size_t dim = static_cast<size_t>(options_.dim);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + options_.leaf_data_size;
+  const size_t node_entry = 2 * dim * sizeof(double) + sizeof(uint32_t);
+  leaf_cap_ = (options_.page_size - kHeaderBytes) / leaf_entry;
+  node_cap_ = (options_.page_size - kHeaderBytes) / node_entry;
+  CHECK_GE(leaf_cap_, 2u);
+  CHECK_GE(node_cap_, 2u);
+
+  Node root;
+  root.id = file_.Allocate();
+  root.level = 0;
+  WriteNode(root);
+  root_id_ = root.id;
+}
+
+Rect KdbTree::Domain() const {
+  return Rect(Point(options_.dim, options_.domain_lo),
+              Point(options_.dim, options_.domain_hi));
+}
+
+// --------------------------------------------------------------------------
+// Page I/O
+// --------------------------------------------------------------------------
+
+void KdbTree::SerializeNode(const Node& node, char* buf) const {
+  CHECK_LE(node.count(), Capacity(node));
+  PageWriter w(buf, options_.page_size);
+  w.PutU8(static_cast<uint8_t>(node.level));
+  w.PutU8(0);
+  w.PutU16(static_cast<uint16_t>(node.count()));
+  w.PutU32(0);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      w.PutDoubles(e.point);
+      w.PutU32(e.oid);
+      w.Skip(options_.leaf_data_size);
+    }
+  } else {
+    for (const NodeEntry& e : node.children) {
+      w.PutDoubles(e.region.lo());
+      w.PutDoubles(e.region.hi());
+      w.PutU32(e.child);
+    }
+  }
+}
+
+KdbTree::Node KdbTree::DeserializeNode(const char* buf, PageId id) const {
+  PageReader r(buf, options_.page_size);
+  Node node;
+  node.id = id;
+  node.level = r.GetU8();
+  r.GetU8();
+  const size_t count = r.GetU16();
+  r.GetU32();
+  const size_t dim = static_cast<size_t>(options_.dim);
+  if (node.level == 0) {
+    node.points.resize(count);
+    for (LeafEntry& e : node.points) {
+      e.point.resize(dim);
+      r.GetDoubles(e.point);
+      e.oid = r.GetU32();
+      r.Skip(options_.leaf_data_size);
+    }
+  } else {
+    node.children.resize(count);
+    for (NodeEntry& e : node.children) {
+      Point lo(dim), hi(dim);
+      r.GetDoubles(lo);
+      r.GetDoubles(hi);
+      e.region = Rect(std::move(lo), std::move(hi));
+      e.child = r.GetU32();
+    }
+  }
+  return node;
+}
+
+KdbTree::Node KdbTree::ReadNode(PageId id, int level) {
+  std::vector<char> buf(options_.page_size);
+  file_.Read(id, buf.data(), level);
+  Node node = DeserializeNode(buf.data(), id);
+  DCHECK_EQ(node.level, level);
+  return node;
+}
+
+KdbTree::Node KdbTree::PeekNode(PageId id) const {
+  return DeserializeNode(file_.PeekPage(id), id);
+}
+
+void KdbTree::WriteNode(const Node& node) {
+  std::vector<char> buf(options_.page_size);
+  SerializeNode(node, buf.data());
+  file_.Write(node.id, buf.data());
+}
+
+// --------------------------------------------------------------------------
+// Insertion & splitting
+// --------------------------------------------------------------------------
+
+Status KdbTree::Insert(PointView point, uint32_t oid) {
+  if (static_cast<int>(point.size()) != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  if (!Domain().Contains(point)) {
+    return Status::InvalidArgument("point outside the indexed domain");
+  }
+
+  // Descend to the point page responsible for `point`. Regions on one level
+  // partition the domain, so exactly one child's interior (or boundary)
+  // contains the point; the first containing child wins on shared faces.
+  std::vector<Node> path;
+  std::vector<int> idx;
+  Node cur = ReadNode(root_id_, root_level_);
+  while (!cur.is_leaf()) {
+    int chosen = -1;
+    for (size_t i = 0; i < cur.children.size(); ++i) {
+      if (cur.children[i].region.Contains(point)) {
+        chosen = static_cast<int>(i);
+        break;
+      }
+    }
+    CHECK_GE(chosen, 0);  // the partition invariant guarantees a match
+    const PageId child = cur.children[chosen].child;
+    const int child_level = cur.level - 1;
+    path.push_back(std::move(cur));
+    idx.push_back(chosen);
+    cur = ReadNode(child, child_level);
+  }
+  cur.points.push_back(LeafEntry{Point(point.begin(), point.end()), oid});
+  ++size_;
+
+  if (cur.points.size() <= leaf_cap_) {
+    WriteNode(cur);
+    return Status::OK();
+  }
+
+  // Split the overflowing page; replace the parent's entry with the new
+  // entries and propagate overflow upward. Regions never change shape above
+  // the split, so no ancestor updates are needed beyond the replacement.
+  Rect region = path.empty() ? Domain() : path.back().children[idx.back()].region;
+  std::vector<NodeEntry> new_entries;
+  SplitToEntries(std::move(cur), region, new_entries);
+
+  for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+    Node& parent = path[i];
+    parent.children.erase(parent.children.begin() + idx[i]);
+    parent.children.insert(parent.children.end(), new_entries.begin(),
+                           new_entries.end());
+    if (parent.children.size() <= node_cap_) {
+      WriteNode(parent);
+      return Status::OK();
+    }
+    region = (i > 0) ? path[i - 1].children[idx[i - 1]].region : Domain();
+    new_entries.clear();
+    SplitToEntries(std::move(parent), region, new_entries);
+  }
+
+  // The root itself split: grow the tree (repeatedly, in the degenerate
+  // case where even the new root overflows).
+  int level = root_level_;
+  while (true) {
+    Node root;
+    root.id = file_.Allocate();
+    root.level = ++level;
+    root.children = std::move(new_entries);
+    if (root.children.size() <= node_cap_) {
+      WriteNode(root);
+      root_id_ = root.id;
+      root_level_ = root.level;
+      return Status::OK();
+    }
+    new_entries.clear();
+    SplitToEntries(std::move(root), Domain(), new_entries);
+  }
+}
+
+void KdbTree::SplitToEntries(Node&& node, const Rect& region,
+                             std::vector<NodeEntry>& out) {
+  if (node.count() <= Capacity(node)) {
+    WriteNode(node);
+    out.push_back(NodeEntry{region, node.id});
+    return;
+  }
+
+  ++maintenance_.splits;
+  int dim = 0;
+  double value = 0.0;
+  ChoosePlane(node, region, dim, value);
+
+  Node left, right;
+  left.id = node.id;
+  right.id = file_.Allocate();
+  left.level = right.level = node.level;
+  if (node.is_leaf()) {
+    for (LeafEntry& e : node.points) {
+      (e.point[dim] < value ? left.points : right.points)
+          .push_back(std::move(e));
+    }
+  } else {
+    for (NodeEntry& e : node.children) {
+      if (e.region.hi()[dim] <= value) {
+        left.children.push_back(std::move(e));
+      } else if (e.region.lo()[dim] >= value) {
+        right.children.push_back(std::move(e));
+      } else {
+        auto [l, r] = ForceSplit(e, node.level - 1, dim, value);
+        left.children.push_back(std::move(l));
+        right.children.push_back(std::move(r));
+      }
+    }
+  }
+  SplitToEntries(std::move(left), ClipHi(region, dim, value), out);
+  SplitToEntries(std::move(right), ClipLo(region, dim, value), out);
+}
+
+void KdbTree::ChoosePlane(const Node& node, const Rect& region, int& dim,
+                          double& value) const {
+  if (node.is_leaf()) {
+    // Max-spread dimension, most balanced distinct split value. Duplicates
+    // beyond a page's capacity cannot be separated by any plane.
+    int best_dim = -1;
+    double best_spread = 0.0;
+    for (int d = 0; d < options_.dim; ++d) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (const LeafEntry& e : node.points) {
+        lo = std::min(lo, e.point[d]);
+        hi = std::max(hi, e.point[d]);
+      }
+      if (hi - lo > best_spread) {
+        best_spread = hi - lo;
+        best_dim = d;
+      }
+    }
+    CHECK(best_dim >= 0);  // more duplicates than a point page can hold
+    std::vector<double> coords(node.points.size());
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      coords[i] = node.points[i].point[best_dim];
+    }
+    std::sort(coords.begin(), coords.end());
+    // Candidate values are distinct coordinates > min; pick the one closest
+    // to the median position.
+    const size_t half = coords.size() / 2;
+    double best_value = coords.back();
+    size_t best_skew = coords.size();
+    for (size_t i = 1; i < coords.size(); ++i) {
+      if (coords[i] == coords[i - 1]) continue;
+      const size_t skew = i > half ? i - half : half - i;
+      if (skew < best_skew) {
+        best_skew = skew;
+        best_value = coords[i];
+      }
+    }
+    dim = best_dim;
+    value = best_value;
+    return;
+  }
+
+  // Region page: candidates are child boundaries strictly inside the
+  // region; minimize forced splits (children crossing the plane), then
+  // imbalance. R+-tree-style choice (Section 3.1 of the paper).
+  int best_dim = -1;
+  double best_value = 0.0;
+  size_t best_crossings = std::numeric_limits<size_t>::max();
+  size_t best_skew = std::numeric_limits<size_t>::max();
+  for (int d = 0; d < options_.dim; ++d) {
+    std::vector<double> candidates;
+    for (const NodeEntry& e : node.children) {
+      for (const double v : {e.region.lo()[d], e.region.hi()[d]}) {
+        if (v > region.lo()[d] && v < region.hi()[d]) candidates.push_back(v);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (const double v : candidates) {
+      size_t left = 0, right = 0, crossing = 0;
+      for (const NodeEntry& e : node.children) {
+        if (e.region.hi()[d] <= v) {
+          ++left;
+        } else if (e.region.lo()[d] >= v) {
+          ++right;
+        } else {
+          ++crossing;
+        }
+      }
+      if (left + crossing == 0 || right + crossing == 0) continue;
+      const size_t skew = left > right ? left - right : right - left;
+      if (crossing < best_crossings ||
+          (crossing == best_crossings && skew < best_skew)) {
+        best_crossings = crossing;
+        best_skew = skew;
+        best_dim = d;
+        best_value = v;
+      }
+    }
+  }
+  CHECK_GE(best_dim, 0);  // >= 2 children partitioning the region
+  dim = best_dim;
+  value = best_value;
+}
+
+std::pair<KdbTree::NodeEntry, KdbTree::NodeEntry> KdbTree::ForceSplit(
+    const NodeEntry& entry, int node_level, int dim, double value) {
+  ++maintenance_.forced_splits;
+  Node node = ReadNode(entry.child, node_level);
+  Node left, right;
+  left.id = node.id;
+  right.id = file_.Allocate();
+  left.level = right.level = node.level;
+  if (node.is_leaf()) {
+    for (LeafEntry& e : node.points) {
+      (e.point[dim] < value ? left.points : right.points)
+          .push_back(std::move(e));
+    }
+  } else {
+    for (NodeEntry& e : node.children) {
+      if (e.region.hi()[dim] <= value) {
+        left.children.push_back(std::move(e));
+      } else if (e.region.lo()[dim] >= value) {
+        right.children.push_back(std::move(e));
+      } else {
+        auto [l, r] = ForceSplit(e, node.level - 1, dim, value);
+        left.children.push_back(std::move(l));
+        right.children.push_back(std::move(r));
+      }
+    }
+  }
+  WriteNode(left);
+  WriteNode(right);
+  return {NodeEntry{ClipHi(entry.region, dim, value), left.id},
+          NodeEntry{ClipLo(entry.region, dim, value), right.id}};
+}
+
+Rect KdbTree::ClipHi(const Rect& region, int dim, double value) {
+  Point hi = region.hi();
+  hi[dim] = value;
+  return Rect(region.lo(), std::move(hi));
+}
+
+Rect KdbTree::ClipLo(const Rect& region, int dim, double value) {
+  Point lo = region.lo();
+  lo[dim] = value;
+  return Rect(std::move(lo), region.hi());
+}
+
+// --------------------------------------------------------------------------
+// Deletion
+// --------------------------------------------------------------------------
+
+Status KdbTree::Delete(PointView point, uint32_t oid) {
+  if (static_cast<int>(point.size()) != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  if (!DeleteFrom(root_id_, root_level_, point, oid)) {
+    return Status::NotFound("point not present");
+  }
+  --size_;
+  return Status::OK();
+}
+
+bool KdbTree::DeleteFrom(PageId id, int level, PointView point, uint32_t oid) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (node.points[i].oid == oid && SamePoint(node.points[i].point, point)) {
+        node.points.erase(node.points.begin() + i);
+        WriteNode(node);
+        return true;
+      }
+    }
+    return false;
+  }
+  // A boundary point may sit in either adjacent page: try every region that
+  // contains it.
+  for (const NodeEntry& e : node.children) {
+    if (e.region.Contains(point) &&
+        DeleteFrom(e.child, level - 1, point, oid)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Search
+// --------------------------------------------------------------------------
+
+std::vector<Neighbor> KdbTree::NearestNeighbors(PointView query, int k) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  KnnCandidates candidates(k);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  return candidates.TakeSorted();
+}
+
+void KdbTree::SearchKnn(PageId id, int level, PointView query,
+                        KnnCandidates& cand) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      cand.Offer(Distance(e.point, query), e.oid);
+    }
+    return;
+  }
+  std::vector<std::pair<double, size_t>> order(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    order[i] = {std::sqrt(node.children[i].region.MinDistSq(query)), i};
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [mindist, i] : order) {
+    if (mindist > cand.PruneDistance()) break;
+    SearchKnn(node.children[i].child, level - 1, query, cand);
+  }
+}
+
+
+std::vector<Neighbor> KdbTree::NearestNeighborsBestFirst(PointView query,
+                                                       int k) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  KnnCandidates candidates(k);
+  if (size_ == 0) return candidates.TakeSorted();
+
+  // Global best-first traversal: always expand the pending subtree with the
+  // smallest MINDIST. Stops once that bound exceeds the k-th candidate.
+  struct Pending {
+    double mindist;
+    PageId id;
+    int level;
+    bool operator>(const Pending& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      frontier;
+  frontier.push(Pending{0.0, root_id_, root_level_});
+  while (!frontier.empty()) {
+    const Pending next = frontier.top();
+    frontier.pop();
+    if (next.mindist > candidates.PruneDistance()) break;
+    Node node = ReadNode(next.id, next.level);
+    if (node.is_leaf()) {
+      for (const LeafEntry& e : node.points) {
+        candidates.Offer(Distance(e.point, query), e.oid);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const double d = std::sqrt(node.children[i].region.MinDistSq(query));
+      if (d <= candidates.PruneDistance()) {
+        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      }
+    }
+  }
+  return candidates.TakeSorted();
+}
+
+std::vector<Neighbor> KdbTree::RangeSearch(PointView query, double radius) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  std::vector<Neighbor> result;
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.oid < b.oid;
+            });
+  return result;
+}
+
+void KdbTree::SearchRange(PageId id, int level, PointView query, double radius,
+                          std::vector<Neighbor>& out) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      const double d = Distance(e.point, query);
+      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    }
+    return;
+  }
+  for (const NodeEntry& e : node.children) {
+    if (std::sqrt(e.region.MinDistSq(query)) <= radius) {
+      SearchRange(e.child, level - 1, query, radius, out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Stats & validation
+// --------------------------------------------------------------------------
+
+TreeStats KdbTree::GetTreeStats() const {
+  TreeStats stats;
+  stats.height = root_level_ + 1;
+  CollectStats(PeekNode(root_id_), stats);
+  return stats;
+}
+
+void KdbTree::CollectStats(const Node& node, TreeStats& stats) const {
+  if (node.is_leaf()) {
+    ++stats.leaf_count;
+    stats.entry_count += node.points.size();
+    return;
+  }
+  ++stats.node_count;
+  for (const NodeEntry& e : node.children) {
+    CollectStats(PeekNode(e.child), stats);
+  }
+}
+
+RegionSummary KdbTree::LeafRegionSummary() const {
+  RegionStatsCollector collector;
+  CollectRegions(PeekNode(root_id_), collector);
+  return collector.Finish();
+}
+
+void KdbTree::CollectRegions(const Node& node,
+                             RegionStatsCollector& collector) const {
+  if (node.is_leaf()) {
+    if (node.points.empty()) return;
+    collector.CountLeaf();
+    Rect bound = Rect::Empty(options_.dim);
+    for (const LeafEntry& e : node.points) bound.Expand(e.point);
+    collector.AddRect(bound);
+    return;
+  }
+  for (const NodeEntry& e : node.children) {
+    CollectRegions(PeekNode(e.child), collector);
+  }
+}
+
+Status KdbTree::CheckInvariants() const {
+  uint64_t points_seen = 0;
+  const Node root = PeekNode(root_id_);
+  if (root.level != root_level_) {
+    return Status::Corruption("root level mismatch");
+  }
+  RETURN_IF_ERROR(CheckNode(root, Domain(), points_seen));
+  if (points_seen != size_) {
+    return Status::Corruption("point count mismatch");
+  }
+  return Status::OK();
+}
+
+Status KdbTree::CheckNode(const Node& node, const Rect& region,
+                          uint64_t& points_seen) const {
+  if (node.count() > Capacity(node)) {
+    return Status::Corruption("node above capacity");
+  }
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      if (!region.Contains(e.point)) {
+        return Status::Corruption("point outside its page region");
+      }
+    }
+    points_seen += node.points.size();
+    return Status::OK();
+  }
+  if (node.children.empty()) {
+    return Status::Corruption("empty region page breaks the partition");
+  }
+  // Children must lie inside the region and have pairwise disjoint
+  // interiors (shared faces are allowed).
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const Rect& a = node.children[i].region;
+    if (!region.ContainsRect(a)) {
+      return Status::Corruption("child region escapes parent region");
+    }
+    for (size_t j = i + 1; j < node.children.size(); ++j) {
+      const Rect& b = node.children[j].region;
+      bool interior_overlap = true;
+      for (int d = 0; d < options_.dim; ++d) {
+        if (std::max(a.lo()[d], b.lo()[d]) >= std::min(a.hi()[d], b.hi()[d])) {
+          interior_overlap = false;
+          break;
+        }
+      }
+      if (interior_overlap) {
+        return Status::Corruption("sibling regions overlap");
+      }
+    }
+  }
+  for (const NodeEntry& e : node.children) {
+    const Node child = PeekNode(e.child);
+    if (child.level != node.level - 1) {
+      return Status::Corruption("child level mismatch (unbalanced tree)");
+    }
+    RETURN_IF_ERROR(CheckNode(child, e.region, points_seen));
+  }
+  return Status::OK();
+}
+
+}  // namespace srtree

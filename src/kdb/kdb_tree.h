@@ -1,0 +1,156 @@
+// K-D-B-tree (Robinson, SIGMOD 1981) — the disjoint-partition baseline of
+// Section 2.1.
+//
+// Region pages hold disjoint rectangles that exactly partition the parent
+// region; point pages hold the data points. Splitting a region page can
+// force splits of descendants that cross the split plane, which is why the
+// K-D-B-tree cannot guarantee minimum storage utilization — the weakness
+// the paper measures. Following Section 3.1, split planes are chosen
+// R+-tree style (minimizing forced splits) rather than by cyclic dimension
+// choice.
+
+#ifndef SRTREE_KDB_KDB_TREE_H_
+#define SRTREE_KDB_KDB_TREE_H_
+
+#include <vector>
+
+#include "src/geometry/rect.h"
+#include "src/index/knn.h"
+#include "src/index/point_index.h"
+#include "src/storage/page_file.h"
+
+namespace srtree {
+
+class KdbTree : public PointIndex {
+ public:
+  struct Options {
+    int dim = 2;
+    size_t page_size = kDefaultPageSize;
+    size_t leaf_data_size = 512;
+    // The indexed domain; the root region page partitions exactly this
+    // rectangle, so inserts outside it are rejected.
+    double domain_lo = -1e9;
+    double domain_hi = 1e9;
+  };
+
+  explicit KdbTree(const Options& options);
+
+  int dim() const override { return options_.dim; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "K-D-B-tree"; }
+
+  Status Insert(PointView point, uint32_t oid) override;
+
+  // Removes the point. Underfull pages are left in place (the joining
+  // reorganization of Robinson's paper is not needed by any experiment);
+  // the partition invariant is preserved.
+  Status Delete(PointView point, uint32_t oid) override;
+
+  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
+  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
+                                                  int k) override;
+  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
+
+  TreeStats GetTreeStats() const override;
+  Status CheckInvariants() const override;
+
+  // Reports the MBR of the points in each point page (the K-D-B-tree's own
+  // regions tile the whole domain, so their raw volumes are meaningless for
+  // the Figure 5-style comparisons).
+  RegionSummary LeafRegionSummary() const override;
+
+  MaintenanceStats GetMaintenanceStats() const override {
+    return maintenance_;
+  }
+
+  const IoStats& io_stats() const override { return file_.stats(); }
+  void ResetIoStats() override { file_.stats().Reset(); }
+
+  void SimulateBufferPool(size_t capacity) override {
+    file_.SimulateCache(capacity);
+  }
+
+  size_t leaf_capacity() const { return leaf_cap_; }
+  size_t node_capacity() const { return node_cap_; }
+  int height() const { return root_level_ + 1; }
+
+ private:
+  struct LeafEntry {
+    Point point;
+    uint32_t oid;
+  };
+
+  struct NodeEntry {
+    Rect region;
+    PageId child;
+  };
+
+  struct Node {
+    PageId id = kInvalidPageId;
+    int level = 0;
+    std::vector<NodeEntry> children;
+    std::vector<LeafEntry> points;
+
+    bool is_leaf() const { return level == 0; }
+    size_t count() const { return is_leaf() ? points.size() : children.size(); }
+  };
+
+  // --- page I/O ---
+  Node ReadNode(PageId id, int level);
+  Node PeekNode(PageId id) const;
+  void WriteNode(const Node& node);
+  void SerializeNode(const Node& node, char* buf) const;
+  Node DeserializeNode(const char* buf, PageId id) const;
+
+  size_t Capacity(const Node& node) const {
+    return node.is_leaf() ? leaf_cap_ : node_cap_;
+  }
+
+  Rect Domain() const;
+
+  // --- split machinery ---
+  // Splits an over-full node (recursively if a half still overflows) and
+  // appends the resulting (region, child) entries to `out`. `region` is the
+  // region the node was responsible for; the produced entries partition it.
+  void SplitToEntries(Node&& node, const Rect& region,
+                      std::vector<NodeEntry>& out);
+  // Chooses the split plane for an over-full node: point pages split at the
+  // most balanced distinct value on the max-spread dimension; region pages
+  // pick the child boundary minimizing forced splits.
+  void ChoosePlane(const Node& node, const Rect& region, int& dim,
+                   double& value) const;
+  // Splits the subtree rooted at `entry` with the plane <dim, value>, which
+  // strictly crosses its region; returns the two half entries. This is the
+  // "forced split" that propagates downward.
+  std::pair<NodeEntry, NodeEntry> ForceSplit(const NodeEntry& entry,
+                                             int node_level, int dim,
+                                             double value);
+  static Rect ClipLo(const Rect& region, int dim, double value);
+  static Rect ClipHi(const Rect& region, int dim, double value);
+
+  // --- search ---
+  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
+  void SearchRange(PageId id, int level, PointView query, double radius,
+                   std::vector<Neighbor>& out);
+  bool DeleteFrom(PageId id, int level, PointView point, uint32_t oid);
+
+  // --- validation / stats ---
+  Status CheckNode(const Node& node, const Rect& region,
+                   uint64_t& points_seen) const;
+  void CollectStats(const Node& node, TreeStats& stats) const;
+  void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
+
+  Options options_;
+  size_t leaf_cap_;
+  size_t node_cap_;
+
+  mutable PageFile file_;
+  PageId root_id_;
+  int root_level_ = 0;
+  size_t size_ = 0;
+  MaintenanceStats maintenance_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_KDB_KDB_TREE_H_

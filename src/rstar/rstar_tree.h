@@ -1,0 +1,165 @@
+// R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990), used as a
+// point access method exactly as in Section 2.2 of the SR-tree paper.
+//
+// Region shape: minimum bounding rectangles. Insertion uses the R*
+// ChooseSubtree rule (least overlap enlargement at the leaf level, least
+// area enlargement above), the margin-driven topological split, and forced
+// reinsertion of 30% of the entries the first time a level overflows during
+// an insertion.
+
+#ifndef SRTREE_RSTAR_RSTAR_TREE_H_
+#define SRTREE_RSTAR_RSTAR_TREE_H_
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "src/geometry/rect.h"
+#include "src/index/knn.h"
+#include "src/index/point_index.h"
+#include "src/storage/page_file.h"
+
+namespace srtree {
+
+class RStarTree : public PointIndex {
+ public:
+  struct Options {
+    int dim = 2;
+    size_t page_size = kDefaultPageSize;
+    // Attribute payload stored with each point (the paper uses 512 bytes).
+    size_t leaf_data_size = 512;
+    // Minimum node fill as a fraction of capacity (paper: 40%).
+    double min_utilization = 0.4;
+    // Fraction of entries evicted by forced reinsertion (paper: 30%).
+    double reinsert_fraction = 0.3;
+  };
+
+  explicit RStarTree(const Options& options);
+
+  int dim() const override { return options_.dim; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "R*-tree"; }
+
+  Status Insert(PointView point, uint32_t oid) override;
+  Status Delete(PointView point, uint32_t oid) override;
+
+  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
+  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
+                                                  int k) override;
+  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
+
+  TreeStats GetTreeStats() const override;
+  Status CheckInvariants() const override;
+  RegionSummary LeafRegionSummary() const override;
+
+  MaintenanceStats GetMaintenanceStats() const override {
+    return maintenance_;
+  }
+
+  const IoStats& io_stats() const override { return file_.stats(); }
+  void ResetIoStats() override { file_.stats().Reset(); }
+
+  void SimulateBufferPool(size_t capacity) override {
+    file_.SimulateCache(capacity);
+  }
+
+  // Fanout limits implied by the page layout (Table 1 of the paper).
+  size_t leaf_capacity() const { return leaf_cap_; }
+  size_t node_capacity() const { return node_cap_; }
+  int height() const { return root_level_ + 1; }
+
+ private:
+  struct LeafEntry {
+    Point point;
+    uint32_t oid;
+  };
+
+  struct NodeEntry {
+    Rect rect;
+    PageId child;
+  };
+
+  struct Node {
+    PageId id = kInvalidPageId;
+    int level = 0;  // 0 = leaf
+    std::vector<NodeEntry> children;  // level > 0
+    std::vector<LeafEntry> points;    // level == 0
+
+    bool is_leaf() const { return level == 0; }
+    size_t count() const { return is_leaf() ? points.size() : children.size(); }
+  };
+
+  // An entry awaiting (re)insertion at a given level.
+  struct Pending {
+    int level;
+    LeafEntry leaf;   // valid when level == 0
+    NodeEntry node;   // valid when level > 0
+  };
+
+  // --- page I/O ---
+  Node ReadNode(PageId id, int level);
+  Node PeekNode(PageId id) const;  // no I/O accounting
+  void WriteNode(const Node& node);
+  void SerializeNode(const Node& node, char* buf) const;
+  Node DeserializeNode(const char* buf, PageId id) const;
+
+  size_t Capacity(const Node& node) const {
+    return node.is_leaf() ? leaf_cap_ : node_cap_;
+  }
+  size_t MinEntries(const Node& node) const {
+    return node.is_leaf() ? leaf_min_ : node_min_;
+  }
+
+  // --- region helpers ---
+  static Rect EntryRect(const Node& node, size_t i);
+  Rect NodeBoundingRect(const Node& node) const;
+
+  // --- insertion machinery ---
+  void ProcessPending(std::deque<Pending>& pending);
+  void InsertPending(const Pending& item, std::deque<Pending>& pending);
+  int ChooseSubtree(const Node& node, const Rect& entry_rect) const;
+  void ResolvePath(std::vector<Node>& path, std::vector<int>& idx,
+                   std::deque<Pending>& pending);
+  void WritePathRefreshingRects(std::vector<Node>& path,
+                                const std::vector<int>& idx, int from);
+  std::vector<Pending> RemoveForReinsert(Node& node);
+  Node SplitNode(Node& node);
+  void GrowRoot(Node& left, Node& right);
+
+  // --- deletion machinery ---
+  bool FindLeafPath(const Node& node, PointView point, uint32_t oid,
+                    std::vector<Node>& path, std::vector<int>& idx);
+  void CondenseTree(std::vector<Node>& path, std::vector<int>& idx);
+  void ShrinkRoot();
+
+  // --- search ---
+  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
+  void SearchRange(PageId id, int level, PointView query, double radius,
+                   std::vector<Neighbor>& out);
+
+  // --- validation / stats ---
+  Status CheckNode(const Node& node, const Rect* expected_rect,
+                   uint64_t& points_seen) const;
+  void CollectStats(const Node& node, TreeStats& stats) const;
+  void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
+
+  Options options_;
+  size_t leaf_cap_;
+  size_t node_cap_;
+  size_t leaf_min_;
+  size_t node_min_;
+
+  mutable PageFile file_;
+  PageId root_id_;
+  int root_level_ = 0;
+  size_t size_ = 0;
+  MaintenanceStats maintenance_;
+
+  // Levels that already used forced reinsertion during the current
+  // top-level Insert/Delete (the R* "first overflow per level" rule).
+  std::set<int> reinserted_levels_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_RSTAR_RSTAR_TREE_H_

@@ -1,0 +1,79 @@
+#include "src/storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {
+  CHECK(file_ != nullptr);
+  CHECK_GE(capacity_, 1u);
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+BufferPool::Frame& BufferPool::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  frames_[it->id] = lru_.begin();
+  return *lru_.begin();
+}
+
+void BufferPool::EvictIfFull() {
+  if (lru_.size() < capacity_) return;
+  Frame& victim = lru_.back();
+  if (victim.dirty) WriteBack(victim);
+  frames_.erase(victim.id);
+  lru_.pop_back();
+}
+
+void BufferPool::WriteBack(Frame& frame) {
+  file_->Write(frame.id, frame.data.get());
+  frame.dirty = false;
+}
+
+BufferPool::Frame& BufferPool::InsertFrame(PageId id) {
+  EvictIfFull();
+  lru_.push_front(Frame{id, std::make_unique<char[]>(file_->page_size()),
+                        /*dirty=*/false});
+  frames_[id] = lru_.begin();
+  return lru_.front();
+}
+
+void BufferPool::Read(PageId id, char* out, int level) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& frame = Touch(it->second);
+    std::memcpy(out, frame.data.get(), file_->page_size());
+    return;
+  }
+  ++misses_;
+  Frame& frame = InsertFrame(id);
+  file_->Read(id, frame.data.get(), level);
+  std::memcpy(out, frame.data.get(), file_->page_size());
+}
+
+void BufferPool::Write(PageId id, const char* data) {
+  auto it = frames_.find(id);
+  Frame& frame =
+      (it != frames_.end()) ? Touch(it->second) : InsertFrame(id);
+  std::memcpy(frame.data.get(), data, file_->page_size());
+  frame.dirty = true;
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second);
+  frames_.erase(it);
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& frame : lru_) {
+    if (frame.dirty) WriteBack(frame);
+  }
+}
+
+}  // namespace srtree

@@ -1,0 +1,74 @@
+// An LRU buffer pool over a PageFile.
+//
+// The paper's measurements assume uncached reads, so the index structures
+// talk to PageFile directly by default. BufferPool exists for downstream
+// users who want realistic warm-cache behavior: reads served from the pool
+// do not count as disk reads; dirty pages are written back on eviction.
+
+#ifndef SRTREE_STORAGE_BUFFER_POOL_H_
+#define SRTREE_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "src/storage/page_file.h"
+
+namespace srtree {
+
+class BufferPool {
+ public:
+  // `capacity` is the number of pages held in memory; must be >= 1.
+  BufferPool(PageFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  // Reads through the pool. A hit costs no disk read; a miss fetches the
+  // page from the underlying file (counting one read) and may evict the
+  // least recently used frame (writing it back first if dirty).
+  void Read(PageId id, char* out, int level = -1);
+
+  // Writes into the pool; the page is flushed to the file on eviction or
+  // FlushAll(), so back-to-back updates of a hot node cost one disk write.
+  void Write(PageId id, const char* data);
+
+  // Drops the page from the pool without writeback; pair with
+  // PageFile::Free when a node is deleted.
+  void Discard(PageId id);
+
+  // Writes every dirty frame back to the file.
+  void FlushAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    PageId id;
+    std::unique_ptr<char[]> data;
+    bool dirty;
+  };
+
+  using LruList = std::list<Frame>;
+
+  // Moves the frame to the MRU position and returns it.
+  Frame& Touch(LruList::iterator it);
+  Frame& InsertFrame(PageId id);
+  void EvictIfFull();
+  void WriteBack(Frame& frame);
+
+  PageFile* file_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PageId, LruList::iterator> frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,66 @@
+// Disk I/O accounting.
+//
+// The paper's headline query metric is "number of disk reads"; Figure 14
+// additionally splits reads into node-level and leaf-level. Trees pass the
+// level of the page they are fetching (0 = leaf) so both views fall out of
+// the same counters.
+
+#ifndef SRTREE_STORAGE_IO_STATS_H_
+#define SRTREE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace srtree {
+
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  // Reads that would still reach the disk with the simulated LRU cache
+  // enabled (PageFile::SimulateCache); equals `reads` when disabled.
+  uint64_t cache_misses = 0;
+  // reads_by_level[l] counts reads of pages at tree level l (0 = leaf).
+  // Reads with unknown level (level < 0) are counted in `reads` only.
+  std::vector<uint64_t> reads_by_level;
+
+  void RecordRead(int level) {
+    ++reads;
+    ++cache_misses;  // RecordCacheHit undoes this for simulated hits
+    if (level >= 0) {
+      if (static_cast<size_t>(level) >= reads_by_level.size()) {
+        reads_by_level.resize(level + 1, 0);
+      }
+      ++reads_by_level[level];
+    }
+  }
+
+  void RecordCacheHit() { --cache_misses; }
+
+  void RecordWrite() { ++writes; }
+
+  void Reset() {
+    reads = 0;
+    writes = 0;
+    cache_misses = 0;
+    reads_by_level.clear();
+  }
+
+  uint64_t leaf_reads() const {
+    return reads_by_level.empty() ? 0 : reads_by_level[0];
+  }
+
+  uint64_t nonleaf_reads() const {
+    uint64_t total = 0;
+    for (size_t l = 1; l < reads_by_level.size(); ++l) {
+      total += reads_by_level[l];
+    }
+    return total;
+  }
+
+  // Total reads + writes — the paper's "disk accesses" (Figure 9).
+  uint64_t accesses() const { return reads + writes; }
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_STORAGE_IO_STATS_H_

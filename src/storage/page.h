@@ -1,0 +1,102 @@
+// Serialization cursors over fixed-size disk pages.
+//
+// Every tree node is serialized into one 8192-byte page through PageWriter
+// and decoded through PageReader. Bounds are CHECKed: a node layout that
+// does not fit its page is a bug in the capacity computation, not a
+// recoverable error.
+
+#ifndef SRTREE_STORAGE_PAGE_H_
+#define SRTREE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+// Default disk block size; matches the paper's 8192-byte nodes and leaves.
+inline constexpr size_t kDefaultPageSize = 8192;
+
+class PageWriter {
+ public:
+  PageWriter(char* buf, size_t size) : buf_(buf), size_(size) {}
+
+  void PutU8(uint8_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU16(uint16_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  void PutDoubles(std::span<const double> values) {
+    PutRaw(values.data(), values.size() * sizeof(double));
+  }
+
+  // Reserves `n` bytes without writing (e.g. a leaf entry's attribute data
+  // area, whose contents the experiments never inspect but whose space the
+  // fanout computation must account for).
+  void Skip(size_t n) {
+    CHECK_LE(offset_ + n, size_);
+    std::memset(buf_ + offset_, 0, n);
+    offset_ += n;
+  }
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return size_ - offset_; }
+
+ private:
+  void PutRaw(const void* data, size_t n) {
+    CHECK_LE(offset_ + n, size_);
+    std::memcpy(buf_ + offset_, data, n);
+    offset_ += n;
+  }
+
+  char* buf_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+class PageReader {
+ public:
+  PageReader(const char* buf, size_t size) : buf_(buf), size_(size) {}
+
+  uint8_t GetU8() { return Get<uint8_t>(); }
+  uint16_t GetU16() { return Get<uint16_t>(); }
+  uint32_t GetU32() { return Get<uint32_t>(); }
+  uint64_t GetU64() { return Get<uint64_t>(); }
+  double GetDouble() { return Get<double>(); }
+
+  void GetDoubles(std::span<double> out) {
+    GetRaw(out.data(), out.size() * sizeof(double));
+  }
+
+  void Skip(size_t n) {
+    CHECK_LE(offset_ + n, size_);
+    offset_ += n;
+  }
+
+  size_t offset() const { return offset_; }
+
+ private:
+  template <typename T>
+  T Get() {
+    T v;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+
+  void GetRaw(void* out, size_t n) {
+    CHECK_LE(offset_ + n, size_);
+    std::memcpy(out, buf_ + offset_, n);
+    offset_ += n;
+  }
+
+  const char* buf_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_STORAGE_PAGE_H_

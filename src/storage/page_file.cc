@@ -1,0 +1,168 @@
+#include "src/storage/page_file.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/common/check.h"
+
+namespace srtree {
+namespace {
+
+// Image header: magic + version guard against loading foreign files.
+constexpr uint32_t kPageFileMagic = 0x53525046;  // "SRPF"
+constexpr uint32_t kPageFileVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+}  // namespace
+
+PageFile::PageFile(size_t page_size) : page_size_(page_size) {
+  CHECK_GT(page_size_, 0u);
+}
+
+PageId PageFile::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(pages_[id].get(), 0, page_size_);
+    live_[id] = true;
+    ++live_pages_;
+    return id;
+  }
+  const PageId id = static_cast<PageId>(pages_.size());
+  pages_.push_back(std::make_unique<char[]>(page_size_));
+  live_.push_back(true);
+  ++live_pages_;
+  return id;
+}
+
+void PageFile::Free(PageId id) {
+  CHECK(IsLive(id));
+  live_[id] = false;
+  --live_pages_;
+  free_list_.push_back(id);
+}
+
+bool PageFile::IsLive(PageId id) const {
+  return id < pages_.size() && live_[id];
+}
+
+void PageFile::Read(PageId id, char* out, int level) {
+  CHECK(IsLive(id));
+  std::memcpy(out, pages_[id].get(), page_size_);
+  stats_.RecordRead(level);
+  if (cache_capacity_ > 0) TouchCache(id);
+}
+
+void PageFile::SimulateCache(size_t capacity) {
+  cache_capacity_ = capacity;
+  cache_lru_.clear();
+  cache_index_.clear();
+}
+
+void PageFile::TouchCache(PageId id) {
+  const auto it = cache_index_.find(id);
+  if (it != cache_index_.end()) {
+    stats_.RecordCacheHit();  // the cache would have served this read
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.push_front(id);
+  cache_index_[id] = cache_lru_.begin();
+  if (cache_lru_.size() > cache_capacity_) {
+    cache_index_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+void PageFile::Write(PageId id, const char* data) {
+  CHECK(IsLive(id));
+  std::memcpy(pages_[id].get(), data, page_size_);
+  stats_.RecordWrite();
+}
+
+const char* PageFile::PeekPage(PageId id) const {
+  CHECK(IsLive(id));
+  return pages_[id].get();
+}
+
+char* PageFile::MutablePageForTest(PageId id) {
+  CHECK(IsLive(id));
+  return pages_[id].get();
+}
+
+Status PageFile::SaveTo(std::ostream& out) const {
+  WritePod(out, kPageFileMagic);
+  WritePod(out, kPageFileVersion);
+  WritePod(out, static_cast<uint64_t>(page_size_));
+  WritePod(out, static_cast<uint64_t>(pages_.size()));
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    const uint8_t live = live_[i] ? 1 : 0;
+    WritePod(out, live);
+    if (live) out.write(pages_[i].get(), page_size_);
+  }
+  if (!out.good()) return Status::IoError("short write while saving pages");
+  return Status::OK();
+}
+
+Status PageFile::LoadFrom(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  uint64_t page_size = 0, page_count = 0;
+  if (!ReadPod(in, &magic) || magic != kPageFileMagic) {
+    return Status::Corruption("not a page-file image (bad magic)");
+  }
+  if (!ReadPod(in, &version) || version != kPageFileVersion) {
+    return Status::Corruption("unsupported page-file image version");
+  }
+  if (!ReadPod(in, &page_size) || !ReadPod(in, &page_count)) {
+    return Status::Corruption("truncated page-file header");
+  }
+  if (page_size != page_size_) {
+    return Status::InvalidArgument("image page size does not match");
+  }
+
+  pages_.clear();
+  live_.clear();
+  free_list_.clear();
+  live_pages_ = 0;
+  for (uint64_t i = 0; i < page_count; ++i) {
+    uint8_t live = 0;
+    if (!ReadPod(in, &live)) {
+      return Status::Corruption("truncated page-file image");
+    }
+    pages_.push_back(std::make_unique<char[]>(page_size_));
+    live_.push_back(live != 0);
+    if (live) {
+      in.read(pages_.back().get(), page_size_);
+      if (!in.good()) return Status::Corruption("truncated page contents");
+      ++live_pages_;
+    } else {
+      free_list_.push_back(static_cast<PageId>(i));
+    }
+  }
+  stats_.Reset();
+  return Status::OK();
+}
+
+Status PageFile::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return SaveTo(out);
+}
+
+Status PageFile::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return LoadFrom(in);
+}
+
+}  // namespace srtree

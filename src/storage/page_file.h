@@ -1,0 +1,102 @@
+// PageFile: a simulated disk of fixed-size blocks.
+//
+// This is the substrate every index structure is built on. It behaves like a
+// 1997 raw-device file: pages are allocated/freed by id, and every Read()/
+// Write() is counted as one disk access (no caching — the paper's numbers
+// assume cold reads per query). An optional BufferPool (buffer_pool.h) can
+// be layered on top when caching behavior is wanted.
+//
+// Storage is in memory; the simulation is about *counting* block transfers
+// and enforcing that each node physically fits one block, not about actual
+// persistence.
+
+#ifndef SRTREE_STORAGE_PAGE_FILE_H_
+#define SRTREE_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/io_stats.h"
+#include "src/storage/page.h"
+
+namespace srtree {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+class PageFile {
+ public:
+  explicit PageFile(size_t page_size = kDefaultPageSize);
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  // Allocates a zeroed page and returns its id (free pages are recycled).
+  PageId Allocate();
+
+  // Returns a page to the free list. The id must be live.
+  void Free(PageId id);
+
+  // Copies the page into `out` (page_size bytes) and counts one disk read.
+  // `level` tags the read for the per-level breakdown (0 = leaf, -1 =
+  // unknown).
+  void Read(PageId id, char* out, int level = -1);
+
+  // Copies `data` (page_size bytes) into the page and counts one write.
+  void Write(PageId id, const char* data);
+
+  // Enables a simulated LRU cache of `capacity` pages: subsequent Read()s
+  // still count in IoStats::reads, but IoStats::cache_misses only counts
+  // reads the cache would not have served. Capacity 0 disables the
+  // simulation. Used by the buffer-pool extension bench; the data path is
+  // unchanged (contents are always served).
+  void SimulateCache(size_t capacity);
+
+  // Direct access to page bytes with NO I/O accounting. For invariant
+  // checkers and offline statistics walkers only — never in query or
+  // update paths.
+  const char* PeekPage(PageId id) const;
+  char* MutablePageForTest(PageId id);
+
+  // Serializes the whole simulated disk (page size, allocation state, page
+  // contents) to a stream/file; LoadFrom replaces this PageFile's contents
+  // with a previously saved image. I/O counters are not persisted. These
+  // are the substrate of the index structures' Save/Open.
+  Status SaveTo(std::ostream& out) const;
+  Status LoadFrom(std::istream& in);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  // Number of currently live (allocated and not freed) pages.
+  size_t live_pages() const { return live_pages_; }
+
+ private:
+  bool IsLive(PageId id) const;
+
+  void TouchCache(PageId id);
+
+  size_t page_size_;
+  size_t cache_capacity_ = 0;
+  std::list<PageId> cache_lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<PageId>::iterator> cache_index_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  size_t live_pages_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,436 @@
+#include "src/vamsplit/vam_split_r_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace srtree {
+namespace {
+
+constexpr size_t kHeaderBytes = 8;
+
+}  // namespace
+
+VamSplitRTree::VamSplitRTree(const Options& options) : options_(options), file_(options.page_size) {
+  CHECK_GT(options_.dim, 0);
+  const size_t dim = static_cast<size_t>(options_.dim);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + options_.leaf_data_size;
+  const size_t node_entry = 2 * dim * sizeof(double) + sizeof(uint32_t);
+  leaf_cap_ = (options_.page_size - kHeaderBytes) / leaf_entry;
+  node_cap_ = (options_.page_size - kHeaderBytes) / node_entry;
+  CHECK_GE(leaf_cap_, 2u);
+  CHECK_GE(node_cap_, 2u);
+
+  Node root;
+  root.id = file_.Allocate();
+  root.level = 0;
+  WriteNode(root);
+  root_id_ = root.id;
+}
+
+// --------------------------------------------------------------------------
+// Page I/O
+// --------------------------------------------------------------------------
+
+void VamSplitRTree::SerializeNode(const Node& node, char* buf) const {
+  CHECK_LE(node.count(), Capacity(node));
+  PageWriter w(buf, options_.page_size);
+  w.PutU8(static_cast<uint8_t>(node.level));
+  w.PutU8(0);
+  w.PutU16(static_cast<uint16_t>(node.count()));
+  w.PutU32(0);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      w.PutDoubles(e.point);
+      w.PutU32(e.oid);
+      w.Skip(options_.leaf_data_size);
+    }
+  } else {
+    for (const NodeEntry& e : node.children) {
+      w.PutDoubles(e.rect.lo());
+      w.PutDoubles(e.rect.hi());
+      w.PutU32(e.child);
+    }
+  }
+}
+
+VamSplitRTree::Node VamSplitRTree::DeserializeNode(const char* buf,
+                                                   PageId id) const {
+  PageReader r(buf, options_.page_size);
+  Node node;
+  node.id = id;
+  node.level = r.GetU8();
+  r.GetU8();
+  const size_t count = r.GetU16();
+  r.GetU32();
+  const size_t dim = static_cast<size_t>(options_.dim);
+  if (node.level == 0) {
+    node.points.resize(count);
+    for (LeafEntry& e : node.points) {
+      e.point.resize(dim);
+      r.GetDoubles(e.point);
+      e.oid = r.GetU32();
+      r.Skip(options_.leaf_data_size);
+    }
+  } else {
+    node.children.resize(count);
+    for (NodeEntry& e : node.children) {
+      Point lo(dim), hi(dim);
+      r.GetDoubles(lo);
+      r.GetDoubles(hi);
+      e.rect = Rect(std::move(lo), std::move(hi));
+      e.child = r.GetU32();
+    }
+  }
+  return node;
+}
+
+VamSplitRTree::Node VamSplitRTree::ReadNode(PageId id, int level) {
+  std::vector<char> buf(options_.page_size);
+  file_.Read(id, buf.data(), level);
+  Node node = DeserializeNode(buf.data(), id);
+  DCHECK_EQ(node.level, level);
+  return node;
+}
+
+VamSplitRTree::Node VamSplitRTree::PeekNode(PageId id) const {
+  return DeserializeNode(file_.PeekPage(id), id);
+}
+
+void VamSplitRTree::WriteNode(const Node& node) {
+  std::vector<char> buf(options_.page_size);
+  SerializeNode(node, buf.data());
+  file_.Write(node.id, buf.data());
+}
+
+// --------------------------------------------------------------------------
+// Construction
+// --------------------------------------------------------------------------
+
+Status VamSplitRTree::Insert(PointView, uint32_t) {
+  return Status::Unimplemented(
+      "VAMSplit R-tree is static; rebuild with BulkLoad");
+}
+
+Status VamSplitRTree::Delete(PointView, uint32_t) {
+  return Status::Unimplemented(
+      "VAMSplit R-tree is static; rebuild with BulkLoad");
+}
+
+uint64_t VamSplitRTree::SubtreeCapacity(int height) const {
+  uint64_t cap = leaf_cap_;
+  for (int h = 0; h < height; ++h) cap *= node_cap_;
+  return cap;
+}
+
+Status VamSplitRTree::BulkLoad(const std::vector<Point>& points,
+                               const std::vector<uint32_t>& oids) {
+  if (points.size() != oids.size()) {
+    return Status::InvalidArgument("points/oids size mismatch");
+  }
+  if (size_ != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty index");
+  }
+  for (const Point& p : points) {
+    if (static_cast<int>(p.size()) != options_.dim) {
+      return Status::InvalidArgument("point dimensionality mismatch");
+    }
+  }
+  if (points.size() > 0xffffffffull) {
+    return Status::InvalidArgument("too many points for 32-bit object slots");
+  }
+  if (points.empty()) return Status::OK();
+
+  int height = 0;
+  while (SubtreeCapacity(height) < points.size()) ++height;
+
+  std::vector<uint32_t> items(points.size());
+  std::iota(items.begin(), items.end(), 0);
+
+  file_.Free(root_id_);  // replace the empty placeholder root
+  Rect mbr = Rect::Empty(options_.dim);
+  root_id_ = Build(points, oids, items, height, mbr);
+  root_level_ = height;
+  size_ = points.size();
+  return Status::OK();
+}
+
+int VamSplitRTree::MaxVarianceDim(const std::vector<Point>& points,
+                                  ItemSpan items) const {
+  int best_dim = 0;
+  double best_var = -1.0;
+  for (int d = 0; d < options_.dim; ++d) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const uint32_t i : items) {
+      const double x = points[i][d];
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double n = static_cast<double>(items.size());
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    if (var > best_var) {
+      best_var = var;
+      best_dim = d;
+    }
+  }
+  return best_dim;
+}
+
+void VamSplitRTree::SplitIntoPieces(const std::vector<Point>& points,
+                                    ItemSpan items, uint64_t piece_cap,
+                                    std::vector<ItemSpan>& pieces) const {
+  if (items.size() <= piece_cap) {
+    pieces.push_back(items);
+    return;
+  }
+  const int dim = MaxVarianceDim(points, items);
+  // The VAM split point: the multiple of the maximal-subtree capacity
+  // closest to the median, so that the left side packs full subtrees and
+  // the total number of blocks is minimal.
+  const uint64_t n = items.size();
+  uint64_t mult = static_cast<uint64_t>(
+      std::llround(static_cast<double>(n) / 2.0 / static_cast<double>(piece_cap)));
+  mult = std::max<uint64_t>(mult, 1);
+  uint64_t left = mult * piece_cap;
+  if (left >= n) left = ((n - 1) / piece_cap) * piece_cap;
+  CHECK_GT(left, 0u);
+  CHECK_LT(left, n);
+
+  std::nth_element(items.begin(),
+                   items.begin() + static_cast<ptrdiff_t>(left), items.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return points[a][dim] < points[b][dim];
+                   });
+  SplitIntoPieces(points, items.subspan(0, left), piece_cap, pieces);
+  SplitIntoPieces(points, items.subspan(left), piece_cap, pieces);
+}
+
+PageId VamSplitRTree::Build(const std::vector<Point>& points,
+                            const std::vector<uint32_t>& oids, ItemSpan items,
+                            int height, Rect& mbr) {
+  mbr = Rect::Empty(options_.dim);
+  if (height == 0) {
+    CHECK_LE(items.size(), leaf_cap_);
+    Node leaf;
+    leaf.id = file_.Allocate();
+    leaf.level = 0;
+    for (const uint32_t i : items) {
+      leaf.points.push_back(LeafEntry{points[i], oids[i]});
+      mbr.Expand(points[i]);
+    }
+    WriteNode(leaf);
+    return leaf.id;
+  }
+
+  std::vector<ItemSpan> pieces;
+  SplitIntoPieces(points, items, SubtreeCapacity(height - 1), pieces);
+  CHECK_LE(pieces.size(), node_cap_);
+
+  Node node;
+  node.id = file_.Allocate();
+  node.level = height;
+  for (const ItemSpan piece : pieces) {
+    Rect child_mbr = Rect::Empty(options_.dim);
+    const PageId child = Build(points, oids, piece, height - 1, child_mbr);
+    node.children.push_back(NodeEntry{child_mbr, child});
+    mbr.Expand(child_mbr);
+  }
+  WriteNode(node);
+  return node.id;
+}
+
+// --------------------------------------------------------------------------
+// Search
+// --------------------------------------------------------------------------
+
+std::vector<Neighbor> VamSplitRTree::NearestNeighbors(PointView query, int k) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  KnnCandidates candidates(k);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  return candidates.TakeSorted();
+}
+
+void VamSplitRTree::SearchKnn(PageId id, int level, PointView query,
+                              KnnCandidates& cand) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      cand.Offer(Distance(e.point, query), e.oid);
+    }
+    return;
+  }
+  std::vector<std::pair<double, size_t>> order(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    order[i] = {std::sqrt(node.children[i].rect.MinDistSq(query)), i};
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [mindist, i] : order) {
+    if (mindist > cand.PruneDistance()) break;
+    SearchKnn(node.children[i].child, level - 1, query, cand);
+  }
+}
+
+
+std::vector<Neighbor> VamSplitRTree::NearestNeighborsBestFirst(PointView query,
+                                                       int k) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  KnnCandidates candidates(k);
+  if (size_ == 0) return candidates.TakeSorted();
+
+  // Global best-first traversal: always expand the pending subtree with the
+  // smallest MINDIST. Stops once that bound exceeds the k-th candidate.
+  struct Pending {
+    double mindist;
+    PageId id;
+    int level;
+    bool operator>(const Pending& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      frontier;
+  frontier.push(Pending{0.0, root_id_, root_level_});
+  while (!frontier.empty()) {
+    const Pending next = frontier.top();
+    frontier.pop();
+    if (next.mindist > candidates.PruneDistance()) break;
+    Node node = ReadNode(next.id, next.level);
+    if (node.is_leaf()) {
+      for (const LeafEntry& e : node.points) {
+        candidates.Offer(Distance(e.point, query), e.oid);
+      }
+      continue;
+    }
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const double d = std::sqrt(node.children[i].rect.MinDistSq(query));
+      if (d <= candidates.PruneDistance()) {
+        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      }
+    }
+  }
+  return candidates.TakeSorted();
+}
+
+std::vector<Neighbor> VamSplitRTree::RangeSearch(PointView query,
+                                                 double radius) {
+  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  std::vector<Neighbor> result;
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.oid < b.oid;
+            });
+  return result;
+}
+
+void VamSplitRTree::SearchRange(PageId id, int level, PointView query,
+                                double radius, std::vector<Neighbor>& out) {
+  Node node = ReadNode(id, level);
+  if (node.is_leaf()) {
+    for (const LeafEntry& e : node.points) {
+      const double d = Distance(e.point, query);
+      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    }
+    return;
+  }
+  for (const NodeEntry& e : node.children) {
+    if (std::sqrt(e.rect.MinDistSq(query)) <= radius) {
+      SearchRange(e.child, level - 1, query, radius, out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Stats & validation
+// --------------------------------------------------------------------------
+
+TreeStats VamSplitRTree::GetTreeStats() const {
+  TreeStats stats;
+  stats.height = root_level_ + 1;
+  CollectStats(PeekNode(root_id_), stats);
+  return stats;
+}
+
+void VamSplitRTree::CollectStats(const Node& node, TreeStats& stats) const {
+  if (node.is_leaf()) {
+    ++stats.leaf_count;
+    stats.entry_count += node.points.size();
+    return;
+  }
+  ++stats.node_count;
+  for (const NodeEntry& e : node.children) {
+    CollectStats(PeekNode(e.child), stats);
+  }
+}
+
+RegionSummary VamSplitRTree::LeafRegionSummary() const {
+  RegionStatsCollector collector;
+  CollectRegions(PeekNode(root_id_), collector);
+  return collector.Finish();
+}
+
+void VamSplitRTree::CollectRegions(const Node& node,
+                                   RegionStatsCollector& collector) const {
+  if (node.is_leaf()) {
+    if (node.points.empty()) return;
+    collector.CountLeaf();
+    Rect bound = Rect::Empty(options_.dim);
+    for (const LeafEntry& e : node.points) bound.Expand(e.point);
+    collector.AddRect(bound);
+    return;
+  }
+  for (const NodeEntry& e : node.children) {
+    CollectRegions(PeekNode(e.child), collector);
+  }
+}
+
+Status VamSplitRTree::CheckInvariants() const {
+  uint64_t points_seen = 0;
+  const Node root = PeekNode(root_id_);
+  if (root.level != root_level_) {
+    return Status::Corruption("root level mismatch");
+  }
+  RETURN_IF_ERROR(CheckNode(root, /*expected_rect=*/nullptr, points_seen));
+  if (points_seen != size_) {
+    return Status::Corruption("point count mismatch");
+  }
+  return Status::OK();
+}
+
+Status VamSplitRTree::CheckNode(const Node& node, const Rect* expected_rect,
+                                uint64_t& points_seen) const {
+  if (node.count() > Capacity(node)) {
+    return Status::Corruption("node above capacity");
+  }
+  if (expected_rect != nullptr || node.count() > 0) {
+    Rect actual = Rect::Empty(options_.dim);
+    if (node.is_leaf()) {
+      for (const LeafEntry& e : node.points) actual.Expand(e.point);
+    } else {
+      for (const NodeEntry& e : node.children) actual.Expand(e.rect);
+    }
+    if (expected_rect != nullptr && !(actual == *expected_rect)) {
+      return Status::Corruption("parent entry rect is not the exact MBR");
+    }
+  }
+  if (node.is_leaf()) {
+    points_seen += node.points.size();
+    return Status::OK();
+  }
+  for (const NodeEntry& e : node.children) {
+    const Node child = PeekNode(e.child);
+    if (child.level != node.level - 1) {
+      return Status::Corruption("child level mismatch (unbalanced tree)");
+    }
+    RETURN_IF_ERROR(CheckNode(child, &e.rect, points_seen));
+  }
+  return Status::OK();
+}
+
+}  // namespace srtree

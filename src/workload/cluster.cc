@@ -1,0 +1,31 @@
+#include "src/workload/cluster.h"
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace srtree {
+
+Dataset MakeClusterDataset(const ClusterConfig& config) {
+  CHECK_GT(config.num_clusters, 0u);
+  CHECK_GT(config.points_per_cluster, 0u);
+  CHECK_GT(config.dim, 0);
+  Xoshiro256 rng(config.seed);
+  Dataset data(config.dim);
+  Point p(config.dim);
+  for (size_t c = 0; c < config.num_clusters; ++c) {
+    Point center(config.dim);
+    for (double& coord : center) coord = rng.NextDouble();
+    const double radius = rng.Uniform(0.0, config.max_radius);
+    for (size_t i = 0; i < config.points_per_cluster; ++i) {
+      const std::vector<double> dir = rng.OnUnitSphere(config.dim);
+      const double shift = rng.NextDouble();  // shift along the radius
+      for (int d = 0; d < config.dim; ++d) {
+        p[d] = center[d] + shift * radius * dir[d];
+      }
+      data.Append(p);
+    }
+  }
+  return data;
+}
+
+}  // namespace srtree

@@ -1,0 +1,28 @@
+// Cluster data set (Section 5.4): a fixed number of points per cluster; the
+// location and radius of each cluster are chosen randomly within the unit
+// cube; each point is generated uniformly on the cluster's sphere surface
+// and then shifted along the radius by a uniform factor.
+
+#ifndef SRTREE_WORKLOAD_CLUSTER_H_
+#define SRTREE_WORKLOAD_CLUSTER_H_
+
+#include <cstdint>
+
+#include "src/workload/dataset.h"
+
+namespace srtree {
+
+struct ClusterConfig {
+  size_t num_clusters = 100;
+  size_t points_per_cluster = 1000;
+  int dim = 16;
+  // Cluster radii are drawn uniformly from (0, max_radius].
+  double max_radius = 0.5;
+  uint64_t seed = 1;
+};
+
+Dataset MakeClusterDataset(const ClusterConfig& config);
+
+}  // namespace srtree
+
+#endif  // SRTREE_WORKLOAD_CLUSTER_H_

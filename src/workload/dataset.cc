@@ -1,0 +1,124 @@
+#include "src/workload/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace srtree {
+
+void Dataset::Append(PointView p) {
+  CHECK_EQ(static_cast<int>(p.size()), dim_);
+  flat_.insert(flat_.end(), p.begin(), p.end());
+}
+
+std::vector<Point> Dataset::ToPoints() const {
+  std::vector<Point> points;
+  points.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    const PointView v = point(i);
+    points.emplace_back(v.begin(), v.end());
+  }
+  return points;
+}
+
+std::vector<uint32_t> Dataset::SequentialOids() const {
+  std::vector<uint32_t> oids(size());
+  std::iota(oids.begin(), oids.end(), 0u);
+  return oids;
+}
+
+StatusOr<Dataset> LoadCsvDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  Dataset data;
+  std::string line;
+  Point row;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    row.clear();
+    std::stringstream cells(line);
+    std::string cell;
+    while (std::getline(cells, cell, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::InvalidArgument(path + ":" +
+                                       std::to_string(line_number) +
+                                       ": not a number: '" + cell + "'");
+      }
+      row.push_back(value);
+    }
+    if (row.empty()) continue;
+    if (data.dim() == 0) {
+      data = Dataset(static_cast<int>(row.size()));
+    } else if (static_cast<int>(row.size()) != data.dim()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(data.dim()) + " columns, got " +
+          std::to_string(row.size()));
+    }
+    data.Append(row);
+  }
+  if (data.size() == 0) return Status::InvalidArgument("empty CSV: " + path);
+  return data;
+}
+
+Status SaveCsvDataset(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  char buf[64];
+  for (size_t i = 0; i < data.size(); ++i) {
+    const PointView p = data.point(i);
+    std::string line;
+    for (int d = 0; d < data.dim(); ++d) {
+      if (d > 0) line += ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", p[d]);
+      line += buf;
+    }
+    out << line << '\n';
+  }
+  if (!out.good()) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+DistanceStats ComputePairwiseDistances(const Dataset& data, size_t sample_size,
+                                       uint64_t seed) {
+  CHECK_GE(data.size(), 2u);
+  std::vector<size_t> sample(data.size());
+  std::iota(sample.begin(), sample.end(), 0u);
+  if (data.size() > sample_size) {
+    Xoshiro256 rng(seed);
+    // Partial Fisher-Yates: the first sample_size slots become the sample.
+    for (size_t i = 0; i < sample_size; ++i) {
+      const size_t j = i + rng.NextBounded(data.size() - i);
+      std::swap(sample[i], sample[j]);
+    }
+    sample.resize(sample_size);
+  }
+
+  DistanceStats stats;
+  stats.min = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  uint64_t pairs = 0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      const double d = Distance(data.point(sample[i]), data.point(sample[j]));
+      stats.min = std::min(stats.min, d);
+      stats.max = std::max(stats.max, d);
+      sum += d;
+      ++pairs;
+    }
+  }
+  stats.avg = sum / static_cast<double>(pairs);
+  return stats;
+}
+
+}  // namespace srtree

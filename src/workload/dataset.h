@@ -1,0 +1,66 @@
+// Dataset: a flat, dimension-tagged collection of points plus helpers the
+// experiments need (sampling, pairwise-distance statistics).
+
+#ifndef SRTREE_WORKLOAD_DATASET_H_
+#define SRTREE_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/geometry/point.h"
+
+namespace srtree {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(int dim) : dim_(dim) {}
+
+  int dim() const { return dim_; }
+  size_t size() const {
+    return dim_ == 0 ? 0 : flat_.size() / static_cast<size_t>(dim_);
+  }
+
+  PointView point(size_t i) const {
+    return PointView(flat_.data() + i * static_cast<size_t>(dim_),
+                     static_cast<size_t>(dim_));
+  }
+
+  void Append(PointView p);
+
+  // Materializes owning copies (for PointIndex::BulkLoad).
+  std::vector<Point> ToPoints() const;
+  std::vector<uint32_t> SequentialOids() const;
+
+ private:
+  int dim_ = 0;
+  std::vector<double> flat_;
+};
+
+// Reads a dataset from a CSV file: one point per line, comma-separated
+// coordinates, optional blank lines and '#' comments. All rows must have
+// the same number of columns, which becomes the dimensionality.
+StatusOr<Dataset> LoadCsvDataset(const std::string& path);
+
+// Writes a dataset in the same format.
+Status SaveCsvDataset(const Dataset& data, const std::string& path);
+
+// Minimum / average / maximum pairwise Euclidean distance (Figure 17).
+struct DistanceStats {
+  double min = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+};
+
+// Computes pairwise-distance statistics exactly over all pairs of a random
+// sample of at most `sample_size` points (the statistic concentrates, which
+// is exactly what Figure 17 demonstrates).
+DistanceStats ComputePairwiseDistances(const Dataset& data, size_t sample_size,
+                                       uint64_t seed);
+
+}  // namespace srtree
+
+#endif  // SRTREE_WORKLOAD_DATASET_H_

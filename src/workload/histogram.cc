@@ -1,0 +1,59 @@
+#include "src/workload/histogram.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace srtree {
+namespace {
+
+// Dirichlet(alpha_i) sample via normalized Gamma draws.
+Point SampleDirichlet(Xoshiro256& rng, const std::vector<double>& alpha) {
+  Point p(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    p[i] = rng.Gamma(alpha[i]);
+    total += p[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate draw (all gammas underflowed); fall back to uniform.
+    for (double& x : p) x = 1.0;
+    total = static_cast<double>(p.size());
+  }
+  for (double& x : p) x /= total;
+  return p;
+}
+
+}  // namespace
+
+Dataset MakeHistogramDataset(const HistogramConfig& config) {
+  CHECK_GT(config.dim, 0);
+  CHECK_GT(config.num_scenes, 0u);
+  Xoshiro256 rng(config.seed);
+
+  // Scene prototypes: sparse histograms.
+  const std::vector<double> prior(config.dim, config.prototype_alpha);
+  std::vector<Point> prototypes;
+  prototypes.reserve(config.num_scenes);
+  for (size_t s = 0; s < config.num_scenes; ++s) {
+    prototypes.push_back(SampleDirichlet(rng, prior));
+  }
+
+  const ZipfTable zipf(static_cast<int>(config.num_scenes),
+                       config.zipf_exponent);
+
+  Dataset data(config.dim);
+  std::vector<double> alpha(config.dim);
+  for (size_t i = 0; i < config.n; ++i) {
+    const Point& proto = prototypes[zipf.Sample(rng)];
+    for (int d = 0; d < config.dim; ++d) {
+      // Keep a small floor so no bin's Gamma shape collapses to zero.
+      alpha[d] = config.concentration * proto[d] + 0.05;
+    }
+    data.Append(SampleDirichlet(rng, alpha));
+  }
+  return data;
+}
+
+}  // namespace srtree

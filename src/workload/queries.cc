@@ -1,0 +1,33 @@
+#include "src/workload/queries.h"
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace srtree {
+
+std::vector<Point> SampleQueriesFromDataset(const Dataset& data, size_t count,
+                                            uint64_t seed) {
+  CHECK_GT(data.size(), 0u);
+  Xoshiro256 rng(seed);
+  std::vector<Point> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PointView p = data.point(rng.NextBounded(data.size()));
+    queries.emplace_back(p.begin(), p.end());
+  }
+  return queries;
+}
+
+std::vector<Point> SampleUniformQueries(int dim, size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Point> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Point p(dim);
+    for (double& coord : p) coord = rng.NextDouble();
+    queries.push_back(std::move(p));
+  }
+  return queries;
+}
+
+}  // namespace srtree

@@ -1,0 +1,26 @@
+// Query workloads: the paper evaluates k-NN queries whose anchors are
+// random points drawn from the data set itself ("relative to a particular
+// point in the data set", Section 3.1), averaged over many trials.
+
+#ifndef SRTREE_WORKLOAD_QUERIES_H_
+#define SRTREE_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/dataset.h"
+
+namespace srtree {
+
+// Samples `count` query points from the data set (with replacement, as in
+// "1,000 random trials").
+std::vector<Point> SampleQueriesFromDataset(const Dataset& data, size_t count,
+                                            uint64_t seed);
+
+// Samples `count` query points uniformly from [0,1)^dim (for workloads that
+// want out-of-dataset anchors).
+std::vector<Point> SampleUniformQueries(int dim, size_t count, uint64_t seed);
+
+}  // namespace srtree
+
+#endif  // SRTREE_WORKLOAD_QUERIES_H_

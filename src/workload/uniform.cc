@@ -1,0 +1,18 @@
+#include "src/workload/uniform.h"
+
+#include "src/common/random.h"
+
+namespace srtree {
+
+Dataset MakeUniformDataset(size_t n, int dim, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Dataset data(dim);
+  Point p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (double& coord : p) coord = rng.NextDouble();
+    data.Append(p);
+  }
+  return data;
+}
+
+}  // namespace srtree

@@ -1,0 +1,16 @@
+// Uniform data set: points i.i.d. uniform in [0,1)^dim (Section 3.1).
+
+#ifndef SRTREE_WORKLOAD_UNIFORM_H_
+#define SRTREE_WORKLOAD_UNIFORM_H_
+
+#include <cstdint>
+
+#include "src/workload/dataset.h"
+
+namespace srtree {
+
+Dataset MakeUniformDataset(size_t n, int dim, uint64_t seed);
+
+}  // namespace srtree
+
+#endif  // SRTREE_WORKLOAD_UNIFORM_H_

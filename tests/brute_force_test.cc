@@ -1,0 +1,75 @@
+#include "src/index/brute_force.h"
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+BruteForceIndex MakeIndex2D() {
+  BruteForceIndex::Options options;
+  options.dim = 2;
+  return BruteForceIndex(options);
+}
+
+TEST(BruteForceTest, InsertAndQuery) {
+  BruteForceIndex index = MakeIndex2D();
+  ASSERT_TRUE(index.Insert(Point{0.0, 0.0}, 1).ok());
+  ASSERT_TRUE(index.Insert(Point{1.0, 0.0}, 2).ok());
+  ASSERT_TRUE(index.Insert(Point{5.0, 5.0}, 3).ok());
+  EXPECT_EQ(index.size(), 3u);
+
+  const std::vector<Neighbor> result =
+      index.NearestNeighbors(Point{0.1, 0.0}, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].oid, 1u);
+  EXPECT_EQ(result[1].oid, 2u);
+}
+
+TEST(BruteForceTest, DimMismatchRejected) {
+  BruteForceIndex index = MakeIndex2D();
+  EXPECT_TRUE(index.Insert(Point{1.0, 2.0, 3.0}, 1).IsInvalidArgument());
+}
+
+TEST(BruteForceTest, RangeSearchSortedByDistance) {
+  BruteForceIndex index = MakeIndex2D();
+  ASSERT_TRUE(index.Insert(Point{3.0, 0.0}, 1).ok());
+  ASSERT_TRUE(index.Insert(Point{1.0, 0.0}, 2).ok());
+  ASSERT_TRUE(index.Insert(Point{9.0, 0.0}, 3).ok());
+  const std::vector<Neighbor> result =
+      index.RangeSearch(Point{0.0, 0.0}, 4.0);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].oid, 2u);
+  EXPECT_EQ(result[1].oid, 1u);
+}
+
+TEST(BruteForceTest, DeleteRemovesExactPair) {
+  BruteForceIndex index = MakeIndex2D();
+  ASSERT_TRUE(index.Insert(Point{1.0, 1.0}, 1).ok());
+  ASSERT_TRUE(index.Insert(Point{1.0, 1.0}, 2).ok());
+  EXPECT_TRUE(index.Delete(Point{1.0, 1.0}, 3).IsNotFound());
+  ASSERT_TRUE(index.Delete(Point{1.0, 1.0}, 1).ok());
+  EXPECT_EQ(index.size(), 1u);
+  const std::vector<Neighbor> result =
+      index.NearestNeighbors(Point{1.0, 1.0}, 5);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].oid, 2u);
+}
+
+TEST(BruteForceTest, ScanChargesSequentialPages) {
+  BruteForceIndex::Options options;
+  options.dim = 16;
+  options.page_size = 8192;
+  options.leaf_data_size = 512;
+  BruteForceIndex index(options);
+  // 12 entries per 8 KB page (16 doubles + oid + 512-byte payload).
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(index.Insert(Point(16, i * 0.01), i).ok());
+  }
+  index.ResetIoStats();
+  (void)index.NearestNeighbors(Point(16, 0.0), 1);
+  EXPECT_EQ(index.io_stats().reads, 3u);  // ceil(25 / 12)
+  EXPECT_EQ(index.io_stats().leaf_reads(), 3u);
+}
+
+}  // namespace
+}  // namespace srtree

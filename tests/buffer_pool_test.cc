@@ -1,0 +1,96 @@
+#include "src/storage/buffer_pool.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(BufferPoolTest, HitsAvoidDiskReads) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  std::vector<char> data(64, 'a');
+  file.Write(a, data.data());
+  file.stats().Reset();
+
+  BufferPool pool(&file, 4);
+  std::vector<char> out(64);
+  pool.Read(a, out.data());
+  pool.Read(a, out.data());
+  pool.Read(a, out.data());
+  EXPECT_EQ(file.stats().reads, 1u);  // only the first miss hit the disk
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  const PageId c = file.Allocate();
+  file.stats().Reset();
+
+  BufferPool pool(&file, 2);
+  std::vector<char> data(64, 'x');
+  pool.Write(a, data.data());
+  EXPECT_EQ(file.stats().writes, 0u);  // buffered, not yet on disk
+
+  std::vector<char> out(64);
+  pool.Read(b, out.data());
+  pool.Read(c, out.data());  // evicts a (LRU), forcing the writeback
+  EXPECT_EQ(file.stats().writes, 1u);
+
+  std::vector<char> check(64);
+  file.Read(a, check.data());
+  EXPECT_EQ(std::memcmp(check.data(), data.data(), 64), 0);
+}
+
+TEST(BufferPoolTest, WriteCoalescing) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  file.stats().Reset();
+
+  {
+    BufferPool pool(&file, 2);
+    std::vector<char> data(64, 'y');
+    for (int i = 0; i < 10; ++i) pool.Write(a, data.data());
+  }  // destructor flushes
+  EXPECT_EQ(file.stats().writes, 1u);
+}
+
+TEST(BufferPoolTest, DiscardDropsWithoutWriteback) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  file.stats().Reset();
+
+  BufferPool pool(&file, 2);
+  std::vector<char> data(64, 'z');
+  pool.Write(a, data.data());
+  pool.Discard(a);
+  pool.FlushAll();
+  EXPECT_EQ(file.stats().writes, 0u);
+}
+
+TEST(BufferPoolTest, ReadsStayCorrectAcrossEvictions) {
+  PageFile file(16);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const PageId id = file.Allocate();
+    std::vector<char> data(16, static_cast<char>('a' + i));
+    file.Write(id, data.data());
+    ids.push_back(id);
+  }
+  BufferPool pool(&file, 3);
+  std::vector<char> out(16);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Read(ids[i], out.data());
+      EXPECT_EQ(out[0], static_cast<char>('a' + i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srtree

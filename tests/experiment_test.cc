@@ -1,0 +1,90 @@
+#include "src/benchlib/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/benchlib/options.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+TEST(ExperimentTest, FactoryProducesEveryIndexType) {
+  IndexConfig config;
+  config.dim = 4;
+  for (const IndexType type : AllTreeTypes()) {
+    auto index = MakeIndex(type, config);
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->name(), IndexTypeName(type));
+    EXPECT_EQ(index->dim(), 4);
+    EXPECT_EQ(index->size(), 0u);
+  }
+  EXPECT_EQ(MakeIndex(IndexType::kScan, config)->name(), "scan");
+}
+
+TEST(ExperimentTest, TypeListsMatchThePaper) {
+  EXPECT_EQ(AllTreeTypes().size(), 5u);
+  EXPECT_EQ(DynamicTreeTypes().size(), 3u);
+}
+
+TEST(ExperimentTest, BuildMetricsAreConsistent) {
+  IndexConfig config;
+  config.dim = 4;
+  config.page_size = 1024;
+  config.leaf_data_size = 0;
+  auto index = MakeIndex(IndexType::kSRTree, config);
+  const Dataset data = MakeUniformDataset(500, 4, /*seed=*/71);
+  const BuildMetrics metrics = BuildIndexFromDataset(*index, data);
+  EXPECT_EQ(index->size(), 500u);
+  EXPECT_GT(metrics.disk_accesses, 500u);  // at least one write per insert
+  EXPECT_GE(metrics.total_cpu_seconds, 0.0);
+  EXPECT_NEAR(metrics.accesses_per_insert,
+              static_cast<double>(metrics.disk_accesses) / 500.0, 1e-9);
+  // The builder resets I/O stats afterwards.
+  EXPECT_EQ(index->io_stats().reads, 0u);
+}
+
+TEST(ExperimentTest, QueryMetricsAreConsistent) {
+  IndexConfig config;
+  config.dim = 4;
+  config.page_size = 1024;
+  config.leaf_data_size = 0;
+  auto index = MakeIndex(IndexType::kSRTree, config);
+  const Dataset data = MakeUniformDataset(800, 4, /*seed=*/73);
+  BuildIndexFromDataset(*index, data);
+
+  const std::vector<Point> queries =
+      SampleQueriesFromDataset(data, 25, /*seed=*/79);
+  const QueryMetrics metrics = RunKnnWorkload(*index, queries, 5);
+  EXPECT_EQ(metrics.num_queries, 25u);
+  EXPECT_GT(metrics.disk_reads, 0.0);
+  EXPECT_GT(metrics.leaf_reads, 0.0);
+  EXPECT_GT(metrics.nonleaf_reads, 0.0);
+  EXPECT_NEAR(metrics.leaf_reads + metrics.nonleaf_reads, metrics.disk_reads,
+              1e-9);
+  EXPECT_GE(metrics.cpu_ms, 0.0);
+}
+
+TEST(BenchOptionsTest, LaddersAndQueryCounts) {
+  FlagParser parser;
+  AddBenchFlags(parser);
+  std::vector<std::string> storage = {"prog"};
+  std::vector<char*> argv = {storage[0].data()};
+  ASSERT_TRUE(parser.Parse(1, argv.data()).ok());
+  BenchOptions options = GetBenchOptions(parser);
+  EXPECT_FALSE(options.full);
+  EXPECT_EQ(options.k, 21);
+  EXPECT_EQ(QueryCount(options), 100u);
+  EXPECT_EQ(UniformSizeLadder(options).back(), 20000);
+
+  options.full = true;
+  EXPECT_EQ(QueryCount(options), 1000u);
+  EXPECT_EQ(UniformSizeLadder(options).back(), 100000);
+  EXPECT_EQ(RealSizeLadder(options).back(), 20000);
+
+  options.sizes = {5, 6};
+  EXPECT_EQ(UniformSizeLadder(options).size(), 2u);
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,72 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+char** MakeArgv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (std::string& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(FlagParserTest, DefaultsAndOverrides) {
+  FlagParser parser;
+  parser.AddInt("n", 100, "count")
+      .AddDouble("ratio", 0.5, "ratio")
+      .AddBool("verbose", false, "verbosity")
+      .AddString("name", "abc", "a name");
+
+  std::vector<std::string> args = {"prog", "--n", "42", "--verbose",
+                                   "--name=xyz"};
+  ASSERT_TRUE(parser.Parse(5, MakeArgv(args)).ok());
+  EXPECT_EQ(parser.GetInt("n"), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.5);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_EQ(parser.GetString("name"), "xyz");
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser parser;
+  parser.AddInt("n", 1, "count");
+  std::vector<std::string> args = {"prog", "--bogus", "3"};
+  EXPECT_TRUE(parser.Parse(3, MakeArgv(args)).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  FlagParser parser;
+  parser.AddInt("n", 1, "count");
+  std::vector<std::string> args = {"prog", "--n"};
+  EXPECT_TRUE(parser.Parse(2, MakeArgv(args)).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, IntListParsing) {
+  FlagParser parser;
+  parser.AddString("sizes", "", "sizes");
+  std::vector<std::string> args = {"prog", "--sizes", "10,20,30"};
+  ASSERT_TRUE(parser.Parse(3, MakeArgv(args)).ok());
+  const std::vector<int64_t> sizes = parser.GetIntList("sizes");
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 10);
+  EXPECT_EQ(sizes[2], 30);
+}
+
+TEST(FlagParserTest, EmptyListIsEmpty) {
+  FlagParser parser;
+  parser.AddString("sizes", "", "sizes");
+  std::vector<std::string> args = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, MakeArgv(args)).ok());
+  EXPECT_TRUE(parser.GetIntList("sizes").empty());
+}
+
+TEST(FlagParserTest, HelpReturnsNotFound) {
+  FlagParser parser;
+  parser.AddInt("n", 1, "count");
+  std::vector<std::string> args = {"prog", "--help"};
+  EXPECT_TRUE(parser.Parse(2, MakeArgv(args)).IsNotFound());
+}
+
+}  // namespace
+}  // namespace srtree

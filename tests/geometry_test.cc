@@ -1,0 +1,174 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/geometry/point.h"
+#include "src/geometry/rect.h"
+#include "src/geometry/sphere.h"
+
+namespace srtree {
+namespace {
+
+TEST(PointTest, Distances) {
+  const Point a = {0.0, 0.0};
+  const Point b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(RectTest, EmptyAndExpand) {
+  Rect r = Rect::Empty(2);
+  EXPECT_TRUE(r.IsEmpty());
+  r.Expand(Point{1.0, 2.0});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains(Point{1.0, 2.0}));
+  r.Expand(Point{-1.0, 5.0});
+  EXPECT_DOUBLE_EQ(r.lo()[0], -1.0);
+  EXPECT_DOUBLE_EQ(r.hi()[1], 5.0);
+  EXPECT_TRUE(r.Contains(Point{0.0, 3.0}));
+  EXPECT_FALSE(r.Contains(Point{2.0, 3.0}));
+}
+
+TEST(RectTest, UnionAndContainsRect) {
+  const Rect a(Point{0.0, 0.0}, Point{1.0, 1.0});
+  const Rect b(Point{2.0, -1.0}, Point{3.0, 0.5});
+  const Rect u = Rect::Union(a, b);
+  EXPECT_TRUE(u.ContainsRect(a));
+  EXPECT_TRUE(u.ContainsRect(b));
+  EXPECT_DOUBLE_EQ(u.lo()[1], -1.0);
+  EXPECT_DOUBLE_EQ(u.hi()[0], 3.0);
+  EXPECT_FALSE(a.ContainsRect(u));
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a(Point{0.0, 0.0}, Point{2.0, 2.0});
+  const Rect b(Point{1.0, 1.0}, Point{3.0, 3.0});
+  const Rect c(Point{2.5, 2.5}, Point{4.0, 4.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching edges intersect.
+  const Rect d(Point{2.0, 0.0}, Point{3.0, 2.0});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(RectTest, MinDist) {
+  const Rect r(Point{0.0, 0.0}, Point{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.MinDistSq(Point{1.0, 1.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.MinDistSq(Point{2.0, 2.0}), 0.0);   // corner
+  EXPECT_DOUBLE_EQ(r.MinDistSq(Point{3.0, 1.0}), 1.0);   // right face
+  EXPECT_DOUBLE_EQ(r.MinDistSq(Point{3.0, 3.0}), 2.0);   // corner diagonal
+  EXPECT_DOUBLE_EQ(r.MinDistSq(Point{-2.0, -2.0}), 8.0);
+}
+
+TEST(RectTest, MaxDistIsFarthestVertex) {
+  const Rect r(Point{0.0, 0.0}, Point{2.0, 4.0});
+  // From the origin corner, the farthest vertex is (2,4).
+  EXPECT_DOUBLE_EQ(r.MaxDistSq(Point{0.0, 0.0}), 20.0);
+  // From the center, each dimension contributes half the edge.
+  EXPECT_DOUBLE_EQ(r.MaxDistSq(Point{1.0, 2.0}), 1.0 + 4.0);
+  // From outside, beyond hi: farthest is lo.
+  EXPECT_DOUBLE_EQ(r.MaxDistSq(Point{3.0, 5.0}), 9.0 + 25.0);
+}
+
+TEST(RectTest, VolumeMarginDiagonal) {
+  const Rect r(Point{0.0, 0.0, 0.0}, Point{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Diagonal(), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(Rect::FromPoint(Point{1.0, 1.0}).Volume(), 0.0);
+}
+
+TEST(RectTest, UnitCubeDiagonalGrowsAsSqrtD) {
+  // The Section 3.2 observation: edge 1, diagonal sqrt(D).
+  for (const int dim : {2, 16, 64}) {
+    const Rect cube(Point(dim, 0.0), Point(dim, 1.0));
+    EXPECT_DOUBLE_EQ(cube.Diagonal(), std::sqrt(static_cast<double>(dim)));
+    EXPECT_DOUBLE_EQ(cube.Volume(), 1.0);
+  }
+}
+
+TEST(RectTest, OverlapVolume) {
+  const Rect a(Point{0.0, 0.0}, Point{2.0, 2.0});
+  const Rect b(Point{1.0, 1.0}, Point{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.OverlapVolume(a), 1.0);
+  const Rect c(Point{5.0, 5.0}, Point{6.0, 6.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+  // Touching rectangles overlap with zero volume.
+  const Rect d(Point{2.0, 0.0}, Point{4.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(d), 0.0);
+}
+
+TEST(RectTest, CenterIsMidpoint) {
+  const Rect r(Point{0.0, -2.0}, Point{4.0, 2.0});
+  const Point c = r.Center();
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+}
+
+TEST(SphereTest, ContainsAndMinMaxDist) {
+  const Sphere s(Point{0.0, 0.0}, 2.0);
+  EXPECT_TRUE(s.Contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(s.Contains(Point{2.0, 0.0}));  // boundary
+  EXPECT_FALSE(s.Contains(Point{2.0, 1.0}));
+  EXPECT_DOUBLE_EQ(s.MinDist(Point{1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.MinDist(Point{5.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(s.MaxDist(Point{5.0, 0.0}), 7.0);
+  EXPECT_DOUBLE_EQ(s.Diameter(), 4.0);
+}
+
+TEST(SphereTest, IntersectsRect) {
+  const Sphere s(Point{0.0, 0.0}, 1.0);
+  EXPECT_TRUE(s.IntersectsRect(Rect(Point{0.5, 0.5}, Point{2.0, 2.0})));
+  EXPECT_TRUE(s.IntersectsRect(Rect(Point{1.0, 0.0}, Point{2.0, 1.0})));
+  // Corner at (1,1): distance sqrt(2) > 1 — no intersection.
+  EXPECT_FALSE(s.IntersectsRect(Rect(Point{1.0, 1.0}, Point{2.0, 2.0})));
+}
+
+// Property: MINDIST lower-bounds and MAXDIST upper-bounds the distance to
+// any point inside the rectangle (the Roussopoulos pruning soundness).
+TEST(GeometryPropertyTest, RectMinMaxDistBracketContainedPoints) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.NextBounded(8));
+    Point lo(dim), hi(dim), q(dim), inside(dim);
+    for (int d = 0; d < dim; ++d) {
+      const double a = rng.Uniform(-5.0, 5.0);
+      const double b = rng.Uniform(-5.0, 5.0);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+      q[d] = rng.Uniform(-10.0, 10.0);
+      inside[d] = rng.Uniform(lo[d], hi[d]);
+    }
+    const Rect rect(lo, hi);
+    const double dist_sq = SquaredDistance(q, inside);
+    EXPECT_LE(rect.MinDistSq(q), dist_sq + 1e-12);
+    EXPECT_GE(rect.MaxDistSq(q), dist_sq - 1e-12);
+  }
+}
+
+TEST(GeometryPropertyTest, SphereMinDistLowerBoundsContainedPoints) {
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.NextBounded(8));
+    Point center(dim), q(dim);
+    for (int d = 0; d < dim; ++d) {
+      center[d] = rng.Uniform(-5.0, 5.0);
+      q[d] = rng.Uniform(-10.0, 10.0);
+    }
+    const double radius = rng.Uniform(0.1, 3.0);
+    const Sphere sphere(center, radius);
+    // A point inside the ball.
+    const std::vector<double> dir = rng.OnUnitSphere(dim);
+    const double scale = radius * rng.NextDouble();
+    Point inside(dim);
+    for (int d = 0; d < dim; ++d) inside[d] = center[d] + scale * dir[d];
+    EXPECT_LE(sphere.MinDist(q), Distance(q, inside) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace srtree

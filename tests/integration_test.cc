@@ -1,0 +1,148 @@
+// End-to-end mini-reproductions: tiny versions of the paper's headline
+// comparisons, asserted with deterministic seeds. These are the claims the
+// full bench harness reproduces at scale.
+
+#include <gtest/gtest.h>
+
+#include "src/benchlib/experiment.h"
+#include "src/workload/histogram.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+#include "tests/test_util.h"
+
+namespace srtree {
+namespace {
+
+class MiniReproduction : public ::testing::Test {
+ protected:
+  static QueryMetrics Run(IndexType type, const Dataset& data,
+                          const std::vector<Point>& queries, int k) {
+    IndexConfig config;
+    config.dim = data.dim();
+    auto index = MakeIndex(type, config);
+    BuildIndexFromDataset(*index, data);
+    const Status status = index->CheckInvariants();
+    EXPECT_TRUE(status.ok()) << index->name() << ": " << status.ToString();
+    return RunKnnWorkload(*index, queries, k);
+  }
+};
+
+TEST_F(MiniReproduction, SphereVsRectangleVolumeAndDiameter) {
+  // Section 3.2/3.3 (Figure 5): on uniform 16-d data, SS-tree leaf spheres
+  // have far larger volume than R*-tree leaf rectangles, yet shorter
+  // diameters.
+  const Dataset data = MakeUniformDataset(4000, 16, /*seed=*/101);
+  IndexConfig config;
+  config.dim = 16;
+
+  auto ss = MakeIndex(IndexType::kSSTree, config);
+  BuildIndexFromDataset(*ss, data);
+  auto rstar = MakeIndex(IndexType::kRStarTree, config);
+  BuildIndexFromDataset(*rstar, data);
+
+  const RegionSummary ss_regions = ss->LeafRegionSummary();
+  const RegionSummary rstar_regions = rstar->LeafRegionSummary();
+
+  EXPECT_GT(ss_regions.avg_sphere_volume,
+            rstar_regions.avg_rect_volume * 10.0);
+  EXPECT_LT(ss_regions.avg_sphere_diameter, rstar_regions.avg_rect_diagonal);
+  // Figure 6: bounding rectangles of the SS-tree's own leaves are smaller
+  // by orders of magnitude than its bounding spheres.
+  EXPECT_LT(ss_regions.avg_rect_volume,
+            ss_regions.avg_sphere_volume / 10.0);
+}
+
+TEST_F(MiniReproduction, SrTreeRegionsCombineBothAdvantages) {
+  // Section 5.2 (Figure 12): SR-tree leaf regions have volumes no larger
+  // than its bounding rectangles and diameters no larger than its spheres;
+  // the sphere diameter tracks the SS-tree's.
+  const Dataset data = MakeUniformDataset(4000, 16, /*seed=*/103);
+  IndexConfig config;
+  config.dim = 16;
+
+  auto sr = MakeIndex(IndexType::kSRTree, config);
+  BuildIndexFromDataset(*sr, data);
+  auto ss = MakeIndex(IndexType::kSSTree, config);
+  BuildIndexFromDataset(*ss, data);
+
+  const RegionSummary sr_regions = sr->LeafRegionSummary();
+  const RegionSummary ss_regions = ss->LeafRegionSummary();
+
+  // Rect volume bounds the true region volume; it must undercut the
+  // SS-tree's sphere volume dramatically.
+  EXPECT_LT(sr_regions.avg_rect_volume,
+            ss_regions.avg_sphere_volume / 100.0);
+  // Sphere diameter bounds the true region diameter; it must be in the
+  // same ballpark as the SS-tree's spheres (within 25%).
+  EXPECT_LT(sr_regions.avg_sphere_diameter,
+            ss_regions.avg_sphere_diameter * 1.25);
+}
+
+TEST_F(MiniReproduction, SrTreeBeatsSsTreeOnNonUniformData) {
+  // The headline result (Figures 10/11): fewer disk reads per k-NN query
+  // than the SS-tree, especially on non-uniform ("real") data.
+  HistogramConfig histo;
+  histo.n = 4000;
+  histo.dim = 16;
+  histo.seed = 107;
+  const Dataset data = MakeHistogramDataset(histo);
+  const std::vector<Point> queries =
+      SampleQueriesFromDataset(data, 40, /*seed=*/109);
+
+  const QueryMetrics sr = Run(IndexType::kSRTree, data, queries, 21);
+  const QueryMetrics ss = Run(IndexType::kSSTree, data, queries, 21);
+
+  EXPECT_LT(sr.disk_reads, ss.disk_reads);
+  // Figure 14's decomposition: the SR-tree pays more node-level reads
+  // (smaller fanout) but saves more leaf-level reads than it loses.
+  EXPECT_LT(sr.leaf_reads, ss.leaf_reads);
+}
+
+TEST_F(MiniReproduction, SsTreeBeatsRStarOnHighDimensionalData) {
+  // Section 3.1 (Figures 3/4): the SS-tree outperforms the R*-tree and the
+  // K-D-B-tree on 16-d nearest neighbor queries.
+  HistogramConfig histo;
+  histo.n = 4000;
+  histo.dim = 16;
+  histo.seed = 113;
+  const Dataset data = MakeHistogramDataset(histo);
+  const std::vector<Point> queries =
+      SampleQueriesFromDataset(data, 40, /*seed=*/127);
+
+  const QueryMetrics ss = Run(IndexType::kSSTree, data, queries, 21);
+  const QueryMetrics rstar = Run(IndexType::kRStarTree, data, queries, 21);
+  const QueryMetrics kdb = Run(IndexType::kKdbTree, data, queries, 21);
+
+  EXPECT_LT(ss.disk_reads, rstar.disk_reads);
+  EXPECT_LT(ss.disk_reads, kdb.disk_reads);
+}
+
+TEST_F(MiniReproduction, AllTreesReturnIdenticalAnswers) {
+  const Dataset data = MakeUniformDataset(2000, 16, /*seed=*/131);
+  const std::vector<Point> queries =
+      SampleQueriesFromDataset(data, 10, /*seed=*/137);
+  IndexConfig config;
+  config.dim = 16;
+
+  std::vector<std::vector<Neighbor>> per_tree;
+  for (const IndexType type : AllTreeTypes()) {
+    auto index = MakeIndex(type, config);
+    BuildIndexFromDataset(*index, data);
+    std::vector<Neighbor> all;
+    for (const Point& q : queries) {
+      for (const Neighbor& n : index->NearestNeighbors(q, 21)) {
+        all.push_back(n);
+      }
+    }
+    per_tree.push_back(std::move(all));
+  }
+  for (size_t t = 1; t < per_tree.size(); ++t) {
+    ASSERT_EQ(per_tree[t].size(), per_tree[0].size());
+    for (size_t i = 0; i < per_tree[t].size(); ++i) {
+      EXPECT_EQ(per_tree[t][i].oid, per_tree[0][i].oid);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srtree

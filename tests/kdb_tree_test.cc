@@ -1,0 +1,108 @@
+#include "src/kdb/kdb_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+TEST(KdbTreeTest, PaperFanouts) {
+  KdbTree::Options options;
+  options.dim = 16;
+  KdbTree tree(options);
+  EXPECT_EQ(tree.node_capacity(), 31u);
+  EXPECT_EQ(tree.leaf_capacity(), 12u);
+  EXPECT_EQ(tree.name(), "K-D-B-tree");
+}
+
+TEST(KdbTreeTest, RejectsPointsOutsideDomain) {
+  KdbTree::Options options;
+  options.dim = 2;
+  options.domain_lo = 0.0;
+  options.domain_hi = 1.0;
+  KdbTree tree(options);
+  EXPECT_TRUE(tree.Insert(Point{0.5, 1.5}, 0).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert(Point{0.5, 0.5}, 0).ok());
+}
+
+TEST(KdbTreeTest, PartitionSurvivesGrowth) {
+  KdbTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  KdbTree tree(options);
+  const Dataset data = MakeUniformDataset(3000, 4, /*seed=*/41);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+    if (i % 500 == 499) {
+      const Status status = tree.CheckInvariants();
+      ASSERT_TRUE(status.ok()) << status.ToString() << " at " << i;
+    }
+  }
+  EXPECT_GE(tree.height(), 3);
+  const TreeStats stats = tree.GetTreeStats();
+  EXPECT_EQ(stats.entry_count, 3000u);
+}
+
+TEST(KdbTreeTest, ForcedSplitsCanUnderfillPages) {
+  // The structural weakness of Section 2.1: after enough growth, forced
+  // splits leave pages below the 40% fill the other trees guarantee.
+  KdbTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  KdbTree tree(options);
+  const Dataset data = MakeUniformDataset(4000, 4, /*seed=*/43);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  const TreeStats stats = tree.GetTreeStats();
+  const double avg_fill = static_cast<double>(stats.entry_count) /
+                          (static_cast<double>(stats.leaf_count) *
+                           static_cast<double>(tree.leaf_capacity()));
+  // Fill is real but lower than a 40%-guaranteeing structure could reach.
+  EXPECT_GT(avg_fill, 0.05);
+  EXPECT_LT(avg_fill, 0.95);
+}
+
+TEST(KdbTreeTest, DeleteKeepsPartition) {
+  KdbTree::Options options;
+  options.dim = 2;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  KdbTree tree(options);
+  const Dataset data = MakeUniformDataset(1000, 2, /*seed=*/47);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  for (size_t i = 0; i < data.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), 500u);
+  // Deleted points are really gone; survivors remain.
+  EXPECT_TRUE(tree.Delete(data.point(0), 0).IsNotFound());
+  EXPECT_TRUE(tree.Delete(data.point(1), 1).ok());
+}
+
+TEST(KdbTreeTest, PointQueryDescendsSingleBranch) {
+  // Section 2.1: disjointness makes an exact-match search read exactly one
+  // page per level.
+  KdbTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  KdbTree tree(options);
+  const Dataset data = MakeUniformDataset(2000, 4, /*seed=*/53);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  tree.ResetIoStats();
+  ASSERT_TRUE(tree.Delete(data.point(77), 77).ok());
+  // Delete reads one node per level (plus one write per modified page).
+  EXPECT_EQ(tree.io_stats().reads, static_cast<uint64_t>(tree.height()));
+}
+
+}  // namespace
+}  // namespace srtree

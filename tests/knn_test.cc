@@ -1,0 +1,66 @@
+#include "src/index/knn.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(KnnCandidatesTest, InfinitePruneDistanceUntilFull) {
+  KnnCandidates cand(3);
+  EXPECT_EQ(cand.PruneDistance(), std::numeric_limits<double>::infinity());
+  cand.Offer(1.0, 1);
+  cand.Offer(2.0, 2);
+  EXPECT_FALSE(cand.full());
+  EXPECT_EQ(cand.PruneDistance(), std::numeric_limits<double>::infinity());
+  cand.Offer(3.0, 3);
+  EXPECT_TRUE(cand.full());
+  EXPECT_DOUBLE_EQ(cand.PruneDistance(), 3.0);
+}
+
+TEST(KnnCandidatesTest, KeepsKBest) {
+  KnnCandidates cand(2);
+  cand.Offer(5.0, 1);
+  cand.Offer(1.0, 2);
+  cand.Offer(3.0, 3);
+  cand.Offer(0.5, 4);
+  const std::vector<Neighbor> result = cand.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].oid, 4u);
+  EXPECT_DOUBLE_EQ(result[0].distance, 0.5);
+  EXPECT_EQ(result[1].oid, 2u);
+  EXPECT_DOUBLE_EQ(result[1].distance, 1.0);
+}
+
+TEST(KnnCandidatesTest, WorseCandidatesRejected) {
+  KnnCandidates cand(1);
+  cand.Offer(1.0, 1);
+  cand.Offer(2.0, 2);
+  EXPECT_DOUBLE_EQ(cand.PruneDistance(), 1.0);
+  const std::vector<Neighbor> result = cand.TakeSorted();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].oid, 1u);
+}
+
+TEST(KnnCandidatesTest, TiesBrokenBySmallerOid) {
+  KnnCandidates cand(2);
+  cand.Offer(1.0, 9);
+  cand.Offer(1.0, 3);
+  cand.Offer(1.0, 5);
+  const std::vector<Neighbor> result = cand.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].oid, 3u);
+  EXPECT_EQ(result[1].oid, 5u);
+}
+
+TEST(KnnCandidatesTest, SortedOutputStableUnderInsertionOrder) {
+  KnnCandidates a(4), b(4);
+  const double ds[] = {4.0, 1.0, 3.0, 2.0, 5.0};
+  for (int i = 0; i < 5; ++i) a.Offer(ds[i], static_cast<uint32_t>(i));
+  for (int i = 4; i >= 0; --i) b.Offer(ds[i], static_cast<uint32_t>(i));
+  EXPECT_EQ(a.TakeSorted(), b.TakeSorted());
+}
+
+}  // namespace
+}  // namespace srtree

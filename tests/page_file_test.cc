@@ -1,0 +1,94 @@
+#include "src/storage/page_file.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(PageFileTest, AllocateReadWrite) {
+  PageFile file(256);
+  const PageId id = file.Allocate();
+  std::vector<char> data(256, 'a');
+  file.Write(id, data.data());
+
+  std::vector<char> out(256);
+  file.Read(id, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), 256), 0);
+  EXPECT_EQ(file.stats().reads, 1u);
+  EXPECT_EQ(file.stats().writes, 1u);
+}
+
+TEST(PageFileTest, AllocationZeroesPages) {
+  PageFile file(64);
+  const PageId id = file.Allocate();
+  std::vector<char> out(64, 'z');
+  file.Read(id, out.data());
+  for (const char c : out) EXPECT_EQ(c, 0);
+}
+
+TEST(PageFileTest, FreeRecyclesIds) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(file.live_pages(), 2u);
+  file.Free(a);
+  EXPECT_EQ(file.live_pages(), 1u);
+  const PageId c = file.Allocate();
+  EXPECT_EQ(c, a);  // recycled
+  // Recycled pages come back zeroed.
+  std::vector<char> out(64, 'z');
+  file.Read(c, out.data());
+  for (const char ch : out) EXPECT_EQ(ch, 0);
+}
+
+TEST(PageFileTest, PerLevelReadAccounting) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  std::vector<char> buf(64);
+  file.Read(a, buf.data(), /*level=*/0);
+  file.Read(a, buf.data(), /*level=*/0);
+  file.Read(a, buf.data(), /*level=*/2);
+  file.Read(a, buf.data(), /*level=*/-1);  // unknown level
+  const IoStats& stats = file.stats();
+  EXPECT_EQ(stats.reads, 4u);
+  EXPECT_EQ(stats.leaf_reads(), 2u);
+  EXPECT_EQ(stats.nonleaf_reads(), 1u);
+  ASSERT_EQ(stats.reads_by_level.size(), 3u);
+  EXPECT_EQ(stats.reads_by_level[1], 0u);
+}
+
+TEST(PageFileTest, StatsReset) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  std::vector<char> buf(64);
+  file.Read(a, buf.data(), 0);
+  file.Write(a, buf.data());
+  file.stats().Reset();
+  EXPECT_EQ(file.stats().reads, 0u);
+  EXPECT_EQ(file.stats().writes, 0u);
+  EXPECT_EQ(file.stats().leaf_reads(), 0u);
+  EXPECT_EQ(file.stats().accesses(), 0u);
+}
+
+TEST(PageFileTest, PeekDoesNotCount) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  (void)file.PeekPage(a);
+  EXPECT_EQ(file.stats().reads, 0u);
+}
+
+TEST(PageFileDeathTest, UseAfterFreeAborts) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  file.Free(a);
+  std::vector<char> buf(64);
+  EXPECT_DEATH(file.Read(a, buf.data()), "CHECK failed");
+  EXPECT_DEATH(file.Free(a), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace srtree

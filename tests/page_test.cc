@@ -1,0 +1,72 @@
+#include "src/storage/page.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(PageTest, RoundTripScalars) {
+  std::vector<char> buf(128);
+  PageWriter w(buf.data(), buf.size());
+  w.PutU8(7);
+  w.PutU16(1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutDouble(3.25);
+  const size_t written = w.offset();
+
+  PageReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.GetU8(), 7);
+  EXPECT_EQ(r.GetU16(), 1234);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 3.25);
+  EXPECT_EQ(r.offset(), written);
+}
+
+TEST(PageTest, RoundTripDoubleSpans) {
+  std::vector<char> buf(128);
+  const std::vector<double> values = {1.0, -2.5, 1e-300, 1e300};
+  PageWriter w(buf.data(), buf.size());
+  w.PutDoubles(values);
+
+  std::vector<double> out(values.size());
+  PageReader r(buf.data(), buf.size());
+  r.GetDoubles(out);
+  EXPECT_EQ(out, values);
+}
+
+TEST(PageTest, SkipZeroesAndAdvances) {
+  std::vector<char> buf(64, 'x');
+  PageWriter w(buf.data(), buf.size());
+  w.PutU8(1);
+  w.Skip(10);
+  w.PutU8(2);
+  EXPECT_EQ(w.offset(), 12u);
+  for (int i = 1; i <= 10; ++i) EXPECT_EQ(buf[i], 0);
+
+  PageReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.GetU8(), 1);
+  r.Skip(10);
+  EXPECT_EQ(r.GetU8(), 2);
+}
+
+TEST(PageTest, RemainingTracksCapacity) {
+  std::vector<char> buf(16);
+  PageWriter w(buf.data(), buf.size());
+  EXPECT_EQ(w.remaining(), 16u);
+  w.PutU64(1);
+  EXPECT_EQ(w.remaining(), 8u);
+}
+
+TEST(PageDeathTest, OverflowAborts) {
+  std::vector<char> buf(8);
+  PageWriter w(buf.data(), buf.size());
+  w.PutU64(1);
+  EXPECT_DEATH(w.PutU8(1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace srtree

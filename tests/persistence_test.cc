@@ -1,0 +1,126 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sr_tree.h"
+#include "src/storage/page_file.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PageFilePersistenceTest, RoundTrip) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  const PageId c = file.Allocate();
+  file.Free(b);
+  std::vector<char> data(64, 'q');
+  file.Write(a, data.data());
+  std::vector<char> data2(64, 'z');
+  file.Write(c, data2.data());
+
+  const std::string path = TempPath("pagefile.img");
+  ASSERT_TRUE(file.Save(path).ok());
+
+  PageFile restored(64);
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.live_pages(), 2u);
+  std::vector<char> out(64);
+  restored.Read(a, out.data());
+  EXPECT_EQ(out[0], 'q');
+  restored.Read(c, out.data());
+  EXPECT_EQ(out[0], 'z');
+  // The freed page is recycled on the next allocation.
+  EXPECT_EQ(restored.Allocate(), b);
+}
+
+TEST(PageFilePersistenceTest, PageSizeMismatchRejected) {
+  PageFile file(64);
+  (void)file.Allocate();
+  const std::string path = TempPath("pagefile_mismatch.img");
+  ASSERT_TRUE(file.Save(path).ok());
+  PageFile other(128);
+  EXPECT_TRUE(other.Load(path).IsInvalidArgument());
+}
+
+TEST(PageFilePersistenceTest, GarbageRejected) {
+  const std::string path = TempPath("garbage.img");
+  std::ofstream(path, std::ios::binary) << "this is not a page file image";
+  PageFile file(64);
+  EXPECT_TRUE(file.Load(path).IsCorruption());
+}
+
+TEST(SRTreePersistenceTest, SaveOpenRoundTrip) {
+  SRTree::Options options;
+  options.dim = 8;
+  options.page_size = 2048;
+  options.leaf_data_size = 0;
+  SRTree tree(options);
+  const Dataset data = MakeUniformDataset(1500, 8, /*seed=*/83);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+
+  const std::string path = TempPath("srtree.idx");
+  ASSERT_TRUE(tree.Save(path).ok());
+
+  auto restored = SRTree::Open(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  SRTree& reopened = **restored;
+  EXPECT_EQ(reopened.size(), tree.size());
+  EXPECT_EQ(reopened.dim(), 8);
+  EXPECT_EQ(reopened.height(), tree.height());
+  EXPECT_TRUE(reopened.CheckInvariants().ok());
+
+  // Identical query answers.
+  for (const Point& q : SampleQueriesFromDataset(data, 10, /*seed=*/87)) {
+    const auto expected = tree.NearestNeighbors(q, 10);
+    const auto actual = reopened.NearestNeighbors(q, 10);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].oid, expected[i].oid);
+    }
+  }
+
+  // The reopened index stays fully functional.
+  ASSERT_TRUE(reopened.Insert(Point(8, 0.5), 99999).ok());
+  ASSERT_TRUE(reopened.Delete(data.point(0), 0).ok());
+  EXPECT_TRUE(reopened.CheckInvariants().ok());
+}
+
+TEST(SRTreePersistenceTest, OpenRestoresOptions) {
+  SRTree::Options options;
+  options.dim = 3;
+  options.page_size = 1024;
+  options.leaf_data_size = 16;
+  options.use_rect_in_mindist = false;
+  SRTree tree(options);
+  ASSERT_TRUE(tree.Insert(Point{0.1, 0.2, 0.3}, 7).ok());
+  const std::string path = TempPath("srtree_options.idx");
+  ASSERT_TRUE(tree.Save(path).ok());
+
+  auto restored = SRTree::Open(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->dim(), 3);
+  EXPECT_EQ((*restored)->leaf_capacity(), tree.leaf_capacity());
+  const auto result = (*restored)->NearestNeighbors(Point{0.1, 0.2, 0.3}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].oid, 7u);
+}
+
+TEST(SRTreePersistenceTest, OpenRejectsGarbage) {
+  const std::string path = TempPath("srtree_garbage.idx");
+  std::ofstream(path, std::ios::binary) << "junk junk junk junk junk";
+  EXPECT_FALSE(SRTree::Open(path).ok());
+  EXPECT_FALSE(SRTree::Open(TempPath("does_not_exist.idx")).ok());
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,116 @@
+#include "src/common/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(12345);
+  Xoshiro256 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformMeanAndBounds) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(2.0, 4.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 4.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Xoshiro256Test, NextBoundedCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256Test, GaussianMoments) {
+  Xoshiro256 rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256Test, GammaMeanMatchesShape) {
+  Xoshiro256 rng(13);
+  for (const double shape : {0.4, 1.0, 3.5}) {
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.Gamma(shape);
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / n, shape, 0.05 * shape + 0.01) << "shape " << shape;
+  }
+}
+
+TEST(Xoshiro256Test, OnUnitSphereHasUnitNorm) {
+  Xoshiro256 rng(17);
+  for (const int dim : {1, 2, 3, 16, 64}) {
+    for (int i = 0; i < 50; ++i) {
+      const std::vector<double> p = rng.OnUnitSphere(dim);
+      ASSERT_EQ(p.size(), static_cast<size_t>(dim));
+      double norm_sq = 0.0;
+      for (const double c : p) norm_sq += c * c;
+      EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(ZipfTableTest, RankZeroMostPopular) {
+  Xoshiro256 rng(19);
+  ZipfTable zipf(20, 1.2);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[19]);
+  // Every rank appears in a large sample.
+  for (int rank = 0; rank < 20; ++rank) EXPECT_GT(counts[rank], 0);
+}
+
+TEST(ZipfTableTest, SingleRank) {
+  Xoshiro256 rng(21);
+  ZipfTable zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0);
+}
+
+}  // namespace
+}  // namespace srtree

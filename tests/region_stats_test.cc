@@ -1,0 +1,58 @@
+#include "src/index/region_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(RegionStatsTest, EmptySummary) {
+  RegionStatsCollector collector;
+  const RegionSummary summary = collector.Finish();
+  EXPECT_EQ(summary.leaf_count, 0u);
+  EXPECT_FALSE(summary.has_spheres);
+  EXPECT_FALSE(summary.has_rects);
+}
+
+TEST(RegionStatsTest, AveragesSpheres) {
+  RegionStatsCollector collector;
+  collector.CountLeaf();
+  collector.AddSphere(Sphere(Point{0.0, 0.0}, 1.0));
+  collector.CountLeaf();
+  collector.AddSphere(Sphere(Point{5.0, 5.0}, 3.0));
+  const RegionSummary summary = collector.Finish();
+  EXPECT_EQ(summary.leaf_count, 2u);
+  EXPECT_TRUE(summary.has_spheres);
+  EXPECT_FALSE(summary.has_rects);
+  EXPECT_DOUBLE_EQ(summary.avg_sphere_diameter, (2.0 + 6.0) / 2.0);
+  EXPECT_NEAR(summary.avg_sphere_volume, (M_PI * 1.0 + M_PI * 9.0) / 2.0,
+              1e-12);
+}
+
+TEST(RegionStatsTest, AveragesRects) {
+  RegionStatsCollector collector;
+  collector.CountLeaf();
+  collector.AddRect(Rect(Point{0.0, 0.0}, Point{2.0, 2.0}));
+  collector.CountLeaf();
+  collector.AddRect(Rect(Point{0.0, 0.0}, Point{4.0, 1.0}));
+  const RegionSummary summary = collector.Finish();
+  EXPECT_TRUE(summary.has_rects);
+  EXPECT_DOUBLE_EQ(summary.avg_rect_volume, (4.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(summary.avg_rect_diagonal,
+                   (std::sqrt(8.0) + std::sqrt(17.0)) / 2.0);
+}
+
+TEST(RegionStatsTest, MixedShapesForSrTreeStyleRegions) {
+  RegionStatsCollector collector;
+  collector.CountLeaf();
+  collector.AddSphere(Sphere(Point{0.0, 0.0}, 2.0));
+  collector.AddRect(Rect(Point{-1.0, -1.0}, Point{1.0, 1.0}));
+  const RegionSummary summary = collector.Finish();
+  EXPECT_EQ(summary.leaf_count, 1u);
+  EXPECT_TRUE(summary.has_spheres);
+  EXPECT_TRUE(summary.has_rects);
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,37 @@
+#include "src/benchlib/report.h"
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(TableTest, RendersAlignedCells) {
+  Table table("Demo", {"index", "reads"});
+  table.AddRow({"SR-tree", "12.5"});
+  table.AddRow({"SS-tree", "18.25"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("SR-tree"), std::string::npos);
+  EXPECT_NE(out.find("18.25"), std::string::npos);
+  EXPECT_NE(out.find("| index"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table("Demo", {"a", "b"});
+  table.AddRow({"1", "2"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("csv: a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("csv: 1,2\n"), std::string::npos);
+}
+
+TEST(FormatNumTest, Ranges) {
+  EXPECT_EQ(FormatNum(0.0), "0");
+  EXPECT_EQ(FormatNum(3.14159), "3.1416");
+  EXPECT_EQ(FormatNum(123.456), "123.5");
+  EXPECT_EQ(FormatNum(1.5e-7), "1.500e-07");
+  EXPECT_EQ(FormatNum(2.5e9), "2.500e+09");
+  EXPECT_EQ(FormatNum(-42.0), "-42.0000");
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,100 @@
+#include "src/rstar/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+TEST(RStarTreeTest, PaperFanouts) {
+  // Section 3.1 setup: 16 dimensions, 8192-byte pages, 512-byte leaf data
+  // areas, 8-byte coordinates.
+  RStarTree::Options options;
+  options.dim = 16;
+  RStarTree tree(options);
+  EXPECT_EQ(tree.node_capacity(), 31u);  // (8192-8) / (2*16*8 + 4)
+  EXPECT_EQ(tree.leaf_capacity(), 12u);  // (8192-8) / (16*8 + 4 + 512)
+  EXPECT_EQ(tree.name(), "R*-tree");
+}
+
+TEST(RStarTreeTest, FanoutShrinksWithDimensionality) {
+  size_t prev = 1u << 20;
+  for (const int dim : {10, 20, 40, 80}) {
+    RStarTree::Options options;
+    options.dim = dim;
+    RStarTree tree(options);
+    EXPECT_LT(tree.node_capacity(), prev);
+    prev = tree.node_capacity();
+  }
+}
+
+TEST(RStarTreeTest, HeightGrowsLogarithmically) {
+  RStarTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  RStarTree tree(options);
+  EXPECT_EQ(tree.height(), 1);
+
+  const Dataset data = MakeUniformDataset(2000, 4, /*seed=*/3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 6);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, QueryReadsAtLeastRootToLeafPath) {
+  RStarTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  RStarTree tree(options);
+  const Dataset data = MakeUniformDataset(1000, 4, /*seed=*/5);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  tree.ResetIoStats();
+  (void)tree.NearestNeighbors(data.point(0), 1);
+  EXPECT_GE(tree.io_stats().reads, static_cast<uint64_t>(tree.height()));
+  EXPECT_GE(tree.io_stats().leaf_reads(), 1u);
+}
+
+TEST(RStarTreeTest, InsertionCountsDiskAccesses) {
+  RStarTree::Options options;
+  options.dim = 4;
+  RStarTree tree(options);
+  tree.ResetIoStats();
+  ASSERT_TRUE(tree.Insert(Point(4, 0.5), 0).ok());
+  EXPECT_GE(tree.io_stats().accesses(), 2u);  // at least read + write root
+}
+
+TEST(RStarTreeTest, LeafRegionsAreRectsOnly) {
+  RStarTree::Options options;
+  options.dim = 2;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  RStarTree tree(options);
+  const Dataset data = MakeUniformDataset(500, 2, /*seed=*/7);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  const RegionSummary summary = tree.LeafRegionSummary();
+  EXPECT_GT(summary.leaf_count, 1u);
+  EXPECT_TRUE(summary.has_rects);
+  EXPECT_FALSE(summary.has_spheres);
+  EXPECT_GT(summary.avg_rect_volume, 0.0);
+}
+
+TEST(RStarTreeTest, RejectsWrongDimensionality) {
+  RStarTree::Options options;
+  options.dim = 3;
+  RStarTree tree(options);
+  EXPECT_TRUE(tree.Insert(Point{1.0, 2.0}, 0).IsInvalidArgument());
+  EXPECT_TRUE(tree.Delete(Point{1.0, 2.0}, 0).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,36 @@
+#include "src/common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(WallTimerTest, Monotonic) {
+  WallTimer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(CpuTimerTest, MeasuresWork) {
+  CpuTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
+  (void)sink;
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedMillis());  // same clock, sampled twice
+}
+
+TEST(CpuTimerTest, ResetRestarts) {
+  CpuTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  const double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedSeconds(), before);
+}
+
+}  // namespace
+}  // namespace srtree

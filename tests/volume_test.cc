@@ -1,0 +1,61 @@
+#include "src/geometry/volume.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/point.h"
+#include "src/geometry/rect.h"
+#include "src/geometry/sphere.h"
+
+namespace srtree {
+namespace {
+
+TEST(VolumeTest, LowDimensionalClosedForms) {
+  EXPECT_NEAR(UnitBallVolume(1), 2.0, 1e-12);             // segment [-1,1]
+  EXPECT_NEAR(UnitBallVolume(2), M_PI, 1e-12);            // disk
+  EXPECT_NEAR(UnitBallVolume(3), 4.0 / 3.0 * M_PI, 1e-12);
+}
+
+TEST(VolumeTest, RadiusScaling) {
+  EXPECT_NEAR(BallVolume(2, 2.0), 4.0 * M_PI, 1e-12);
+  EXPECT_NEAR(BallVolume(3, 0.5), UnitBallVolume(3) / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BallVolume(5, 0.0), 0.0);
+}
+
+TEST(VolumeTest, UnitBallVolumeVanishesInHighDimensions) {
+  // The Section 3 effect: the unit ball volume peaks near D=5 then decays
+  // super-exponentially.
+  EXPECT_GT(UnitBallVolume(5), UnitBallVolume(2));
+  EXPECT_LT(UnitBallVolume(16), UnitBallVolume(5));
+  EXPECT_LT(UnitBallVolume(64), 1e-13);
+  EXPECT_GT(UnitBallVolume(64), 0.0);
+}
+
+TEST(VolumeTest, LogVolumeIsFiniteWhereVolumeUnderflows) {
+  // At D=500, r=0.1 the plain volume underflows but the log stays finite.
+  const double log_v = LogBallVolume(500, 0.1);
+  EXPECT_TRUE(std::isfinite(log_v));
+  EXPECT_LT(log_v, 0.0);
+}
+
+TEST(VolumeTest, SphereVsEnclosingCube) {
+  // A ball of radius r fits in a cube of edge 2r; the volume ratio
+  // (pi/4)^{D/2}-ish shrinks with D — the paper's sphere/rectangle story.
+  for (const int dim : {2, 8, 16}) {
+    const double ball = BallVolume(dim, 1.0);
+    const double cube = std::pow(2.0, dim);
+    EXPECT_LT(ball, cube);
+  }
+  const double ratio16 = BallVolume(16, 1.0) / std::pow(2.0, 16);
+  const double ratio2 = BallVolume(2, 1.0) / std::pow(2.0, 2);
+  EXPECT_LT(ratio16, ratio2 * 1e-3);
+}
+
+TEST(VolumeTest, SphereVolumeMatchesGeometrySphere) {
+  const Sphere s(Point{0.0, 0.0, 0.0}, 2.0);
+  EXPECT_NEAR(s.Volume(), BallVolume(3, 2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,209 @@
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/cluster.h"
+#include "src/workload/dataset.h"
+#include "src/workload/histogram.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset data(3);
+  EXPECT_EQ(data.size(), 0u);
+  data.Append(Point{1.0, 2.0, 3.0});
+  data.Append(Point{4.0, 5.0, 6.0});
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.point(1)[2], 6.0);
+  const std::vector<Point> points = data.ToPoints();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0][0], 1.0);
+  const std::vector<uint32_t> oids = data.SequentialOids();
+  EXPECT_EQ(oids[1], 1u);
+}
+
+TEST(UniformTest, InUnitCubeAndDeterministic) {
+  const Dataset a = MakeUniformDataset(500, 6, /*seed=*/5);
+  const Dataset b = MakeUniformDataset(500, 6, /*seed=*/5);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int d = 0; d < 6; ++d) {
+      EXPECT_GE(a.point(i)[d], 0.0);
+      EXPECT_LT(a.point(i)[d], 1.0);
+      EXPECT_DOUBLE_EQ(a.point(i)[d], b.point(i)[d]);
+    }
+  }
+}
+
+TEST(UniformTest, CoordinateMeanNearHalf) {
+  const Dataset data = MakeUniformDataset(20000, 2, /*seed=*/7);
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) sum += data.point(i)[0];
+  EXPECT_NEAR(sum / static_cast<double>(data.size()), 0.5, 0.02);
+}
+
+TEST(ClusterTest, SizeAndExtent) {
+  ClusterConfig config;
+  config.num_clusters = 10;
+  config.points_per_cluster = 100;
+  config.dim = 8;
+  config.max_radius = 0.25;
+  config.seed = 9;
+  const Dataset data = MakeClusterDataset(config);
+  ASSERT_EQ(data.size(), 1000u);
+  // Cluster centers live in [0,1); points deviate by at most max_radius.
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_GE(data.point(i)[d], -config.max_radius);
+      EXPECT_LE(data.point(i)[d], 1.0 + config.max_radius);
+    }
+  }
+}
+
+TEST(ClusterTest, PointsConcentrateAroundFewCenters) {
+  // With one cluster the spread is bounded by twice its radius.
+  ClusterConfig config;
+  config.num_clusters = 1;
+  config.points_per_cluster = 500;
+  config.dim = 4;
+  config.max_radius = 0.1;
+  config.seed = 11;
+  const Dataset data = MakeClusterDataset(config);
+  const DistanceStats stats = ComputePairwiseDistances(data, 200, /*seed=*/1);
+  EXPECT_LE(stats.max, 2.0 * config.max_radius + 1e-9);
+}
+
+TEST(HistogramTest, NormalizedAndNonNegative) {
+  HistogramConfig config;
+  config.n = 500;
+  config.dim = 16;
+  config.seed = 13;
+  const Dataset data = MakeHistogramDataset(config);
+  ASSERT_EQ(data.size(), 500u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    double sum = 0.0;
+    for (int d = 0; d < 16; ++d) {
+      EXPECT_GE(data.point(i)[d], 0.0);
+      sum += data.point(i)[d];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(HistogramTest, MoreClusteredThanUniform) {
+  // The generator's entire purpose: nearest neighbors must sit much closer
+  // than in uniform data of the same size (the non-uniformity the SR-tree
+  // exploits).
+  HistogramConfig config;
+  config.n = 1000;
+  config.dim = 16;
+  config.seed = 17;
+  const Dataset histo = MakeHistogramDataset(config);
+  const Dataset uniform = MakeUniformDataset(1000, 16, /*seed=*/17);
+  const DistanceStats histo_stats =
+      ComputePairwiseDistances(histo, 300, /*seed=*/3);
+  const DistanceStats uniform_stats =
+      ComputePairwiseDistances(uniform, 300, /*seed=*/3);
+  EXPECT_LT(histo_stats.min, uniform_stats.min);
+  EXPECT_LT(histo_stats.avg, uniform_stats.avg);
+}
+
+TEST(PairwiseDistanceTest, ExactOnSmallSet) {
+  Dataset data(1);
+  data.Append(Point{0.0});
+  data.Append(Point{3.0});
+  data.Append(Point{7.0});
+  const DistanceStats stats =
+      ComputePairwiseDistances(data, 100, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(stats.min, 3.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+  EXPECT_DOUBLE_EQ(stats.avg, (3.0 + 4.0 + 7.0) / 3.0);
+}
+
+TEST(PairwiseDistanceTest, DistanceConcentrationWithDimensionality) {
+  // Figure 17's phenomenon: min/max converges as dimensionality grows.
+  const Dataset low = MakeUniformDataset(2000, 2, /*seed=*/19);
+  const Dataset high = MakeUniformDataset(2000, 64, /*seed=*/19);
+  const DistanceStats low_stats =
+      ComputePairwiseDistances(low, 400, /*seed=*/5);
+  const DistanceStats high_stats =
+      ComputePairwiseDistances(high, 400, /*seed=*/5);
+  EXPECT_GT(high_stats.min / high_stats.max,
+            low_stats.min / low_stats.max);
+}
+
+TEST(CsvTest, RoundTrip) {
+  const Dataset data = MakeUniformDataset(50, 5, /*seed=*/27);
+  const std::string path = ::testing::TempDir() + "/dataset.csv";
+  ASSERT_TRUE(SaveCsvDataset(data, path).ok());
+  const StatusOr<Dataset> loaded = LoadCsvDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), data.size());
+  ASSERT_EQ(loaded->dim(), data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int d = 0; d < data.dim(); ++d) {
+      EXPECT_DOUBLE_EQ(loaded->point(i)[d], data.point(i)[d]);
+    }
+  }
+}
+
+TEST(CsvTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = ::testing::TempDir() + "/commented.csv";
+  std::ofstream(path) << "# a comment\n1.0,2.0\n\n3.0,4.0\n";
+  const StatusOr<Dataset> loaded = LoadCsvDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->point(1)[1], 4.0);
+}
+
+TEST(CsvTest, RaggedRowsRejected) {
+  const std::string path = ::testing::TempDir() + "/ragged.csv";
+  std::ofstream(path) << "1.0,2.0\n3.0,4.0,5.0\n";
+  EXPECT_TRUE(LoadCsvDataset(path).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, NonNumericRejected) {
+  const std::string path = ::testing::TempDir() + "/nonnum.csv";
+  std::ofstream(path) << "1.0,banana\n";
+  EXPECT_TRUE(LoadCsvDataset(path).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadCsvDataset("/nonexistent/nowhere.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(QueriesTest, FromDatasetAreDatasetPoints) {
+  const Dataset data = MakeUniformDataset(100, 4, /*seed=*/21);
+  const std::vector<Point> queries =
+      SampleQueriesFromDataset(data, 20, /*seed=*/23);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const Point& q : queries) {
+    bool found = false;
+    for (size_t i = 0; i < data.size() && !found; ++i) {
+      found = std::equal(q.begin(), q.end(), data.point(i).begin(),
+                         data.point(i).end());
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(QueriesTest, UniformQueriesInUnitCube) {
+  const std::vector<Point> queries = SampleUniformQueries(5, 50, /*seed=*/25);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const Point& q : queries) {
+    ASSERT_EQ(q.size(), 5u);
+    for (const double c : q) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LT(c, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srtree

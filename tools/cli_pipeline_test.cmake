@@ -1,0 +1,21 @@
+# ctest driver for the srtree_cli pipeline: generate a dataset, index it,
+# check the index, and run a query. Any non-zero exit fails the test.
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+set(csv ${WORK_DIR}/cli_test_data.csv)
+set(idx ${WORK_DIR}/cli_test_index.srt)
+
+run_step(${CLI} generate --kind real --n 2000 --dim 16 --seed 5
+         --output ${csv})
+run_step(${CLI} build --input ${csv} --index ${idx})
+run_step(${CLI} stats --index ${idx})
+run_step(${CLI} query --index ${idx} --k 5 --point
+         0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625)
+run_step(${CLI} range --index ${idx} --radius 0.5 --point
+         0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625,0.0625)
