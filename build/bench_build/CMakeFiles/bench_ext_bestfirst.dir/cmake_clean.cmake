@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_bestfirst"
+  "../bench/bench_ext_bestfirst.pdb"
+  "CMakeFiles/bench_ext_bestfirst.dir/bench_ext_bestfirst.cc.o"
+  "CMakeFiles/bench_ext_bestfirst.dir/bench_ext_bestfirst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bestfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_buffer_pool"
+  "../bench/bench_ext_buffer_pool.pdb"
+  "CMakeFiles/bench_ext_buffer_pool.dir/bench_ext_buffer_pool.cc.o"
+  "CMakeFiles/bench_ext_buffer_pool.dir/bench_ext_buffer_pool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

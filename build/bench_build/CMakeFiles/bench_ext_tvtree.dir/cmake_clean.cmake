@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_tvtree"
+  "../bench/bench_ext_tvtree.pdb"
+  "CMakeFiles/bench_ext_tvtree.dir/bench_ext_tvtree.cc.o"
+  "CMakeFiles/bench_ext_tvtree.dir/bench_ext_tvtree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tvtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

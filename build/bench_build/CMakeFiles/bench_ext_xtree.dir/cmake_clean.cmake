@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_xtree"
+  "../bench/bench_ext_xtree.pdb"
+  "CMakeFiles/bench_ext_xtree.dir/bench_ext_xtree.cc.o"
+  "CMakeFiles/bench_ext_xtree.dir/bench_ext_xtree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_xtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_region_sr_uniform"
+  "../bench/bench_fig12_region_sr_uniform.pdb"
+  "CMakeFiles/bench_fig12_region_sr_uniform.dir/bench_fig12_region_sr_uniform.cc.o"
+  "CMakeFiles/bench_fig12_region_sr_uniform.dir/bench_fig12_region_sr_uniform.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_region_sr_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

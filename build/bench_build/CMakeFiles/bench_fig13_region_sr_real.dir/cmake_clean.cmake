@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_region_sr_real"
+  "../bench/bench_fig13_region_sr_real.pdb"
+  "CMakeFiles/bench_fig13_region_sr_real.dir/bench_fig13_region_sr_real.cc.o"
+  "CMakeFiles/bench_fig13_region_sr_real.dir/bench_fig13_region_sr_real.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_region_sr_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

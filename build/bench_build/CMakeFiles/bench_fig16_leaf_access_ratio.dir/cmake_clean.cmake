@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_leaf_access_ratio"
+  "../bench/bench_fig16_leaf_access_ratio.pdb"
+  "CMakeFiles/bench_fig16_leaf_access_ratio.dir/bench_fig16_leaf_access_ratio.cc.o"
+  "CMakeFiles/bench_fig16_leaf_access_ratio.dir/bench_fig16_leaf_access_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_leaf_access_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_distance_concentration"
+  "../bench/bench_fig17_distance_concentration.pdb"
+  "CMakeFiles/bench_fig17_distance_concentration.dir/bench_fig17_distance_concentration.cc.o"
+  "CMakeFiles/bench_fig17_distance_concentration.dir/bench_fig17_distance_concentration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_distance_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

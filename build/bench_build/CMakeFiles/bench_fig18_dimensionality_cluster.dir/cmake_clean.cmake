@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_dimensionality_cluster"
+  "../bench/bench_fig18_dimensionality_cluster.pdb"
+  "CMakeFiles/bench_fig18_dimensionality_cluster.dir/bench_fig18_dimensionality_cluster.cc.o"
+  "CMakeFiles/bench_fig18_dimensionality_cluster.dir/bench_fig18_dimensionality_cluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_dimensionality_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

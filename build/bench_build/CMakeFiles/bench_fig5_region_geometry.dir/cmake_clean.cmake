@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_region_geometry"
+  "../bench/bench_fig5_region_geometry.pdb"
+  "CMakeFiles/bench_fig5_region_geometry.dir/bench_fig5_region_geometry.cc.o"
+  "CMakeFiles/bench_fig5_region_geometry.dir/bench_fig5_region_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_region_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

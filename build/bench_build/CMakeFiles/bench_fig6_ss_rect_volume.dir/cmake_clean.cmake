@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_ss_rect_volume"
+  "../bench/bench_fig6_ss_rect_volume.pdb"
+  "CMakeFiles/bench_fig6_ss_rect_volume.dir/bench_fig6_ss_rect_volume.cc.o"
+  "CMakeFiles/bench_fig6_ss_rect_volume.dir/bench_fig6_ss_rect_volume.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ss_rect_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

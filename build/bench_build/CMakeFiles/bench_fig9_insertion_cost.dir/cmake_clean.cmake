@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_insertion_cost"
+  "../bench/bench_fig9_insertion_cost.pdb"
+  "CMakeFiles/bench_fig9_insertion_cost.dir/bench_fig9_insertion_cost.cc.o"
+  "CMakeFiles/bench_fig9_insertion_cost.dir/bench_fig9_insertion_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_insertion_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

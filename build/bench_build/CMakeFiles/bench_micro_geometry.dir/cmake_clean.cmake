@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_geometry"
+  "../bench/bench_micro_geometry.pdb"
+  "CMakeFiles/bench_micro_geometry.dir/bench_micro_geometry.cc.o"
+  "CMakeFiles/bench_micro_geometry.dir/bench_micro_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

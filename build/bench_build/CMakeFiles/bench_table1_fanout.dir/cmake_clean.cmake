@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_fanout"
+  "../bench/bench_table1_fanout.pdb"
+  "CMakeFiles/bench_table1_fanout.dir/bench_table1_fanout.cc.o"
+  "CMakeFiles/bench_table1_fanout.dir/bench_table1_fanout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

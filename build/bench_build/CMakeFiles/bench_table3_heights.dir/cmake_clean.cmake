@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_heights"
+  "../bench/bench_table3_heights.pdb"
+  "CMakeFiles/bench_table3_heights.dir/bench_table3_heights.cc.o"
+  "CMakeFiles/bench_table3_heights.dir/bench_table3_heights.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_heights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

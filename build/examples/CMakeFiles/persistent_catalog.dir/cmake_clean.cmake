@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_catalog.dir/persistent_catalog.cpp.o"
+  "CMakeFiles/persistent_catalog.dir/persistent_catalog.cpp.o.d"
+  "persistent_catalog"
+  "persistent_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

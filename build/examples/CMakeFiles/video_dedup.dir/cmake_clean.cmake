@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_dedup.dir/video_dedup.cpp.o"
+  "CMakeFiles/video_dedup.dir/video_dedup.cpp.o.d"
+  "video_dedup"
+  "video_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/experiment.cc" "src/CMakeFiles/srtree.dir/benchlib/experiment.cc.o" "gcc" "src/CMakeFiles/srtree.dir/benchlib/experiment.cc.o.d"
+  "/root/repo/src/benchlib/options.cc" "src/CMakeFiles/srtree.dir/benchlib/options.cc.o" "gcc" "src/CMakeFiles/srtree.dir/benchlib/options.cc.o.d"
+  "/root/repo/src/benchlib/report.cc" "src/CMakeFiles/srtree.dir/benchlib/report.cc.o" "gcc" "src/CMakeFiles/srtree.dir/benchlib/report.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/srtree.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/srtree.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/srtree.dir/common/random.cc.o" "gcc" "src/CMakeFiles/srtree.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/srtree.dir/common/status.cc.o" "gcc" "src/CMakeFiles/srtree.dir/common/status.cc.o.d"
+  "/root/repo/src/core/sr_tree.cc" "src/CMakeFiles/srtree.dir/core/sr_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/core/sr_tree.cc.o.d"
+  "/root/repo/src/geometry/rect.cc" "src/CMakeFiles/srtree.dir/geometry/rect.cc.o" "gcc" "src/CMakeFiles/srtree.dir/geometry/rect.cc.o.d"
+  "/root/repo/src/geometry/sphere.cc" "src/CMakeFiles/srtree.dir/geometry/sphere.cc.o" "gcc" "src/CMakeFiles/srtree.dir/geometry/sphere.cc.o.d"
+  "/root/repo/src/geometry/volume.cc" "src/CMakeFiles/srtree.dir/geometry/volume.cc.o" "gcc" "src/CMakeFiles/srtree.dir/geometry/volume.cc.o.d"
+  "/root/repo/src/index/brute_force.cc" "src/CMakeFiles/srtree.dir/index/brute_force.cc.o" "gcc" "src/CMakeFiles/srtree.dir/index/brute_force.cc.o.d"
+  "/root/repo/src/index/knn.cc" "src/CMakeFiles/srtree.dir/index/knn.cc.o" "gcc" "src/CMakeFiles/srtree.dir/index/knn.cc.o.d"
+  "/root/repo/src/index/point_index.cc" "src/CMakeFiles/srtree.dir/index/point_index.cc.o" "gcc" "src/CMakeFiles/srtree.dir/index/point_index.cc.o.d"
+  "/root/repo/src/index/region_stats.cc" "src/CMakeFiles/srtree.dir/index/region_stats.cc.o" "gcc" "src/CMakeFiles/srtree.dir/index/region_stats.cc.o.d"
+  "/root/repo/src/kdb/kdb_tree.cc" "src/CMakeFiles/srtree.dir/kdb/kdb_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/kdb/kdb_tree.cc.o.d"
+  "/root/repo/src/rstar/rstar_tree.cc" "src/CMakeFiles/srtree.dir/rstar/rstar_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/rstar/rstar_tree.cc.o.d"
+  "/root/repo/src/sstree/ss_tree.cc" "src/CMakeFiles/srtree.dir/sstree/ss_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/sstree/ss_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/srtree.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/srtree.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/srtree.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/srtree.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/tvtree/tv_r_tree.cc" "src/CMakeFiles/srtree.dir/tvtree/tv_r_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/tvtree/tv_r_tree.cc.o.d"
+  "/root/repo/src/vamsplit/vam_split_r_tree.cc" "src/CMakeFiles/srtree.dir/vamsplit/vam_split_r_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/vamsplit/vam_split_r_tree.cc.o.d"
+  "/root/repo/src/workload/cluster.cc" "src/CMakeFiles/srtree.dir/workload/cluster.cc.o" "gcc" "src/CMakeFiles/srtree.dir/workload/cluster.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/srtree.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/srtree.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/histogram.cc" "src/CMakeFiles/srtree.dir/workload/histogram.cc.o" "gcc" "src/CMakeFiles/srtree.dir/workload/histogram.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/srtree.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/srtree.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/uniform.cc" "src/CMakeFiles/srtree.dir/workload/uniform.cc.o" "gcc" "src/CMakeFiles/srtree.dir/workload/uniform.cc.o.d"
+  "/root/repo/src/xtree/x_tree.cc" "src/CMakeFiles/srtree.dir/xtree/x_tree.cc.o" "gcc" "src/CMakeFiles/srtree.dir/xtree/x_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

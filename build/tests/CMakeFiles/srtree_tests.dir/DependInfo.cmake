@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/brute_force_test.cc" "tests/CMakeFiles/srtree_tests.dir/brute_force_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/brute_force_test.cc.o.d"
+  "/root/repo/tests/buffer_pool_test.cc" "tests/CMakeFiles/srtree_tests.dir/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/srtree_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/srtree_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/geometry_test.cc" "tests/CMakeFiles/srtree_tests.dir/geometry_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/geometry_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/srtree_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kdb_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/kdb_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/kdb_tree_test.cc.o.d"
+  "/root/repo/tests/knn_test.cc" "tests/CMakeFiles/srtree_tests.dir/knn_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/knn_test.cc.o.d"
+  "/root/repo/tests/page_file_test.cc" "tests/CMakeFiles/srtree_tests.dir/page_file_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/page_file_test.cc.o.d"
+  "/root/repo/tests/page_test.cc" "tests/CMakeFiles/srtree_tests.dir/page_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/page_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/srtree_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/srtree_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/region_stats_test.cc" "tests/CMakeFiles/srtree_tests.dir/region_stats_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/region_stats_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/srtree_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/rstar_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/rstar_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/rstar_tree_test.cc.o.d"
+  "/root/repo/tests/sr_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/sr_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/sr_tree_test.cc.o.d"
+  "/root/repo/tests/ss_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/ss_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/ss_tree_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/srtree_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/srtree_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/timer_test.cc" "tests/CMakeFiles/srtree_tests.dir/timer_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/timer_test.cc.o.d"
+  "/root/repo/tests/tree_property_test.cc" "tests/CMakeFiles/srtree_tests.dir/tree_property_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/tree_property_test.cc.o.d"
+  "/root/repo/tests/tv_r_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/tv_r_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/tv_r_tree_test.cc.o.d"
+  "/root/repo/tests/vam_split_r_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/vam_split_r_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/vam_split_r_tree_test.cc.o.d"
+  "/root/repo/tests/volume_test.cc" "tests/CMakeFiles/srtree_tests.dir/volume_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/volume_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/srtree_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/x_tree_test.cc" "tests/CMakeFiles/srtree_tests.dir/x_tree_test.cc.o" "gcc" "tests/CMakeFiles/srtree_tests.dir/x_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/srtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

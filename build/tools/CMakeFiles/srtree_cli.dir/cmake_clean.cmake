@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srtree_cli.dir/srtree_cli.cc.o"
+  "CMakeFiles/srtree_cli.dir/srtree_cli.cc.o.d"
+  "srtree_cli"
+  "srtree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srtree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
