@@ -1,43 +1,97 @@
 // Lightweight assertion macros in the spirit of glog's CHECK family.
 //
 // CHECK* macros are always on; DCHECK* compile to no-ops in NDEBUG builds.
-// A failed check prints the failing condition with its source location and
-// aborts, which is the appropriate response to a broken internal invariant
-// in a storage engine (continuing would corrupt pages).
+// A failed check prints the failing condition with its source location —
+// and, for the comparison forms, the two operand values — then aborts,
+// which is the appropriate response to a broken internal invariant in a
+// storage engine (continuing would corrupt pages).
+//
+// In NDEBUG builds the DCHECK* forms keep their argument inside an
+// unevaluated sizeof: nothing runs at runtime, but the condition is still
+// type-checked and variables appearing only in DCHECKs still count as used
+// (no -Wunused warnings, no bit-rot of the condition expression).
 
 #ifndef SRTREE_COMMON_CHECK_H_
 #define SRTREE_COMMON_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
-#define SRTREE_CHECK_IMPL(condition, text)                                 \
+namespace srtree::check_internal {
+
+// Best-effort stringification of a checked operand: streamable types print
+// their value, everything else a placeholder.
+template <typename T>
+std::string ValueString(const T& value) {
+  if constexpr (requires(std::ostream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* text) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, text);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOpFail(const char* file, int line,
+                                     const char* text, const std::string& lhs,
+                                     const std::string& rhs) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (lhs=%s, rhs=%s)\n", file,
+               line, text, lhs.c_str(), rhs.c_str());
+  std::abort();
+}
+
+}  // namespace srtree::check_internal
+
+#define CHECK(condition)                                                   \
   do {                                                                     \
     if (!(condition)) {                                                    \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
-                   __LINE__, text);                                        \
-      std::abort();                                                        \
+      ::srtree::check_internal::CheckFail(__FILE__, __LINE__, #condition); \
     }                                                                      \
   } while (0)
 
-#define CHECK(condition) SRTREE_CHECK_IMPL((condition), #condition)
-#define CHECK_EQ(a, b) SRTREE_CHECK_IMPL((a) == (b), #a " == " #b)
-#define CHECK_NE(a, b) SRTREE_CHECK_IMPL((a) != (b), #a " != " #b)
-#define CHECK_LT(a, b) SRTREE_CHECK_IMPL((a) < (b), #a " < " #b)
-#define CHECK_LE(a, b) SRTREE_CHECK_IMPL((a) <= (b), #a " <= " #b)
-#define CHECK_GT(a, b) SRTREE_CHECK_IMPL((a) > (b), #a " > " #b)
-#define CHECK_GE(a, b) SRTREE_CHECK_IMPL((a) >= (b), #a " >= " #b)
+// Evaluates each operand exactly once; on failure reports both values.
+#define SRTREE_CHECK_OP_IMPL(op, a, b, text)                       \
+  do {                                                             \
+    auto&& srtree_check_lhs_ = (a);                                \
+    auto&& srtree_check_rhs_ = (b);                                \
+    if (!(srtree_check_lhs_ op srtree_check_rhs_)) {               \
+      ::srtree::check_internal::CheckOpFail(                       \
+          __FILE__, __LINE__, text,                                \
+          ::srtree::check_internal::ValueString(srtree_check_lhs_), \
+          ::srtree::check_internal::ValueString(srtree_check_rhs_)); \
+    }                                                              \
+  } while (0)
+
+#define CHECK_EQ(a, b) SRTREE_CHECK_OP_IMPL(==, a, b, #a " == " #b)
+#define CHECK_NE(a, b) SRTREE_CHECK_OP_IMPL(!=, a, b, #a " != " #b)
+#define CHECK_LT(a, b) SRTREE_CHECK_OP_IMPL(<, a, b, #a " < " #b)
+#define CHECK_LE(a, b) SRTREE_CHECK_OP_IMPL(<=, a, b, #a " <= " #b)
+#define CHECK_GT(a, b) SRTREE_CHECK_OP_IMPL(>, a, b, #a " > " #b)
+#define CHECK_GE(a, b) SRTREE_CHECK_OP_IMPL(>=, a, b, #a " >= " #b)
 
 #ifdef NDEBUG
-#define DCHECK(condition) \
-  do {                    \
+// The sizeof operand is unevaluated: zero runtime cost, full type checking.
+// The ! forces a contextual conversion to bool, so non-boolean nonsense
+// (e.g. DCHECK(a = b) on incompatible types) fails to compile here too.
+#define SRTREE_DCHECK_NOOP(condition)  \
+  do {                                 \
+    (void)sizeof(!(condition));        \
   } while (0)
-#define DCHECK_EQ(a, b) DCHECK((a) == (b))
-#define DCHECK_NE(a, b) DCHECK((a) != (b))
-#define DCHECK_LT(a, b) DCHECK((a) < (b))
-#define DCHECK_LE(a, b) DCHECK((a) <= (b))
-#define DCHECK_GT(a, b) DCHECK((a) > (b))
-#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#define DCHECK(condition) SRTREE_DCHECK_NOOP(condition)
+#define DCHECK_EQ(a, b) SRTREE_DCHECK_NOOP((a) == (b))
+#define DCHECK_NE(a, b) SRTREE_DCHECK_NOOP((a) != (b))
+#define DCHECK_LT(a, b) SRTREE_DCHECK_NOOP((a) < (b))
+#define DCHECK_LE(a, b) SRTREE_DCHECK_NOOP((a) <= (b))
+#define DCHECK_GT(a, b) SRTREE_DCHECK_NOOP((a) > (b))
+#define DCHECK_GE(a, b) SRTREE_DCHECK_NOOP((a) >= (b))
 #else
 #define DCHECK(condition) CHECK(condition)
 #define DCHECK_EQ(a, b) CHECK_EQ(a, b)

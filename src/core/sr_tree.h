@@ -74,6 +74,8 @@ class SRTree : public PointIndex {
 
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
 
   // Reports both shapes of the leaf regions; the true region (their
   // intersection) is bounded above by each (Section 5.2).
@@ -90,11 +92,15 @@ class SRTree : public PointIndex {
     file_.SimulateCache(capacity);
   }
 
-  size_t leaf_capacity() const { return leaf_cap_; }
-  size_t node_capacity() const { return node_cap_; }
+  size_t leaf_capacity() const override { return leaf_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
 
  private:
+  // Test-only backdoor (tests/structural_auditor_test.cc): lets the
+  // auditor's negative tests corrupt pages directly to prove each violation
+  // class is detected and located.
+  friend struct SRTreeTestAccess;
   struct LeafEntry {
     Point point;
     uint32_t oid;
@@ -169,8 +175,8 @@ class SRTree : public PointIndex {
                    std::vector<Neighbor>& out);
 
   // --- validation / stats ---
-  Status CheckNode(const Node& node, const NodeEntry* expected,
-                   std::vector<Point>& subtree_points) const;
+  void VisitSubtree(const Node& node, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
   void CollectStats(const Node& node, TreeStats& stats) const;
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
 

@@ -1,0 +1,248 @@
+#include "src/debug/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/debug/structural_auditor.h"
+#include "src/index/brute_force.h"
+
+namespace srtree::debug {
+namespace {
+
+// Distances are computed by the same Distance() on the same doubles in the
+// index and the oracle, so in practice they agree bitwise; the tolerance
+// only guards against benign summation-order differences.
+constexpr double kDistEps = 1e-9;
+
+std::string FormatNeighbors(const std::vector<Neighbor>& n, size_t limit = 8) {
+  std::string s = "[";
+  for (size_t i = 0; i < n.size() && i < limit; ++i) {
+    if (i > 0) s += ", ";
+    s += "(" + std::to_string(n[i].oid) + ", d=" +
+         std::to_string(n[i].distance) + ")";
+  }
+  if (n.size() > limit) s += ", ...";
+  return s + "]";
+}
+
+}  // namespace
+
+Status MutationFuzzer::Run(std::unique_ptr<PointIndex>& index,
+                           const ReopenFn& reopen) {
+  CHECK(index != nullptr);
+  const int dim = index->dim();
+  stats_ = {};
+
+  BruteForceIndex::Options oracle_options;
+  oracle_options.dim = dim;
+  BruteForceIndex oracle(oracle_options);
+
+  Xoshiro256 rng(options_.seed);
+  std::vector<std::pair<Point, uint32_t>> live;
+  uint32_t next_oid = 0;
+  uint64_t op = 0;
+  size_t batch_index = 0;
+
+  const auto fail = [&](const std::string& what) {
+    return Status::Corruption("fuzz[" + index->name() +
+                              " seed=" + std::to_string(options_.seed) +
+                              " op=" + std::to_string(op) +
+                              " batch=" + std::to_string(batch_index) + "] " +
+                              what);
+  };
+
+  const auto random_point = [&]() {
+    Point p(static_cast<size_t>(dim));
+    for (double& c : p) c = rng.Uniform(options_.coord_lo, options_.coord_hi);
+    return p;
+  };
+
+  const auto query_point = [&]() {
+    if (!live.empty() && rng.NextDouble() < 0.5) {
+      Point p = live[rng.NextBounded(live.size())].first;
+      const double scale = 0.01 * (options_.coord_hi - options_.coord_lo);
+      for (double& c : p) c += rng.Gaussian() * scale;
+      return p;
+    }
+    return random_point();
+  };
+
+  const auto compare = [&](const char* tag, const Point& q,
+                           const std::vector<Neighbor>& got,
+                           const std::vector<Neighbor>& want) {
+    if (got.size() != want.size()) {
+      return fail(std::string(tag) + " size mismatch: index returned " +
+                  std::to_string(got.size()) + ", oracle " +
+                  std::to_string(want.size()) + "; index=" +
+                  FormatNeighbors(got) + " oracle=" + FormatNeighbors(want));
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i].oid != want[i].oid ||
+          std::abs(got[i].distance - want[i].distance) > kDistEps) {
+        return fail(std::string(tag) + " rank " + std::to_string(i) +
+                    " mismatch near query " + std::to_string(q[0]) +
+                    ",...: index=" + FormatNeighbors(got) +
+                    " oracle=" + FormatNeighbors(want));
+      }
+    }
+    return Status::OK();
+  };
+
+  const auto audit = [&]() {
+    ++stats_.audits;
+    const std::vector<Violation> violations =
+        StructuralAuditor().Audit(*index);
+    if (!violations.empty()) {
+      return fail("audit found " + std::to_string(violations.size()) +
+                  " violation(s); first: " + FormatViolation(violations[0]));
+    }
+    if (index->size() != oracle.size()) {
+      return fail("size() diverged: index " + std::to_string(index->size()) +
+                  " vs oracle " + std::to_string(oracle.size()));
+    }
+    return Status::OK();
+  };
+
+  const auto run_queries = [&]() {
+    for (int i = 0; i < options_.knn_queries_per_batch; ++i) {
+      ++stats_.knn_queries;
+      const Point q = query_point();
+      const int k = 1 + static_cast<int>(rng.NextBounded(
+                            static_cast<uint64_t>(options_.max_k)));
+      const std::vector<Neighbor> got = index->NearestNeighbors(q, k);
+      RETURN_IF_ERROR(compare("knn", q, got, oracle.NearestNeighbors(q, k)));
+      RETURN_IF_ERROR(compare("knn-best-first", q,
+                              index->NearestNeighborsBestFirst(q, k), got));
+    }
+    for (int i = 0; i < options_.range_queries_per_batch; ++i) {
+      ++stats_.range_queries;
+      const Point q = query_point();
+      double radius;
+      if (!live.empty()) {
+        const Point& anchor = live[rng.NextBounded(live.size())].first;
+        radius = Distance(q, anchor) * rng.Uniform(0.8, 1.2);
+      } else {
+        radius = rng.Uniform(0.0, options_.coord_hi - options_.coord_lo);
+      }
+      RETURN_IF_ERROR(compare("range", q, index->RangeSearch(q, radius),
+                              oracle.RangeSearch(q, radius)));
+    }
+    return Status::OK();
+  };
+
+  // Optional bulk-loaded starting population (the only way to exercise
+  // static structures).
+  if (options_.initial_points > 0) {
+    std::vector<Point> points;
+    std::vector<uint32_t> oids;
+    points.reserve(options_.initial_points);
+    for (size_t i = 0; i < options_.initial_points; ++i) {
+      points.push_back(random_point());
+      oids.push_back(next_oid);
+      live.emplace_back(points.back(), next_oid);
+      ++next_oid;
+    }
+    Status st = index->BulkLoad(points, oids);
+    if (!st.ok()) return fail("bulk load failed: " + st.ToString());
+    st = oracle.BulkLoad(points, oids);
+    if (!st.ok()) return fail("oracle bulk load failed: " + st.ToString());
+  }
+
+  const auto one_mutation = [&]() {
+    ++op;
+    const bool do_delete =
+        !live.empty() && rng.NextDouble() < options_.delete_fraction;
+    if (do_delete) {
+      if (rng.NextDouble() < options_.missing_delete_fraction) {
+        // Absent key: both sides must answer NotFound.
+        ++stats_.missing_deletes;
+        const Point p = random_point();
+        const uint32_t oid = next_oid + 1'000'000;
+        const Status a = index->Delete(p, oid);
+        const Status b = oracle.Delete(p, oid);
+        if (a.code() != b.code() || !a.IsNotFound()) {
+          return fail("missing-key delete: index said " + a.ToString() +
+                      ", oracle said " + b.ToString());
+        }
+        return Status::OK();
+      }
+      ++stats_.deletes;
+      const size_t pick = rng.NextBounded(live.size());
+      const Point p = live[pick].first;
+      const uint32_t oid = live[pick].second;
+      const Status a = index->Delete(p, oid);
+      const Status b = oracle.Delete(p, oid);
+      if (!a.ok() || !b.ok()) {
+        return fail("live delete of oid " + std::to_string(oid) +
+                    ": index said " + a.ToString() + ", oracle said " +
+                    b.ToString());
+      }
+      live[pick] = live.back();
+      live.pop_back();
+      return Status::OK();
+    }
+    ++stats_.inserts;
+    Point p;
+    if (!live.empty() && rng.NextDouble() < options_.duplicate_fraction) {
+      p = live[rng.NextBounded(live.size())].first;  // duplicate point
+    } else {
+      p = random_point();
+    }
+    const uint32_t oid = next_oid++;
+    const Status a = index->Insert(p, oid);
+    const Status b = oracle.Insert(p, oid);
+    if (!a.ok() || !b.ok()) {
+      return fail("insert of oid " + std::to_string(oid) + ": index said " +
+                  a.ToString() + ", oracle said " + b.ToString());
+    }
+    live.emplace_back(std::move(p), oid);
+    return Status::OK();
+  };
+
+  const auto end_batch = [&]() {
+    RETURN_IF_ERROR(run_queries());
+    if (options_.audit_every_batch) RETURN_IF_ERROR(audit());
+    if (reopen != nullptr && options_.reopen_every_batches > 0 &&
+        (batch_index + 1) % options_.reopen_every_batches == 0) {
+      ++stats_.reopens;
+      StatusOr<std::unique_ptr<PointIndex>> reopened = reopen(*index);
+      if (!reopened.ok()) {
+        return fail("reopen failed: " + reopened.status().ToString());
+      }
+      index = std::move(reopened).value();
+      CHECK(index != nullptr);
+      RETURN_IF_ERROR(audit());
+      RETURN_IF_ERROR(run_queries());
+    }
+    ++batch_index;
+    return Status::OK();
+  };
+
+  if (options_.num_mutations == 0) {
+    for (size_t b = 0; b < options_.query_only_batches; ++b) {
+      RETURN_IF_ERROR(end_batch());
+    }
+  } else {
+    size_t done = 0;
+    while (done < options_.num_mutations) {
+      const size_t batch =
+          std::min(options_.batch_size, options_.num_mutations - done);
+      for (size_t i = 0; i < batch; ++i) {
+        RETURN_IF_ERROR(one_mutation());
+      }
+      done += batch;
+      RETURN_IF_ERROR(end_batch());
+    }
+  }
+
+  // Final audit so a run that ends mid-batch still leaves a verified tree.
+  RETURN_IF_ERROR(audit());
+  return Status::OK();
+}
+
+}  // namespace srtree::debug

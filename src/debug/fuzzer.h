@@ -1,0 +1,92 @@
+// MutationFuzzer: deterministic randomized differential testing for any
+// PointIndex implementation.
+//
+// The fuzzer drives an index through a seeded interleaving of Insert,
+// Delete (present and absent keys, duplicate points), NearestNeighbors,
+// NearestNeighborsBestFirst, and RangeSearch, mirroring every mutation
+// into a BruteForceIndex oracle. After every batch it cross-checks query
+// results against the oracle, verifies the size bookkeeping, runs the
+// debug::StructuralAuditor, and (optionally) round-trips the index through
+// a caller-supplied Save/Open hook. Every failure message carries the seed
+// and operation number, so a run is reproducible from the test log alone.
+
+#ifndef SRTREE_DEBUG_FUZZER_H_
+#define SRTREE_DEBUG_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/index/point_index.h"
+
+namespace srtree::debug {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  // Number of Insert/Delete operations. 0 = query-only mode for static
+  // structures: bulk-load `initial_points`, then run `query_only_batches`
+  // batches of queries and audits.
+  size_t num_mutations = 5000;
+  size_t batch_size = 250;  // cross-check / audit cadence
+  size_t initial_points = 0;
+  size_t query_only_batches = 8;
+
+  // Mutation mix. Deletes target a live (point, oid) pair, except for a
+  // `missing_delete_fraction` share aimed at absent keys (both the index
+  // and the oracle must answer NotFound). A `duplicate_fraction` share of
+  // inserts reuses a live point under a fresh oid.
+  double delete_fraction = 0.35;
+  double duplicate_fraction = 0.05;
+  double missing_delete_fraction = 0.1;
+
+  int knn_queries_per_batch = 8;
+  int range_queries_per_batch = 8;
+  int max_k = 12;
+
+  // Coordinates are drawn uniformly from [coord_lo, coord_hi)^dim, with
+  // half the query points jittered off live data points.
+  double coord_lo = 0.0;
+  double coord_hi = 1.0;
+
+  // Round-trip through the ReopenFn every N batches (0 = never).
+  size_t reopen_every_batches = 0;
+  bool audit_every_batch = true;
+};
+
+struct FuzzStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t missing_deletes = 0;
+  uint64_t knn_queries = 0;
+  uint64_t range_queries = 0;
+  uint64_t audits = 0;
+  uint64_t reopens = 0;
+};
+
+class MutationFuzzer {
+ public:
+  // Persists and reopens the index (e.g. SRTree::Save + SRTree::Open); the
+  // returned instance replaces the fuzzed one.
+  using ReopenFn =
+      std::function<StatusOr<std::unique_ptr<PointIndex>>(PointIndex&)>;
+
+  explicit MutationFuzzer(const FuzzOptions& options) : options_(options) {}
+
+  // Runs the schedule against `index` (replaced in place by the reopen
+  // hook). OK when the run completes with no divergence from the oracle
+  // and no audit violations; otherwise a Corruption status naming the
+  // seed, operation number, and first failure.
+  Status Run(std::unique_ptr<PointIndex>& index,
+             const ReopenFn& reopen = nullptr);
+
+  const FuzzStats& stats() const { return stats_; }
+
+ private:
+  FuzzOptions options_;
+  FuzzStats stats_;
+};
+
+}  // namespace srtree::debug
+
+#endif  // SRTREE_DEBUG_FUZZER_H_

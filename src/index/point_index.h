@@ -14,6 +14,7 @@
 
 #include "src/common/status.h"
 #include "src/geometry/point.h"
+#include "src/index/node_view.h"
 #include "src/index/region_stats.h"
 #include "src/storage/io_stats.h"
 
@@ -96,8 +97,22 @@ class PointIndex {
   // Structural maintenance counters (see MaintenanceStats).
   virtual MaintenanceStats GetMaintenanceStats() const { return {}; }
 
+  // Preorder walk over the index's node pages, presenting each as a
+  // tree-agnostic NodeView (see src/index/node_view.h). Uses no I/O
+  // accounting. Flat structures visit nothing; that is the default.
+  virtual void VisitNodes(const NodeVisitor& visitor) const {
+    (void)visitor;
+  }
+
+  // Declares which structural rules this index's VisitNodes() output obeys;
+  // consumed by debug::StructuralAuditor. The default describes a structure
+  // with no nodes.
+  virtual AuditSpec GetAuditSpec() const { return {}; }
+
   // Deep structural validation (region containment, utilization, balance).
   // Used by tests and debug builds; walks pages without I/O accounting.
+  // Every tree routes this through debug::StructuralAuditor, which reports
+  // the first violation (with its node path) as a Corruption status.
   virtual Status CheckInvariants() const = 0;
 
   // Geometry of leaf-level regions — volumes and diameters for the

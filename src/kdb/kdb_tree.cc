@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "src/common/check.h"
+#include "src/debug/structural_auditor.h"
 
 namespace srtree {
 namespace {
@@ -551,65 +552,41 @@ void KdbTree::CollectRegions(const Node& node,
   }
 }
 
-Status KdbTree::CheckInvariants() const {
-  uint64_t points_seen = 0;
-  const Node root = PeekNode(root_id_);
-  if (root.level != root_level_) {
-    return Status::Corruption("root level mismatch");
-  }
-  RETURN_IF_ERROR(CheckNode(root, Domain(), points_seen));
-  if (points_seen != size_) {
-    return Status::Corruption("point count mismatch");
-  }
-  return Status::OK();
+Status KdbTree::CheckInvariants() const { return debug::AuditIndex(*this); }
+
+void KdbTree::VisitNodes(const NodeVisitor& visitor) const {
+  std::vector<int> path;
+  VisitSubtree(PeekNode(root_id_), path, visitor);
 }
 
-Status KdbTree::CheckNode(const Node& node, const Rect& region,
-                          uint64_t& points_seen) const {
-  if (node.count() > Capacity(node)) {
-    return Status::Corruption("node above capacity");
-  }
-  if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      if (!region.Contains(e.point)) {
-        return Status::Corruption("point outside its page region");
-      }
-    }
-    points_seen += node.points.size();
-    return Status::OK();
-  }
-  if (node.children.empty()) {
-    return Status::Corruption("empty region page breaks the partition");
-  }
-  // Children must lie inside the region and have pairwise disjoint
-  // interiors (shared faces are allowed).
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    const Rect& a = node.children[i].region;
-    if (!region.ContainsRect(a)) {
-      return Status::Corruption("child region escapes parent region");
-    }
-    for (size_t j = i + 1; j < node.children.size(); ++j) {
-      const Rect& b = node.children[j].region;
-      bool interior_overlap = true;
-      for (int d = 0; d < options_.dim; ++d) {
-        if (std::max(a.lo()[d], b.lo()[d]) >= std::min(a.hi()[d], b.hi()[d])) {
-          interior_overlap = false;
-          break;
-        }
-      }
-      if (interior_overlap) {
-        return Status::Corruption("sibling regions overlap");
-      }
-    }
-  }
+void KdbTree::VisitSubtree(const Node& node, std::vector<int>& path,
+                           const NodeVisitor& visitor) const {
+  NodeView view;
+  view.level = node.level;
+  view.capacity = Capacity(node);
+  view.min_entries = 0;  // the K-D-B-tree gives no utilization guarantee
+  view.entries.reserve(node.children.size());
   for (const NodeEntry& e : node.children) {
-    const Node child = PeekNode(e.child);
-    if (child.level != node.level - 1) {
-      return Status::Corruption("child level mismatch (unbalanced tree)");
-    }
-    RETURN_IF_ERROR(CheckNode(child, e.region, points_seen));
+    view.entries.push_back(EntryView{&e.region, /*sphere=*/nullptr,
+                                     /*weight=*/0, /*has_weight=*/false});
   }
-  return Status::OK();
+  view.points.reserve(node.points.size());
+  for (const LeafEntry& e : node.points) view.points.push_back(e.point);
+  visitor(path, view);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    path.push_back(static_cast<int>(i));
+    VisitSubtree(PeekNode(node.children[i].child), path, visitor);
+    path.pop_back();
+  }
+}
+
+AuditSpec KdbTree::GetAuditSpec() const {
+  AuditSpec spec;
+  spec.dim = options_.dim;
+  // Child regions tile their parent disjointly; the root tiles the domain.
+  spec.rect_semantics = RectSemantics::kPartition;
+  spec.domain = Domain();
+  return spec;
 }
 
 }  // namespace srtree

@@ -53,6 +53,8 @@ class KdbTree : public PointIndex {
 
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
 
   // Reports the MBR of the points in each point page (the K-D-B-tree's own
   // regions tile the whole domain, so their raw volumes are meaningless for
@@ -70,8 +72,8 @@ class KdbTree : public PointIndex {
     file_.SimulateCache(capacity);
   }
 
-  size_t leaf_capacity() const { return leaf_cap_; }
-  size_t node_capacity() const { return node_cap_; }
+  size_t leaf_capacity() const override { return leaf_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
 
  private:
@@ -135,8 +137,8 @@ class KdbTree : public PointIndex {
   bool DeleteFrom(PageId id, int level, PointView point, uint32_t oid);
 
   // --- validation / stats ---
-  Status CheckNode(const Node& node, const Rect& region,
-                   uint64_t& points_seen) const;
+  void VisitSubtree(const Node& node, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
   void CollectStats(const Node& node, TreeStats& stats) const;
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
 

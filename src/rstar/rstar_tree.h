@@ -50,6 +50,8 @@ class RStarTree : public PointIndex {
 
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
   RegionSummary LeafRegionSummary() const override;
 
   MaintenanceStats GetMaintenanceStats() const override {
@@ -64,8 +66,8 @@ class RStarTree : public PointIndex {
   }
 
   // Fanout limits implied by the page layout (Table 1 of the paper).
-  size_t leaf_capacity() const { return leaf_cap_; }
-  size_t node_capacity() const { return node_cap_; }
+  size_t leaf_capacity() const override { return leaf_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
 
  private:
@@ -138,8 +140,8 @@ class RStarTree : public PointIndex {
                    std::vector<Neighbor>& out);
 
   // --- validation / stats ---
-  Status CheckNode(const Node& node, const Rect* expected_rect,
-                   uint64_t& points_seen) const;
+  void VisitSubtree(const Node& node, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
   void CollectStats(const Node& node, TreeStats& stats) const;
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
 

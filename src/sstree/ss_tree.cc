@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/check.h"
+#include "src/debug/structural_auditor.h"
 #include "src/geometry/rect.h"
 
 namespace srtree {
@@ -675,70 +676,42 @@ void SSTree::CollectRegions(const Node& node,
   }
 }
 
-Status SSTree::CheckInvariants() const {
-  const Node root = PeekNode(root_id_);
-  if (root.level != root_level_) {
-    return Status::Corruption("root level mismatch");
-  }
-  if (!root.is_leaf() && root.children.size() < 2) {
-    return Status::Corruption("internal root must have >= 2 children");
-  }
-  std::vector<Point> points;
-  RETURN_IF_ERROR(CheckNode(root, /*expected=*/nullptr, points));
-  if (points.size() != size_) {
-    return Status::Corruption("point count mismatch");
-  }
-  return Status::OK();
+Status SSTree::CheckInvariants() const { return debug::AuditIndex(*this); }
+
+void SSTree::VisitNodes(const NodeVisitor& visitor) const {
+  std::vector<int> path;
+  VisitSubtree(PeekNode(root_id_), path, visitor);
 }
 
-Status SSTree::CheckNode(const Node& node, const NodeEntry* expected,
-                         std::vector<Point>& subtree_points) const {
-  const bool is_root = expected == nullptr;
-  if (!is_root && node.count() < MinEntries(node)) {
-    return Status::Corruption("node below minimum utilization");
+void SSTree::VisitSubtree(const Node& node, std::vector<int>& path,
+                          const NodeVisitor& visitor) const {
+  NodeView view;
+  view.level = node.level;
+  view.capacity = Capacity(node);
+  view.min_entries = MinEntries(node);
+  view.entries.reserve(node.children.size());
+  for (const NodeEntry& e : node.children) {
+    view.entries.push_back(EntryView{/*rect=*/nullptr, &e.sphere, e.weight,
+                                     /*has_weight=*/true});
   }
-  if (node.count() > Capacity(node)) {
-    return Status::Corruption("node above capacity");
+  view.points.reserve(node.points.size());
+  for (const LeafEntry& e : node.points) view.points.push_back(e.point);
+  visitor(path, view);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    path.push_back(static_cast<int>(i));
+    VisitSubtree(PeekNode(node.children[i].child), path, visitor);
+    path.pop_back();
   }
+}
 
-  std::vector<Point> local;
-  if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) local.push_back(e.point);
-  } else {
-    uint64_t weight_sum = 0;
-    for (const NodeEntry& e : node.children) {
-      const Node child = PeekNode(e.child);
-      if (child.level != node.level - 1) {
-        return Status::Corruption("child level mismatch (unbalanced tree)");
-      }
-      std::vector<Point> child_points;
-      RETURN_IF_ERROR(CheckNode(child, &e, child_points));
-      weight_sum += e.weight;
-      for (Point& p : child_points) local.push_back(std::move(p));
-    }
-    if (!is_root) {
-      // weight consistency is validated against the actual point count.
-      if (weight_sum != local.size()) {
-        return Status::Corruption("child weights do not sum to point count");
-      }
-    }
-  }
-
-  if (expected != nullptr) {
-    if (expected->weight != local.size()) {
-      return Status::Corruption("entry weight mismatch");
-    }
-    const Sphere& sphere = expected->sphere;
-    for (const Point& p : local) {
-      if (Distance(sphere.center(), p) >
-          sphere.radius() * (1.0 + kEps) + kEps) {
-        return Status::Corruption("point escapes bounding sphere");
-      }
-    }
-  }
-
-  for (Point& p : local) subtree_points.push_back(std::move(p));
-  return Status::OK();
+AuditSpec SSTree::GetAuditSpec() const {
+  AuditSpec spec;
+  spec.dim = options_.dim;
+  spec.rect_semantics = RectSemantics::kNone;  // spheres are the only shape
+  spec.has_spheres = true;
+  spec.has_weights = true;
+  spec.internal_root_min2 = true;
+  return spec;
 }
 
 }  // namespace srtree

@@ -47,6 +47,8 @@ class SSTree : public PointIndex {
 
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
 
   // Reports both the leaf bounding spheres (the SS-tree's real regions) and
   // the bounding rectangles of the same leaves — the Figure 6 measurement.
@@ -63,8 +65,8 @@ class SSTree : public PointIndex {
     file_.SimulateCache(capacity);
   }
 
-  size_t leaf_capacity() const { return leaf_cap_; }
-  size_t node_capacity() const { return node_cap_; }
+  size_t leaf_capacity() const override { return leaf_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
 
  private:
@@ -142,8 +144,8 @@ class SSTree : public PointIndex {
                    std::vector<Neighbor>& out);
 
   // --- validation / stats ---
-  Status CheckNode(const Node& node, const NodeEntry* expected,
-                   std::vector<Point>& subtree_points) const;
+  void VisitSubtree(const Node& node, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
   void CollectStats(const Node& node, TreeStats& stats) const;
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
 

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/check.h"
+#include "src/debug/structural_auditor.h"
 
 namespace srtree {
 namespace {
@@ -711,49 +712,44 @@ void TvRTree::CollectRegions(const Node& node,
   }
 }
 
-Status TvRTree::CheckInvariants() const {
-  uint64_t points_seen = 0;
-  const Node root = PeekNode(root_id_);
-  if (root.level != root_level_) {
-    return Status::Corruption("root level mismatch");
-  }
-  if (!root.is_leaf() && root.children.size() < 2) {
-    return Status::Corruption("internal root must have >= 2 children");
-  }
-  RETURN_IF_ERROR(CheckNode(root, /*expected_rect=*/nullptr, points_seen));
-  if (points_seen != size_) {
-    return Status::Corruption("point count mismatch");
-  }
-  return Status::OK();
+Status TvRTree::CheckInvariants() const { return debug::AuditIndex(*this); }
+
+void TvRTree::VisitNodes(const NodeVisitor& visitor) const {
+  std::vector<int> path;
+  VisitSubtree(PeekNode(root_id_), path, visitor);
 }
 
-Status TvRTree::CheckNode(const Node& node, const Rect* expected_rect,
-                            uint64_t& points_seen) const {
-  const bool is_root = expected_rect == nullptr;
-  if (!is_root && node.count() < MinEntries(node)) {
-    return Status::Corruption("node below minimum utilization");
-  }
-  if (node.count() > Capacity(node)) {
-    return Status::Corruption("node above capacity");
-  }
-  if (!is_root || node.count() > 0) {
-    const Rect actual = NodeBoundingRect(node);
-    if (expected_rect != nullptr && !(actual == *expected_rect)) {
-      return Status::Corruption("parent entry rect is not the exact MBR");
-    }
-  }
-  if (node.is_leaf()) {
-    points_seen += node.points.size();
-    return Status::OK();
-  }
+void TvRTree::VisitSubtree(const Node& node, std::vector<int>& path,
+                           const NodeVisitor& visitor) const {
+  NodeView view;
+  view.level = node.level;
+  view.capacity = Capacity(node);
+  view.min_entries = MinEntries(node);
+  view.entries.reserve(node.children.size());
   for (const NodeEntry& e : node.children) {
-    const Node child = PeekNode(e.child);
-    if (child.level != node.level - 1) {
-      return Status::Corruption("child level mismatch (unbalanced tree)");
-    }
-    RETURN_IF_ERROR(CheckNode(child, &e.rect, points_seen));
+    view.entries.push_back(EntryView{&e.rect, /*sphere=*/nullptr,
+                                     /*weight=*/0, /*has_weight=*/false});
   }
-  return Status::OK();
+  // Regions live in the active subspace, so the leaf points are presented
+  // projected onto it (matching GetAuditSpec().dim).
+  view.points.reserve(node.points.size());
+  for (const LeafEntry& e : node.points) {
+    view.points.push_back(ActiveView(e.point));
+  }
+  visitor(path, view);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    path.push_back(static_cast<int>(i));
+    VisitSubtree(PeekNode(node.children[i].child), path, visitor);
+    path.pop_back();
+  }
+}
+
+AuditSpec TvRTree::GetAuditSpec() const {
+  AuditSpec spec;
+  spec.dim = active_dims_;  // rects span the active subspace only
+  spec.rect_semantics = RectSemantics::kExactMbr;
+  spec.internal_root_min2 = true;
+  return spec;
 }
 
 }  // namespace srtree

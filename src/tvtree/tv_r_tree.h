@@ -55,6 +55,8 @@ class TvRTree : public PointIndex {
 
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
 
   // Leaf regions are rectangles in the ACTIVE subspace; their volumes and
   // diagonals are measured there.
@@ -71,8 +73,8 @@ class TvRTree : public PointIndex {
     file_.SimulateCache(capacity);
   }
 
-  size_t leaf_capacity() const { return leaf_cap_; }
-  size_t node_capacity() const { return node_cap_; }
+  size_t leaf_capacity() const override { return leaf_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
 
  private:
@@ -149,8 +151,8 @@ class TvRTree : public PointIndex {
                    std::vector<Neighbor>& out);
 
   // --- validation / stats ---
-  Status CheckNode(const Node& node, const Rect* expected_rect,
-                   uint64_t& points_seen) const;
+  void VisitSubtree(const Node& node, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
   void CollectStats(const Node& node, TreeStats& stats) const;
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
 

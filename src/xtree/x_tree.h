@@ -59,6 +59,8 @@ class XTree : public PointIndex {
 
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
   RegionSummary LeafRegionSummary() const override;
 
   MaintenanceStats GetMaintenanceStats() const override {
@@ -72,9 +74,9 @@ class XTree : public PointIndex {
     file_.SimulateCache(capacity);
   }
 
-  size_t leaf_capacity() const { return leaf_cap_; }
+  size_t leaf_capacity() const override { return leaf_cap_; }
   // Entries per directory PAGE; a supernode of p pages holds p times this.
-  size_t node_capacity() const { return node_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
 
   // X-tree-specific statistics.
@@ -164,8 +166,8 @@ class XTree : public PointIndex {
                    std::vector<Neighbor>& out);
 
   // --- validation / stats ---
-  Status CheckNode(const Node& node, const Rect* expected_rect,
-                   uint64_t& points_seen) const;
+  void VisitSubtree(const Node& node, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
   void CollectStats(const Node& node, TreeStats& stats) const;
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
   void CollectSupernodes(const Node& node, SupernodeStats& stats) const;

@@ -1,0 +1,127 @@
+// Mutation-fuzz harness run: every tree variant is driven through seeded
+// randomized interleavings of Insert / Delete / NearestNeighbors /
+// BestFirst / RangeSearch (plus Save/Open for the SR-tree), cross-checked
+// against the brute-force oracle, with the structural auditor run after
+// every batch. Seeds are fixed, so a failure reproduces from the log.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sr_tree.h"
+#include "src/debug/fuzzer.h"
+#include "tests/test_util.h"
+
+namespace srtree {
+namespace {
+
+using testing::MakeSmallPageIndex;
+using testing::TypeToken;
+
+struct FuzzParam {
+  IndexType type;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<FuzzParam>& info) {
+  return TypeToken(info.param.type) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(MutationFuzzTest, RandomizedOpsMatchBruteForceAndStayAudited) {
+  constexpr int kDim = 4;
+  std::unique_ptr<PointIndex> index =
+      MakeSmallPageIndex(GetParam().type, kDim);
+
+  debug::FuzzOptions options;
+  options.seed = GetParam().seed;
+  options.num_mutations = 5000;
+  options.batch_size = 250;
+
+  debug::MutationFuzzer fuzzer(options);
+  const Status status = fuzzer.Run(index);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(fuzzer.stats().inserts + fuzzer.stats().deletes +
+                fuzzer.stats().missing_deletes,
+            options.num_mutations);
+  EXPECT_GE(fuzzer.stats().audits, options.num_mutations / options.batch_size);
+}
+
+// The six dynamic tree variants, two fixed seeds each.
+INSTANTIATE_TEST_SUITE_P(
+    AllDynamicTrees, MutationFuzzTest,
+    ::testing::Values(FuzzParam{IndexType::kSRTree, 101},
+                      FuzzParam{IndexType::kSRTree, 202},
+                      FuzzParam{IndexType::kSSTree, 101},
+                      FuzzParam{IndexType::kSSTree, 202},
+                      FuzzParam{IndexType::kRStarTree, 101},
+                      FuzzParam{IndexType::kRStarTree, 202},
+                      FuzzParam{IndexType::kKdbTree, 101},
+                      FuzzParam{IndexType::kKdbTree, 202},
+                      FuzzParam{IndexType::kXTree, 101},
+                      FuzzParam{IndexType::kXTree, 202},
+                      FuzzParam{IndexType::kTvTree, 101},
+                      FuzzParam{IndexType::kTvTree, 202}),
+    ParamName);
+
+// The static VAMSplit R-tree cannot absorb mutations; it gets a bulk load
+// followed by query-only batches with the auditor enabled.
+TEST(MutationFuzzStaticTest, VamSplitQueryOnlyFuzz) {
+  constexpr int kDim = 4;
+  std::unique_ptr<PointIndex> index =
+      MakeSmallPageIndex(IndexType::kVamSplitRTree, kDim);
+
+  debug::FuzzOptions options;
+  options.seed = 303;
+  options.num_mutations = 0;
+  options.initial_points = 3000;
+  options.query_only_batches = 10;
+  options.knn_queries_per_batch = 25;
+  options.range_queries_per_batch = 25;
+
+  debug::MutationFuzzer fuzzer(options);
+  const Status status = fuzzer.Run(index);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(fuzzer.stats().knn_queries, 250u);
+}
+
+// SR-tree with Save/Open round-trips interleaved into the schedule: the
+// reopened tree must hold identical contents and still pass the audit.
+TEST(MutationFuzzPersistenceTest, SrTreeSurvivesSaveOpenRoundTrips) {
+  SRTree::Options tree_options;
+  tree_options.dim = 4;
+  tree_options.page_size = 2048;
+  tree_options.leaf_data_size = 0;
+  std::unique_ptr<PointIndex> index =
+      std::make_unique<SRTree>(tree_options);
+
+  const std::string path =
+      ::testing::TempDir() + "/fuzz_sr_roundtrip.srtree";
+
+  debug::FuzzOptions options;
+  options.seed = 404;
+  options.num_mutations = 5000;
+  options.batch_size = 250;
+  options.reopen_every_batches = 4;
+
+  debug::MutationFuzzer fuzzer(options);
+  const Status status = fuzzer.Run(
+      index,
+      [&path](PointIndex& current)
+          -> StatusOr<std::unique_ptr<PointIndex>> {
+        auto& tree = dynamic_cast<SRTree&>(current);
+        RETURN_IF_ERROR(tree.Save(path));
+        StatusOr<std::unique_ptr<SRTree>> reopened = SRTree::Open(path);
+        if (!reopened.ok()) return reopened.status();
+        return std::unique_ptr<PointIndex>(std::move(reopened).value());
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(fuzzer.stats().reopens, 4u);
+}
+
+}  // namespace
+}  // namespace srtree

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Structural lint for the SR-tree sources.
+
+Checks (all cheap, no compiler needed):
+  * Header guards follow SRTREE_<PATH>_H_ with the leading src/ stripped
+    (src/storage/page_file.h -> SRTREE_STORAGE_PAGE_FILE_H_,
+    tests/test_util.h -> SRTREE_TESTS_TEST_UTIL_H_).
+  * Quoted #includes of first-party headers are repo-root-relative
+    ("src/..." / "tests/..." / "bench/..."), never "../" or bare names.
+  * No `using namespace` at any scope inside headers.
+
+Usage: tools/lint.py [repo_root]    (exit 0 clean, 1 with findings)
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
+HEADER_SUFFIXES = (".h", ".hpp")
+SOURCE_SUFFIXES = HEADER_SUFFIXES + (".cc", ".cpp")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\S+)")
+
+
+def expected_guard(rel_path: pathlib.PurePosixPath) -> str:
+    parts = rel_path.parts
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return f"SRTREE_{stem.upper()}_"
+
+
+def tracked_sources(root: pathlib.Path) -> list[pathlib.PurePosixPath]:
+    out = subprocess.run(
+        ["git", "ls-files", *FIRST_PARTY_DIRS],
+        cwd=root, capture_output=True, text=True, check=True)
+    return [pathlib.PurePosixPath(line) for line in out.stdout.splitlines()
+            if line.endswith(SOURCE_SUFFIXES)]
+
+
+def check_file(root: pathlib.Path, rel: pathlib.PurePosixPath) -> list[str]:
+    problems = []
+    lines = (root / rel).read_text(encoding="utf-8").splitlines()
+    is_header = rel.suffix in HEADER_SUFFIXES
+
+    if is_header:
+        want = expected_guard(rel)
+        ifndef = define = None
+        for line in lines:
+            if ifndef is None:
+                m = GUARD_IFNDEF_RE.match(line)
+                if m:
+                    ifndef = m.group(1)
+                continue
+            m = GUARD_DEFINE_RE.match(line)
+            if m:
+                define = m.group(1)
+            break
+        if ifndef != want or define != want:
+            got = ifndef if ifndef == define else f"{ifndef} / {define}"
+            problems.append(f"{rel}: header guard is {got}, want {want}")
+
+    for lineno, line in enumerate(lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            inc = m.group(1)
+            first = inc.split("/", 1)[0]
+            if first not in FIRST_PARTY_DIRS:
+                problems.append(
+                    f"{rel}:{lineno}: quoted include \"{inc}\" is not "
+                    f"repo-root-relative (expected src/..., tests/..., ...)")
+        if is_header and USING_NAMESPACE_RE.match(line):
+            problems.append(
+                f"{rel}:{lineno}: `using namespace` in a header")
+    return problems
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
+                        pathlib.Path(__file__).resolve().parent.parent)
+    problems = []
+    files = tracked_sources(root)
+    for rel in files:
+        problems.extend(check_file(root, rel))
+    for p in problems:
+        print(p)
+    print(f"lint.py: {len(files)} files, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the first-party sources using the compile database
+# of an existing build directory (default: build/).
+#
+#   ./tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments without LLVM (the CI lint job installs it).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: $tidy_bin not found; skipping (install LLVM or set CLANG_TIDY)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: $build_dir/compile_commands.json missing." >&2
+  echo "Configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+cd "$repo_root"
+mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' \
+                                    'tools/*.cc' 'examples/*.cpp')
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no sources found" >&2
+  exit 1
+fi
+
+echo "clang-tidy (${tidy_bin}): ${#sources[@]} files against $build_dir"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+      "$@" "${sources[@]}"
+else
+  "$tidy_bin" -p "$build_dir" --quiet "$@" "${sources[@]}"
+fi
