@@ -26,12 +26,9 @@ void RunOn(const std::string& label, const Dataset& data,
     uint64_t dfs_reads = 0;
     uint64_t bf_reads = 0;
     for (const Point& q : queries) {
-      index->ResetIoStats();
-      (void)index->NearestNeighbors(q, options.k);
-      dfs_reads += index->io_stats().reads;
-      index->ResetIoStats();
-      (void)index->NearestNeighborsBestFirst(q, options.k);
-      bf_reads += index->io_stats().reads;
+      dfs_reads += index->Search(q, QuerySpec::Knn(options.k)).io.reads;
+      bf_reads +=
+          index->Search(q, QuerySpec::KnnBestFirst(options.k)).io.reads;
     }
     const double n = static_cast<double>(queries.size());
     table.AddRow({index->name(),

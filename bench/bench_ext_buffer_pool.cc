@@ -41,13 +41,12 @@ int Run(const BenchOptions& options) {
                                     std::to_string(stats.node_count)};
     for (const size_t pool : pool_sizes) {
       index->SimulateBufferPool(pool);
-      index->ResetIoStats();
+      IoStatsDelta io;
       for (const Point& q : queries) {
-        (void)index->NearestNeighbors(q, options.k);
+        io.MergeFrom(index->Search(q, QuerySpec::Knn(options.k)).io);
       }
-      const double misses =
-          static_cast<double>(index->io_stats().cache_misses) /
-          static_cast<double>(queries.size());
+      const double misses = static_cast<double>(io.cache_misses) /
+                            static_cast<double>(queries.size());
       row.push_back(FormatNum(misses));
     }
     index->SimulateBufferPool(0);

@@ -141,20 +141,22 @@ QueryMetrics RunKnnWorkload(PointIndex& index,
   metrics.num_queries = queries.size();
   if (queries.empty()) return metrics;
 
-  index.ResetIoStats();
+  // Per-query deltas add up to exactly what the old reset-then-peek pattern
+  // measured, without mutating the index's global counters.
+  IoStatsDelta io;
   CpuTimer timer;
   for (const Point& q : queries) {
-    const std::vector<Neighbor> result = index.NearestNeighbors(q, k);
-    CHECK(!result.empty());
+    const QueryResult result = index.Search(q, QuerySpec::Knn(k));
+    CHECK(result.status.ok());
+    CHECK(!result.neighbors.empty());
+    io.MergeFrom(result.io);
   }
   const double total_cpu_ms = timer.ElapsedMillis();
-  const IoStats& io = index.io_stats();
   const double n = static_cast<double>(queries.size());
   metrics.cpu_ms = total_cpu_ms / n;
   metrics.disk_reads = static_cast<double>(io.reads) / n;
-  metrics.leaf_reads = static_cast<double>(io.leaf_reads()) / n;
-  metrics.nonleaf_reads = static_cast<double>(io.nonleaf_reads()) / n;
-  index.ResetIoStats();
+  metrics.leaf_reads = static_cast<double>(io.leaf_reads) / n;
+  metrics.nonleaf_reads = static_cast<double>(io.nonleaf_reads) / n;
   return metrics;
 }
 

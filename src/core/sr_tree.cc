@@ -190,9 +190,13 @@ SRTree::Node SRTree::DeserializeNode(const char* buf, PageId id) const {
   return node;
 }
 
-SRTree::Node SRTree::ReadNode(PageId id, int level) {
+SRTree::Node SRTree::ReadNode(PageId id, int level, IoStatsDelta* io) const {
   std::vector<char> buf(options_.page_size);
-  file_.Read(id, buf.data(), level);
+  if (pool_ != nullptr) {
+    pool_->Read(id, buf.data(), level, io);
+  } else {
+    file_.Read(id, buf.data(), level, io);
+  }
   Node node = DeserializeNode(buf.data(), id);
   DCHECK_EQ(node.level, level);
   return node;
@@ -205,6 +209,7 @@ SRTree::Node SRTree::PeekNode(PageId id) const {
 void SRTree::WriteNode(const Node& node) {
   std::vector<char> buf(options_.page_size);
   SerializeNode(node, buf.data());
+  if (pool_ != nullptr) pool_->Discard(node.id);  // invalidate stale frame
   file_.Write(node.id, buf.data());
 }
 
@@ -638,16 +643,17 @@ void SRTree::ShrinkRoot() {
 // Search
 // --------------------------------------------------------------------------
 
-std::vector<Neighbor> SRTree::NearestNeighbors(PointView query, int k) {
+std::vector<Neighbor> SRTree::KnnDfsImpl(PointView query, int k,
+                                         IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
   return candidates.TakeSorted();
 }
 
 void SRTree::SearchKnn(PageId id, int level, PointView query,
-                       KnnCandidates& cand) {
-  Node node = ReadNode(id, level);
+                       KnnCandidates& cand, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       cand.Offer(Distance(e.point, query), e.oid);
@@ -661,13 +667,13 @@ void SRTree::SearchKnn(PageId id, int level, PointView query,
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand);
+    SearchKnn(node.children[i].child, level - 1, query, cand, io);
   }
 }
 
 
-std::vector<Neighbor> SRTree::NearestNeighborsBestFirst(PointView query,
-                                                       int k) {
+std::vector<Neighbor> SRTree::KnnBestFirstImpl(PointView query, int k,
+                                               IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
   if (size_ == 0) return candidates.TakeSorted();
@@ -689,7 +695,7 @@ std::vector<Neighbor> SRTree::NearestNeighborsBestFirst(PointView query,
     const Pending next = frontier.top();
     frontier.pop();
     if (next.mindist > candidates.PruneDistance()) break;
-    Node node = ReadNode(next.id, next.level);
+    Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.points) {
         candidates.Offer(Distance(e.point, query), e.oid);
@@ -706,10 +712,11 @@ std::vector<Neighbor> SRTree::NearestNeighborsBestFirst(PointView query,
   return candidates.TakeSorted();
 }
 
-std::vector<Neighbor> SRTree::RangeSearch(PointView query, double radius) {
+std::vector<Neighbor> SRTree::RangeImpl(PointView query, double radius,
+                                        IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
@@ -719,8 +726,8 @@ std::vector<Neighbor> SRTree::RangeSearch(PointView query, double radius) {
 }
 
 void SRTree::SearchRange(PageId id, int level, PointView query, double radius,
-                         std::vector<Neighbor>& out) {
-  Node node = ReadNode(id, level);
+                         std::vector<Neighbor>& out, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       const double d = Distance(e.point, query);
@@ -730,7 +737,7 @@ void SRTree::SearchRange(PageId id, int level, PointView query, double radius,
   }
   for (const NodeEntry& e : node.children) {
     if (EntryMinDist(e, query) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out);
+      SearchRange(e.child, level - 1, query, radius, out, io);
     }
   }
 }

@@ -28,6 +28,7 @@
 #include "src/geometry/sphere.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -67,11 +68,6 @@ class SRTree : public PointIndex {
   Status Insert(PointView point, uint32_t oid) override;
   Status Delete(PointView point, uint32_t oid) override;
 
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) override;
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
-
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
   void VisitNodes(const NodeVisitor& visitor) const override;
@@ -86,15 +82,28 @@ class SRTree : public PointIndex {
   }
 
   const IoStats& io_stats() const override { return file_.stats(); }
-  void ResetIoStats() override { file_.stats().Reset(); }
+  void ResetIoStats() override { file_.ResetStats(); }
+  IoStats GetIoStats() const override { return file_.GetIoStats(); }
 
   void SimulateBufferPool(size_t capacity) override {
     file_.SimulateCache(capacity);
+  }
+  void UseBufferPool(size_t capacity) override {
+    pool_ = capacity > 0 ? std::make_unique<BufferPool>(&file_, capacity)
+                         : nullptr;
   }
 
   size_t leaf_capacity() const override { return leaf_cap_; }
   size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
 
  private:
   // Test-only backdoor (tests/structural_auditor_test.cc): lets the
@@ -130,7 +139,10 @@ class SRTree : public PointIndex {
   };
 
   // --- page I/O ---
-  Node ReadNode(PageId id, int level);
+  // Const and re-entrant: reads go through the attached BufferPool when one
+  // is present, else straight to the (internally synchronized) page file;
+  // `io` collects the per-query delta on the search path.
+  Node ReadNode(PageId id, int level, IoStatsDelta* io = nullptr) const;
   Node PeekNode(PageId id) const;
   void WriteNode(const Node& node);
   void SerializeNode(const Node& node, char* buf) const;
@@ -169,10 +181,11 @@ class SRTree : public PointIndex {
   void CondenseTree(std::vector<Node>& path, std::vector<int>& idx);
   void ShrinkRoot();
 
-  // --- search ---
-  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
+  // --- search (const + re-entrant; all traversal state is per query) ---
+  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand,
+                 IoStatsDelta* io) const;
   void SearchRange(PageId id, int level, PointView query, double radius,
-                   std::vector<Neighbor>& out);
+                   std::vector<Neighbor>& out, IoStatsDelta* io) const;
 
   // --- validation / stats ---
   void VisitSubtree(const Node& node, std::vector<int>& path,
@@ -187,6 +200,9 @@ class SRTree : public PointIndex {
   size_t node_min_;
 
   mutable PageFile file_;
+  // Optional warm cache on the query path (UseBufferPool); WriteNode
+  // invalidates its frames so single-writer mutation stays coherent.
+  std::unique_ptr<BufferPool> pool_;
   PageId root_id_;
   int root_level_ = 0;
   size_t size_ = 0;

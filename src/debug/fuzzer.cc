@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -31,6 +33,161 @@ std::string FormatNeighbors(const std::vector<Neighbor>& n, size_t limit = 8) {
 }
 
 }  // namespace
+
+Status RunConcurrentQueryFuzz(PointIndex& index,
+                              const ConcurrentFuzzOptions& options) {
+  if (index.size() != 0) {
+    return Status::InvalidArgument(
+        "RunConcurrentQueryFuzz needs an empty index to load");
+  }
+  const int dim = index.dim();
+  CHECK_GT(options.num_threads, 0);
+
+  Xoshiro256 rng(options.seed);
+  const auto random_point = [&](Xoshiro256& r) {
+    Point p(static_cast<size_t>(dim));
+    for (double& c : p) c = r.Uniform(options.coord_lo, options.coord_hi);
+    return p;
+  };
+
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  points.reserve(options.num_points);
+  for (size_t i = 0; i < options.num_points; ++i) {
+    points.push_back(random_point(rng));
+    oids.push_back(static_cast<uint32_t>(i));
+  }
+  RETURN_IF_ERROR(index.BulkLoad(points, oids));
+
+  BruteForceIndex::Options oracle_options;
+  oracle_options.dim = dim;
+  BruteForceIndex oracle(oracle_options);
+  RETURN_IF_ERROR(oracle.BulkLoad(points, oids));
+
+  if (options.buffer_pool_pages > 0) {
+    index.UseBufferPool(options.buffer_pool_pages);
+  }
+  const IoStats before = index.GetIoStats();
+
+  // Pre-generate every thread's schedule so the run is deterministic no
+  // matter how the threads interleave.
+  struct FuzzQuery {
+    Point point;
+    QuerySpec spec;
+  };
+  std::vector<std::vector<FuzzQuery>> schedules(options.num_threads);
+  for (int t = 0; t < options.num_threads; ++t) {
+    Xoshiro256 trng(options.seed + 0x9e3779b9u * (t + 1));
+    schedules[t].reserve(options.queries_per_thread);
+    for (size_t i = 0; i < options.queries_per_thread; ++i) {
+      FuzzQuery fq;
+      if (trng.NextDouble() < 0.5) {
+        fq.point = points[trng.NextBounded(points.size())];
+        const double scale = 0.01 * (options.coord_hi - options.coord_lo);
+        for (double& c : fq.point) c += trng.Gaussian() * scale;
+      } else {
+        fq.point = random_point(trng);
+      }
+      switch (i % 3) {
+        case 0:
+          fq.spec = QuerySpec::Knn(
+              1 + static_cast<int>(trng.NextBounded(
+                      static_cast<uint64_t>(options.max_k))));
+          break;
+        case 1:
+          fq.spec = QuerySpec::KnnBestFirst(
+              1 + static_cast<int>(trng.NextBounded(
+                      static_cast<uint64_t>(options.max_k))));
+          break;
+        default: {
+          const Point& anchor = points[trng.NextBounded(points.size())];
+          fq.spec = QuerySpec::Range(Distance(fq.point, anchor) *
+                                     trng.Uniform(0.8, 1.2));
+          break;
+        }
+      }
+      schedules[t].push_back(std::move(fq));
+    }
+  }
+
+  std::mutex fail_mu;
+  std::vector<std::string> failures;
+  std::vector<IoStatsDelta> per_thread_io(options.num_threads);
+
+  const auto worker = [&](int t) {
+    IoStatsDelta io_sum;
+    for (size_t i = 0; i < schedules[t].size(); ++i) {
+      const FuzzQuery& fq = schedules[t][i];
+      const QueryResult got = index.Search(fq.point, fq.spec);
+      const QueryResult want = oracle.Search(fq.point, fq.spec);
+      io_sum.MergeFrom(got.io);
+      std::string error;
+      if (!got.status.ok()) {
+        error = "status not OK: " + got.status.ToString();
+      } else if (got.neighbors.size() != want.neighbors.size()) {
+        error = "size mismatch: index returned " +
+                std::to_string(got.neighbors.size()) + ", oracle " +
+                std::to_string(want.neighbors.size());
+      } else {
+        for (size_t r = 0; r < got.neighbors.size(); ++r) {
+          if (got.neighbors[r].oid != want.neighbors[r].oid ||
+              std::abs(got.neighbors[r].distance -
+                       want.neighbors[r].distance) > kDistEps) {
+            error = "rank " + std::to_string(r) + " mismatch: index=" +
+                    FormatNeighbors(got.neighbors) +
+                    " oracle=" + FormatNeighbors(want.neighbors);
+            break;
+          }
+        }
+      }
+      if (!error.empty()) {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        failures.push_back("thread=" + std::to_string(t) +
+                           " query=" + std::to_string(i) + " " + error);
+        return;
+      }
+    }
+    per_thread_io[t] = io_sum;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_threads);
+  for (int t = 0; t < options.num_threads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  const IoStats after = index.GetIoStats();
+  if (options.buffer_pool_pages > 0) index.UseBufferPool(0);
+
+  const auto fail = [&](const std::string& what) {
+    return Status::Corruption("concurrent-fuzz[" + index.name() +
+                              " seed=" + std::to_string(options.seed) + "] " +
+                              what);
+  };
+  if (!failures.empty()) return fail(failures[0]);
+
+  // Accounting parity: the per-query deltas of the whole run must add up to
+  // exactly the movement of the global counters.
+  IoStatsDelta total;
+  for (const IoStatsDelta& d : per_thread_io) total.MergeFrom(d);
+  IoStatsDelta global;
+  global.reads = after.reads - before.reads;
+  global.leaf_reads = after.leaf_reads() - before.leaf_reads();
+  global.nonleaf_reads = after.nonleaf_reads() - before.nonleaf_reads();
+  global.cache_misses = after.cache_misses - before.cache_misses;
+  if (!(total == global)) {
+    return fail(
+        "io accounting parity broken: sum of per-query deltas {reads=" +
+        std::to_string(total.reads) + " leaf=" +
+        std::to_string(total.leaf_reads) + " nonleaf=" +
+        std::to_string(total.nonleaf_reads) + " cache_misses=" +
+        std::to_string(total.cache_misses) + "} vs global movement {reads=" +
+        std::to_string(global.reads) + " leaf=" +
+        std::to_string(global.leaf_reads) + " nonleaf=" +
+        std::to_string(global.nonleaf_reads) + " cache_misses=" +
+        std::to_string(global.cache_misses) + "}");
+  }
+  return Status::OK();
+}
 
 Status MutationFuzzer::Run(std::unique_ptr<PointIndex>& index,
                            const ReopenFn& reopen) {

@@ -64,6 +64,30 @@ struct FuzzStats {
   uint64_t reopens = 0;
 };
 
+// Concurrent read-path fuzz: bulk-loads `index` (which must be empty) and a
+// brute-force oracle with the same seeded points, then runs `num_threads`
+// reader threads, each issuing a seeded mix of kNN (depth-first and
+// best-first) and range queries through Search() against the frozen tree.
+// Every result is cross-checked against the oracle, and at the end the sum
+// of the per-query IoStatsDelta values is checked against the index's global
+// GetIoStats() movement (the accounting-parity contract). Run it under TSan
+// to surface read-path races.
+struct ConcurrentFuzzOptions {
+  uint64_t seed = 1;
+  size_t num_points = 1500;
+  int num_threads = 4;
+  size_t queries_per_thread = 48;
+  int max_k = 12;
+  double coord_lo = 0.0;
+  double coord_hi = 1.0;
+  // When > 0, attaches a sharded BufferPool for the query phase so the
+  // pooled read path gets the same concurrent coverage.
+  size_t buffer_pool_pages = 0;
+};
+
+Status RunConcurrentQueryFuzz(PointIndex& index,
+                              const ConcurrentFuzzOptions& options);
+
 class MutationFuzzer {
  public:
   // Persists and reopens the index (e.g. SRTree::Save + SRTree::Open); the

@@ -1,0 +1,166 @@
+#include "src/engine/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
+namespace srtree {
+
+QueryEngine::QueryEngine(std::unique_ptr<PointIndex> index,
+                         const EngineOptions& options)
+    : index_(std::move(index)), options_(options) {
+  CHECK(index_ != nullptr);
+  options_.num_workers = std::max(1, options_.num_workers);
+  options_.steal_grain = std::max<size_t>(1, options_.steal_grain);
+  if (options_.buffer_pool_pages > 0) {
+    index_->UseBufferPool(options_.buffer_pool_pages);
+  }
+  queues_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&QueryEngine::WorkerLoop, this, i);
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::vector<QueryResult> QueryEngine::RunBatch(
+    std::span<const Query> queries) {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  CHECK(index_ != nullptr);  // ReleaseIndex() ends the engine's service life
+
+  const WallTimer timer;
+  std::vector<QueryResult> results(queries.size());
+  size_t total_chunks = 0;
+  if (!queries.empty()) {
+    // Deal contiguous chunks round-robin across the worker deques.
+    const size_t grain = options_.steal_grain;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_queries_ = queries;
+      batch_results_ = &results;
+      steals_ = 0;
+      int next_worker = 0;
+      for (size_t begin = 0; begin < queries.size(); begin += grain) {
+        const size_t end = std::min(queries.size(), begin + grain);
+        WorkerQueue& q = *queues_[next_worker];
+        {
+          std::lock_guard<std::mutex> qlock(q.mu);
+          q.chunks.push_back(Chunk{begin, end, next_worker});
+        }
+        next_worker = (next_worker + 1) % static_cast<int>(queues_.size());
+        ++total_chunks;
+      }
+      chunks_remaining_ = total_chunks;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return chunks_remaining_ == 0; });
+      batch_results_ = nullptr;
+      batch_queries_ = {};
+    }
+  }
+
+  BatchStats stats;
+  stats.queries = queries.size();
+  stats.chunks = total_chunks;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.steals = steals_;
+  }
+  for (const QueryResult& r : results) stats.io.MergeFrom(r.io);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
+  }
+  return results;
+}
+
+BatchStats QueryEngine::last_batch_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_stats_;
+}
+
+std::unique_ptr<PointIndex> QueryEngine::ReleaseIndex() {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  if (index_ != nullptr && options_.buffer_pool_pages > 0) {
+    index_->UseBufferPool(0);
+  }
+  return std::move(index_);
+}
+
+void QueryEngine::WorkerLoop(int worker_id) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    // Drain: own deque first, then steal. When both are dry the batch has
+    // no work left for this worker (chunks in flight elsewhere finish on
+    // their executors), so it sleeps until the next epoch.
+    Chunk chunk;
+    while (PopLocal(worker_id, chunk) || StealFrom(worker_id, chunk)) {
+      RunChunk(chunk, worker_id);
+      size_t remaining;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        CHECK_GT(chunks_remaining_, 0u);
+        remaining = --chunks_remaining_;
+        if (chunk.owner != worker_id) ++steals_;
+      }
+      if (remaining == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+bool QueryEngine::PopLocal(int worker_id, Chunk& out) {
+  WorkerQueue& q = *queues_[worker_id];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.chunks.empty()) return false;
+  out = q.chunks.front();
+  q.chunks.pop_front();
+  return true;
+}
+
+bool QueryEngine::StealFrom(int worker_id, Chunk& out) {
+  const int n = static_cast<int>(queues_.size());
+  for (int step = 1; step < n; ++step) {
+    WorkerQueue& victim = *queues_[(worker_id + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.chunks.empty()) {
+      out = victim.chunks.back();
+      victim.chunks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void QueryEngine::RunChunk(const Chunk& chunk, int worker_id) {
+  (void)worker_id;
+  for (size_t i = chunk.begin; i < chunk.end; ++i) {
+    const Query& q = batch_queries_[i];
+    (*batch_results_)[i] = index_->Search(q.point, q.spec);
+  }
+}
+
+}  // namespace srtree

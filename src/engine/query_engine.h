@@ -1,0 +1,133 @@
+// Concurrent batch-query engine.
+//
+// A QueryEngine owns a PointIndex (frozen while the engine drives it) plus a
+// fixed pool of worker threads, and executes batches of queries through the
+// thread-safe Search() read path. Scheduling is work-stealing: a batch is cut
+// into contiguous chunks of `steal_grain` queries, dealt round-robin to
+// per-worker deques; an owner pops from the front of its own deque and a
+// thief steals from the back of a victim's, so contention concentrates on
+// opposite ends. Results are written by query position, which makes RunBatch
+// deterministic: the output is byte-identical to a sequential loop no matter
+// how chunks are scheduled or stolen.
+//
+// Thread-safety contract: the engine never mutates the index, and RunBatch
+// serializes callers, so the only concurrent accesses are const Search()
+// traversals — re-entrant by the PointIndex contract.
+
+#ifndef SRTREE_ENGINE_QUERY_ENGINE_H_
+#define SRTREE_ENGINE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/index/point_index.h"
+#include "src/index/query.h"
+#include "src/storage/io_stats.h"
+
+namespace srtree {
+
+// One unit of batch work: the query point and what to run on it.
+struct Query {
+  Point point;
+  QuerySpec spec;
+};
+
+struct EngineOptions {
+  // Worker threads in the pool; clamped to >= 1. Hardware concurrency is a
+  // reasonable default for throughput benches.
+  int num_workers = 1;
+  // When > 0, attaches a sharded BufferPool of this many pages to the index
+  // for the engine's lifetime (detached again by ReleaseIndex()).
+  size_t buffer_pool_pages = 0;
+  // Queries per scheduling chunk. Small grains steal better under skewed
+  // per-query cost; large grains amortize deque locking.
+  size_t steal_grain = 16;
+};
+
+// Aggregate accounting for the most recent RunBatch() call.
+struct BatchStats {
+  size_t queries = 0;
+  size_t chunks = 0;
+  size_t steals = 0;         // chunks executed by a non-owner worker
+  double wall_seconds = 0.0; // whole-batch wall time on the calling thread
+  IoStatsDelta io;           // sum of the per-query deltas
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::unique_ptr<PointIndex> index,
+                       const EngineOptions& options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Runs every query and returns results in query order: results[i] is
+  // queries[i]'s QueryResult, complete with per-query IoStatsDelta and
+  // wall-clock latency. Callers may invoke RunBatch concurrently; batches
+  // are serialized internally.
+  std::vector<QueryResult> RunBatch(std::span<const Query> queries);
+
+  const PointIndex& index() const { return *index_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Accounting for the last completed batch (call after RunBatch returns).
+  BatchStats last_batch_stats() const;
+
+  // Detaches the buffer pool and hands the index back; the engine accepts
+  // no further batches. Lets one built tree move between engine configs.
+  std::unique_ptr<PointIndex> ReleaseIndex();
+
+ private:
+  // Contiguous range [begin, end) of query indices, tagged with the worker
+  // deque it was dealt to so executed-by-thief chunks can be counted.
+  struct Chunk {
+    size_t begin = 0;
+    size_t end = 0;
+    int owner = 0;
+  };
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
+  void WorkerLoop(int worker_id);
+  // Owner end: pop the front of our own deque.
+  bool PopLocal(int worker_id, Chunk& out);
+  // Thief end: scan the other deques, stealing from the back.
+  bool StealFrom(int worker_id, Chunk& out);
+  void RunChunk(const Chunk& chunk, int worker_id);
+
+  std::unique_ptr<PointIndex> index_;
+  EngineOptions options_;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Batch state, valid between dispatch and completion of one epoch.
+  std::mutex batch_mu_;            // serializes RunBatch callers
+  std::mutex mu_;                  // guards the epoch/progress fields below
+  std::condition_variable work_cv_;  // workers wait here between batches
+  std::condition_variable done_cv_;  // RunBatch waits here for completion
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  std::span<const Query> batch_queries_;
+  std::vector<QueryResult>* batch_results_ = nullptr;
+  size_t chunks_remaining_ = 0;
+  size_t steals_ = 0;
+
+  mutable std::mutex stats_mu_;
+  BatchStats last_stats_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_ENGINE_QUERY_ENGINE_H_

@@ -42,16 +42,20 @@ size_t BruteForceIndex::leaf_capacity() const {
   return std::max<size_t>(1, options_.page_size / entry_bytes);
 }
 
-void BruteForceIndex::ChargeScan() {
+void BruteForceIndex::ChargeScan(IoStatsDelta* io) const {
   const size_t entries_per_page = leaf_capacity();
   const size_t pages =
       (points_.size() + entries_per_page - 1) / entries_per_page;
-  for (size_t i = 0; i < pages; ++i) stats_.RecordRead(/*level=*/0);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (size_t i = 0; i < pages; ++i) {
+    stats_.RecordRead(/*level=*/0);
+    if (io != nullptr) io->RecordRead(/*level=*/0);
+  }
 }
 
-std::vector<Neighbor> BruteForceIndex::NearestNeighbors(PointView query,
-                                                        int k) {
-  ChargeScan();
+std::vector<Neighbor> BruteForceIndex::KnnDfsImpl(PointView query, int k,
+                                                  IoStatsDelta* io) const {
+  ChargeScan(io);
   KnnCandidates candidates(k);
   for (size_t i = 0; i < points_.size(); ++i) {
     candidates.Offer(Distance(points_[i], query), oids_[i]);
@@ -59,9 +63,10 @@ std::vector<Neighbor> BruteForceIndex::NearestNeighbors(PointView query,
   return candidates.TakeSorted();
 }
 
-std::vector<Neighbor> BruteForceIndex::RangeSearch(PointView query,
-                                                   double radius) {
-  ChargeScan();
+std::vector<Neighbor> BruteForceIndex::RangeImpl(PointView query,
+                                                 double radius,
+                                                 IoStatsDelta* io) const {
+  ChargeScan(io);
   std::vector<Neighbor> result;
   for (size_t i = 0; i < points_.size(); ++i) {
     const double d = Distance(points_[i], query);

@@ -8,6 +8,7 @@
 #ifndef SRTREE_INDEX_BRUTE_FORCE_H_
 #define SRTREE_INDEX_BRUTE_FORCE_H_
 
+#include <mutex>
 #include <vector>
 
 #include "src/index/point_index.h"
@@ -32,13 +33,6 @@ class BruteForceIndex : public PointIndex {
   Status Insert(PointView point, uint32_t oid) override;
   Status Delete(PointView point, uint32_t oid) override;
 
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) override {
-    return NearestNeighbors(query, k);  // a scan has no traversal order
-  }
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
-
   // A scan file packs leaf entries sequentially; there are no nodes.
   size_t leaf_capacity() const override;
   size_t node_capacity() const override { return 0; }
@@ -48,15 +42,35 @@ class BruteForceIndex : public PointIndex {
   RegionSummary LeafRegionSummary() const override { return {}; }
 
   const IoStats& io_stats() const override { return stats_; }
-  void ResetIoStats() override { stats_.Reset(); }
+  void ResetIoStats() override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.Reset();
+  }
+  IoStats GetIoStats() const override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override {
+    return KnnDfsImpl(query, k, io);  // a scan has no traversal order
+  }
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
 
  private:
-  void ChargeScan();
+  void ChargeScan(IoStatsDelta* io) const;
 
   Options options_;
   std::vector<Point> points_;
   std::vector<uint32_t> oids_;
-  IoStats stats_;
+  // Queries are const yet charge simulated scan reads, so the global
+  // counters are mutable and locked; per-query deltas need no lock.
+  mutable std::mutex stats_mu_;
+  mutable IoStats stats_;
 };
 
 }  // namespace srtree

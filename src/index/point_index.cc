@@ -1,6 +1,43 @@
 #include "src/index/point_index.h"
 
+#include <cmath>
+
+#include "src/common/timer.h"
+
 namespace srtree {
+
+QueryResult PointIndex::Search(PointView query, const QuerySpec& spec) const {
+  QueryResult result;
+  const WallTimer timer;
+  if (static_cast<int>(query.size()) != dim()) {
+    result.status = Status::InvalidArgument(
+        "query dimensionality does not match the index");
+    result.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  switch (spec.kind) {
+    case QueryKind::kKnn:
+    case QueryKind::kKnnBestFirst:
+      if (spec.k <= 0) {
+        result.status = Status::InvalidArgument("k must be >= 1");
+        break;
+      }
+      result.neighbors = (spec.kind == QueryKind::kKnn)
+                             ? KnnDfsImpl(query, spec.k, &result.io)
+                             : KnnBestFirstImpl(query, spec.k, &result.io);
+      break;
+    case QueryKind::kRange:
+      if (!(spec.radius >= 0.0) || std::isinf(spec.radius)) {
+        result.status =
+            Status::InvalidArgument("radius must be finite and >= 0");
+        break;
+      }
+      result.neighbors = RangeImpl(query, spec.radius, &result.io);
+      break;
+  }
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
 
 Status PointIndex::BulkLoad(const std::vector<Point>& points,
                             const std::vector<uint32_t>& oids) {

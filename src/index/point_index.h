@@ -15,19 +15,11 @@
 #include "src/common/status.h"
 #include "src/geometry/point.h"
 #include "src/index/node_view.h"
+#include "src/index/query.h"
 #include "src/index/region_stats.h"
 #include "src/storage/io_stats.h"
 
 namespace srtree {
-
-// One k-NN / range-search result: the point's object id and its distance
-// from the query.
-struct Neighbor {
-  double distance = 0.0;
-  uint32_t oid = 0;
-
-  bool operator==(const Neighbor&) const = default;
-};
 
 // Structural statistics gathered by walking the tree (no I/O accounting).
 struct TreeStats {
@@ -71,21 +63,35 @@ class PointIndex {
   virtual Status BulkLoad(const std::vector<Point>& points,
                           const std::vector<uint32_t>& oids);
 
-  // The k nearest neighbors of `query`, closest first; ties broken by oid.
-  // Returns fewer than k when the index holds fewer points. Uses the
-  // paper's depth-first branch-and-bound (Roussopoulos et al.).
-  virtual std::vector<Neighbor> NearestNeighbors(PointView query, int k) = 0;
+  // The unified query entry point. Validates the spec (k >= 1 for the k-NN
+  // kinds, radius >= 0 and finite for range, query dimensionality matching
+  // dim()) and returns InvalidArgument with an empty neighbor list when it
+  // is malformed — no traversal runs. The read path is const and
+  // re-entrant: any number of Search() calls may run concurrently as long
+  // as no mutation (Insert/Delete/BulkLoad/ResetIoStats/...) is in flight.
+  //
+  // Neighbors come back closest first, ties broken by oid:
+  //   kKnn          — the paper's depth-first branch-and-bound
+  //                   (Roussopoulos et al.); at most k results.
+  //   kKnnBestFirst — the same result set via the best-first traversal of
+  //                   Hjaltason & Samet, which reads no more pages than any
+  //                   algorithm using the same MINDIST bound.
+  //   kRange        — all points within spec.radius (closed ball).
+  QueryResult Search(PointView query, const QuerySpec& spec) const;
 
-  // The same result via the best-first (global priority queue) traversal of
-  // Hjaltason & Samet — reads no more pages than any algorithm using the
-  // same MINDIST bound, at the price of queue memory. Identical to
-  // NearestNeighbors for flat structures.
-  virtual std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                          int k) = 0;
-
-  // All points within `radius` of `query` (closed ball), closest first.
-  virtual std::vector<Neighbor> RangeSearch(PointView query,
-                                            double radius) = 0;
+  // DEPRECATED: thin wrappers over Search(), kept so the paper benches and
+  // the fuzzer migrate incrementally. They drop the per-query stats and
+  // return only the neighbors (empty on an invalid k/radius/query).
+  std::vector<Neighbor> NearestNeighbors(PointView query, int k) const {
+    return Search(query, QuerySpec::Knn(k)).neighbors;
+  }
+  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
+                                                  int k) const {
+    return Search(query, QuerySpec::KnnBestFirst(k)).neighbors;
+  }
+  std::vector<Neighbor> RangeSearch(PointView query, double radius) const {
+    return Search(query, QuerySpec::Range(radius)).neighbors;
+  }
 
   // Fanout limits implied by the serialized page layout (the paper's
   // Table 1). node_capacity() is 0 for flat structures without nodes.
@@ -120,13 +126,38 @@ class PointIndex {
   virtual RegionSummary LeafRegionSummary() const = 0;
 
   // Disk access counters for the measurements; reset between experiment
-  // phases.
+  // phases. io_stats() returns a reference into mutable counters — a
+  // dangling/race hazard under the concurrent engine — so it is kept only
+  // for the single-threaded paper benches; prefer GetIoStats().
   virtual const IoStats& io_stats() const = 0;
   virtual void ResetIoStats() = 0;
+
+  // By-value snapshot of the global counters, safe to take while queries
+  // are in flight (implementations lock against concurrent readers).
+  virtual IoStats GetIoStats() const { return io_stats(); }
 
   // Enables LRU-cache simulation on the underlying page file (see
   // PageFile::SimulateCache). No-op for structures without one.
   virtual void SimulateBufferPool(size_t capacity) { (void)capacity; }
+
+  // Routes the query read path through a real sharded BufferPool of
+  // `capacity` pages over the structure's page file (0 detaches it). Pool
+  // hits cost no disk read, so the paper's uncached figures require the
+  // default detached state. No-op for structures without pages. Not
+  // thread-safe against in-flight queries.
+  virtual void UseBufferPool(size_t capacity) { (void)capacity; }
+
+ protected:
+  // Traversal hooks behind Search(). Called only with a validated spec and
+  // a query of the right dimensionality; implementations record every page
+  // read into `io` (never null) and must be const + re-entrant, carrying
+  // all traversal state on the stack.
+  virtual std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                           IoStatsDelta* io) const = 0;
+  virtual std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                                 IoStatsDelta* io) const = 0;
+  virtual std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                          IoStatsDelta* io) const = 0;
 };
 
 }  // namespace srtree

@@ -100,9 +100,13 @@ KdbTree::Node KdbTree::DeserializeNode(const char* buf, PageId id) const {
   return node;
 }
 
-KdbTree::Node KdbTree::ReadNode(PageId id, int level) {
+KdbTree::Node KdbTree::ReadNode(PageId id, int level, IoStatsDelta* io) const {
   std::vector<char> buf(options_.page_size);
-  file_.Read(id, buf.data(), level);
+  if (pool_ != nullptr) {
+    pool_->Read(id, buf.data(), level, io);
+  } else {
+    file_.Read(id, buf.data(), level, io);
+  }
   Node node = DeserializeNode(buf.data(), id);
   DCHECK_EQ(node.level, level);
   return node;
@@ -115,6 +119,7 @@ KdbTree::Node KdbTree::PeekNode(PageId id) const {
 void KdbTree::WriteNode(const Node& node) {
   std::vector<char> buf(options_.page_size);
   SerializeNode(node, buf.data());
+  if (pool_ != nullptr) pool_->Discard(node.id);  // invalidate stale frame
   file_.Write(node.id, buf.data());
 }
 
@@ -411,16 +416,17 @@ bool KdbTree::DeleteFrom(PageId id, int level, PointView point, uint32_t oid) {
 // Search
 // --------------------------------------------------------------------------
 
-std::vector<Neighbor> KdbTree::NearestNeighbors(PointView query, int k) {
+std::vector<Neighbor> KdbTree::KnnDfsImpl(PointView query, int k,
+                                     IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
   return candidates.TakeSorted();
 }
 
 void KdbTree::SearchKnn(PageId id, int level, PointView query,
-                        KnnCandidates& cand) {
-  Node node = ReadNode(id, level);
+                   KnnCandidates& cand, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       cand.Offer(Distance(e.point, query), e.oid);
@@ -434,13 +440,13 @@ void KdbTree::SearchKnn(PageId id, int level, PointView query,
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand);
+    SearchKnn(node.children[i].child, level - 1, query, cand, io);
   }
 }
 
 
-std::vector<Neighbor> KdbTree::NearestNeighborsBestFirst(PointView query,
-                                                       int k) {
+std::vector<Neighbor> KdbTree::KnnBestFirstImpl(PointView query, int k,
+                                           IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
   if (size_ == 0) return candidates.TakeSorted();
@@ -462,7 +468,7 @@ std::vector<Neighbor> KdbTree::NearestNeighborsBestFirst(PointView query,
     const Pending next = frontier.top();
     frontier.pop();
     if (next.mindist > candidates.PruneDistance()) break;
-    Node node = ReadNode(next.id, next.level);
+    Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.points) {
         candidates.Offer(Distance(e.point, query), e.oid);
@@ -479,10 +485,11 @@ std::vector<Neighbor> KdbTree::NearestNeighborsBestFirst(PointView query,
   return candidates.TakeSorted();
 }
 
-std::vector<Neighbor> KdbTree::RangeSearch(PointView query, double radius) {
+std::vector<Neighbor> KdbTree::RangeImpl(PointView query, double radius,
+                                    IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
@@ -491,9 +498,10 @@ std::vector<Neighbor> KdbTree::RangeSearch(PointView query, double radius) {
   return result;
 }
 
-void KdbTree::SearchRange(PageId id, int level, PointView query, double radius,
-                          std::vector<Neighbor>& out) {
-  Node node = ReadNode(id, level);
+void KdbTree::SearchRange(PageId id, int level, PointView query,
+                     double radius, std::vector<Neighbor>& out,
+                     IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       const double d = Distance(e.point, query);
@@ -503,7 +511,7 @@ void KdbTree::SearchRange(PageId id, int level, PointView query, double radius,
   }
   for (const NodeEntry& e : node.children) {
     if (std::sqrt(e.region.MinDistSq(query)) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out);
+      SearchRange(e.child, level - 1, query, radius, out, io);
     }
   }
 }

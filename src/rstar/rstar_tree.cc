@@ -101,9 +101,13 @@ RStarTree::Node RStarTree::DeserializeNode(const char* buf, PageId id) const {
   return node;
 }
 
-RStarTree::Node RStarTree::ReadNode(PageId id, int level) {
+RStarTree::Node RStarTree::ReadNode(PageId id, int level, IoStatsDelta* io) const {
   std::vector<char> buf(options_.page_size);
-  file_.Read(id, buf.data(), level);
+  if (pool_ != nullptr) {
+    pool_->Read(id, buf.data(), level, io);
+  } else {
+    file_.Read(id, buf.data(), level, io);
+  }
   Node node = DeserializeNode(buf.data(), id);
   DCHECK_EQ(node.level, level);
   return node;
@@ -116,6 +120,7 @@ RStarTree::Node RStarTree::PeekNode(PageId id) const {
 void RStarTree::WriteNode(const Node& node) {
   std::vector<char> buf(options_.page_size);
   SerializeNode(node, buf.data());
+  if (pool_ != nullptr) pool_->Discard(node.id);  // invalidate stale frame
   file_.Write(node.id, buf.data());
 }
 
@@ -561,16 +566,17 @@ void RStarTree::ShrinkRoot() {
 // Search
 // --------------------------------------------------------------------------
 
-std::vector<Neighbor> RStarTree::NearestNeighbors(PointView query, int k) {
+std::vector<Neighbor> RStarTree::KnnDfsImpl(PointView query, int k,
+                                     IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
   return candidates.TakeSorted();
 }
 
 void RStarTree::SearchKnn(PageId id, int level, PointView query,
-                          KnnCandidates& cand) {
-  Node node = ReadNode(id, level);
+                   KnnCandidates& cand, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       cand.Offer(Distance(e.point, query), e.oid);
@@ -584,13 +590,13 @@ void RStarTree::SearchKnn(PageId id, int level, PointView query,
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand);
+    SearchKnn(node.children[i].child, level - 1, query, cand, io);
   }
 }
 
 
-std::vector<Neighbor> RStarTree::NearestNeighborsBestFirst(PointView query,
-                                                       int k) {
+std::vector<Neighbor> RStarTree::KnnBestFirstImpl(PointView query, int k,
+                                           IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
   if (size_ == 0) return candidates.TakeSorted();
@@ -612,7 +618,7 @@ std::vector<Neighbor> RStarTree::NearestNeighborsBestFirst(PointView query,
     const Pending next = frontier.top();
     frontier.pop();
     if (next.mindist > candidates.PruneDistance()) break;
-    Node node = ReadNode(next.id, next.level);
+    Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.points) {
         candidates.Offer(Distance(e.point, query), e.oid);
@@ -629,10 +635,11 @@ std::vector<Neighbor> RStarTree::NearestNeighborsBestFirst(PointView query,
   return candidates.TakeSorted();
 }
 
-std::vector<Neighbor> RStarTree::RangeSearch(PointView query, double radius) {
+std::vector<Neighbor> RStarTree::RangeImpl(PointView query, double radius,
+                                    IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
@@ -642,8 +649,9 @@ std::vector<Neighbor> RStarTree::RangeSearch(PointView query, double radius) {
 }
 
 void RStarTree::SearchRange(PageId id, int level, PointView query,
-                            double radius, std::vector<Neighbor>& out) {
-  Node node = ReadNode(id, level);
+                     double radius, std::vector<Neighbor>& out,
+                     IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       const double d = Distance(e.point, query);
@@ -653,7 +661,7 @@ void RStarTree::SearchRange(PageId id, int level, PointView query,
   }
   for (const NodeEntry& e : node.children) {
     if (std::sqrt(e.rect.MinDistSq(query)) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out);
+      SearchRange(e.child, level - 1, query, radius, out, io);
     }
   }
 }

@@ -17,6 +17,7 @@
 #include "src/geometry/rect.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -43,11 +44,6 @@ class RStarTree : public PointIndex {
   Status Insert(PointView point, uint32_t oid) override;
   Status Delete(PointView point, uint32_t oid) override;
 
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) override;
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
-
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
   void VisitNodes(const NodeVisitor& visitor) const override;
@@ -59,16 +55,29 @@ class RStarTree : public PointIndex {
   }
 
   const IoStats& io_stats() const override { return file_.stats(); }
-  void ResetIoStats() override { file_.stats().Reset(); }
+  void ResetIoStats() override { file_.ResetStats(); }
+  IoStats GetIoStats() const override { return file_.GetIoStats(); }
 
   void SimulateBufferPool(size_t capacity) override {
     file_.SimulateCache(capacity);
+  }
+  void UseBufferPool(size_t capacity) override {
+    pool_ = capacity > 0 ? std::make_unique<BufferPool>(&file_, capacity)
+                         : nullptr;
   }
 
   // Fanout limits implied by the page layout (Table 1 of the paper).
   size_t leaf_capacity() const override { return leaf_cap_; }
   size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
 
  private:
   struct LeafEntry {
@@ -99,7 +108,8 @@ class RStarTree : public PointIndex {
   };
 
   // --- page I/O ---
-  Node ReadNode(PageId id, int level);
+  Node ReadNode(PageId id, int level,
+                IoStatsDelta* io = nullptr) const;
   Node PeekNode(PageId id) const;  // no I/O accounting
   void WriteNode(const Node& node);
   void SerializeNode(const Node& node, char* buf) const;
@@ -135,9 +145,11 @@ class RStarTree : public PointIndex {
   void ShrinkRoot();
 
   // --- search ---
-  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
-  void SearchRange(PageId id, int level, PointView query, double radius,
-                   std::vector<Neighbor>& out);
+  void SearchKnn(PageId id, int level, PointView query,
+                 KnnCandidates& cand, IoStatsDelta* io) const;
+  void SearchRange(PageId id, int level, PointView query,
+                   double radius, std::vector<Neighbor>& out,
+                   IoStatsDelta* io) const;
 
   // --- validation / stats ---
   void VisitSubtree(const Node& node, std::vector<int>& path,
@@ -152,6 +164,9 @@ class RStarTree : public PointIndex {
   size_t node_min_;
 
   mutable PageFile file_;
+  // Optional warm cache on the query path (UseBufferPool); WriteNode
+  // invalidates its frames so single-writer mutation stays coherent.
+  std::unique_ptr<BufferPool> pool_;
   PageId root_id_;
   int root_level_ = 0;
   size_t size_ = 0;

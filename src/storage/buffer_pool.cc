@@ -1,31 +1,47 @@
 #include "src/storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/check.h"
 
 namespace srtree {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
     : file_(file), capacity_(capacity) {
   CHECK(file_ != nullptr);
   CHECK_GE(capacity_, 1u);
+  const size_t shard_count = std::max<size_t>(1, std::min(shards, capacity_));
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Distribute the capacity; the first shards absorb the remainder.
+    shards_.back()->capacity =
+        capacity_ / shard_count + (i < capacity_ % shard_count ? 1 : 0);
+  }
 }
 
 BufferPool::~BufferPool() { FlushAll(); }
 
-BufferPool::Frame& BufferPool::Touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
-  frames_[it->id] = lru_.begin();
-  return *lru_.begin();
+BufferPool::Frame& BufferPool::Touch(Shard& shard, LruList::iterator it) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, it);
+  return shard.lru.front();
 }
 
-void BufferPool::EvictIfFull() {
-  if (lru_.size() < capacity_) return;
-  Frame& victim = lru_.back();
-  if (victim.dirty) WriteBack(victim);
-  frames_.erase(victim.id);
-  lru_.pop_back();
+void BufferPool::EvictIfFull(Shard& shard) {
+  if (shard.lru.size() < shard.capacity) return;
+  // Scan from the LRU end for an unpinned victim; when every frame is
+  // pinned by in-flight readers the shard temporarily grows instead (the
+  // overshoot is bounded by the number of concurrent pins).
+  for (auto it = std::prev(shard.lru.end());; --it) {
+    if (it->pins == 0) {
+      if (it->dirty) WriteBack(*it);
+      shard.frames.erase(it->id);
+      shard.lru.erase(it);
+      return;
+    }
+    if (it == shard.lru.begin()) return;
+  }
 }
 
 void BufferPool::WriteBack(Frame& frame) {
@@ -33,46 +49,102 @@ void BufferPool::WriteBack(Frame& frame) {
   frame.dirty = false;
 }
 
-BufferPool::Frame& BufferPool::InsertFrame(PageId id) {
-  EvictIfFull();
-  lru_.push_front(Frame{id, std::make_unique<char[]>(file_->page_size()),
-                        /*dirty=*/false});
-  frames_[id] = lru_.begin();
-  return lru_.front();
+BufferPool::Frame& BufferPool::InsertFrame(Shard& shard, PageId id) {
+  EvictIfFull(shard);
+  shard.lru.push_front(
+      Frame{id, std::make_unique<char[]>(file_->page_size())});
+  shard.frames[id] = shard.lru.begin();
+  return shard.lru.front();
 }
 
-void BufferPool::Read(PageId id, char* out, int level) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++hits_;
-    Frame& frame = Touch(it->second);
-    std::memcpy(out, frame.data.get(), file_->page_size());
-    return;
+BufferPool::PageGuard BufferPool::Pin(PageId id, int level,
+                                      IoStatsDelta* delta) {
+  const size_t shard_index = id % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    Frame& frame = Touch(shard, it->second);
+    ++frame.pins;
+    return PageGuard(this, shard_index, id, frame.data.get());
   }
-  ++misses_;
-  Frame& frame = InsertFrame(id);
-  file_->Read(id, frame.data.get(), level);
-  std::memcpy(out, frame.data.get(), file_->page_size());
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Frame& frame = InsertFrame(shard, id);
+  file_->Read(id, frame.data.get(), level, delta);
+  ++frame.pins;
+  return PageGuard(this, shard_index, id, frame.data.get());
+}
+
+void BufferPool::Unpin(size_t shard_index, PageId id) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.frames.find(id);
+  CHECK(it != shard.frames.end());
+  CHECK_GT(it->second->pins, 0);
+  --it->second->pins;
+}
+
+BufferPool::PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      shard_(other.shard_),
+      id_(other.id_),
+      data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+BufferPool::PageGuard& BufferPool::PageGuard::operator=(
+    PageGuard&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(shard_, id_);
+    pool_ = other.pool_;
+    shard_ = other.shard_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::PageGuard::~PageGuard() {
+  if (pool_ != nullptr) pool_->Unpin(shard_, id_);
+}
+
+void BufferPool::Read(PageId id, char* out, int level, IoStatsDelta* delta) {
+  // The copy runs unlocked: the pin guarantees the frame outlives it.
+  const PageGuard guard = Pin(id, level, delta);
+  std::memcpy(out, guard.data(), file_->page_size());
 }
 
 void BufferPool::Write(PageId id, const char* data) {
-  auto it = frames_.find(id);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
   Frame& frame =
-      (it != frames_.end()) ? Touch(it->second) : InsertFrame(id);
+      (it != shard.frames.end()) ? Touch(shard, it->second)
+                                 : InsertFrame(shard, id);
   std::memcpy(frame.data.get(), data, file_->page_size());
   frame.dirty = true;
 }
 
 void BufferPool::Discard(PageId id) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return;
-  lru_.erase(it->second);
-  frames_.erase(it);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return;
+  CHECK_EQ(it->second->pins, 0);
+  shard.lru.erase(it->second);
+  shard.frames.erase(it);
 }
 
 void BufferPool::FlushAll() {
-  for (Frame& frame : lru_) {
-    if (frame.dirty) WriteBack(frame);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& frame : shard->lru) {
+      if (frame.dirty) WriteBack(frame);
+    }
   }
 }
 

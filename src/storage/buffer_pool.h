@@ -1,16 +1,28 @@
-// An LRU buffer pool over a PageFile.
+// A sharded LRU buffer pool over a PageFile.
 //
 // The paper's measurements assume uncached reads, so the index structures
-// talk to PageFile directly by default. BufferPool exists for downstream
-// users who want realistic warm-cache behavior: reads served from the pool
-// do not count as disk reads; dirty pages are written back on eviction.
+// talk to PageFile directly by default. BufferPool exists for the serving
+// path (src/engine/): reads served from the pool do not count as disk
+// reads; dirty pages are written back on eviction.
+//
+// Concurrency: frames are partitioned into shards (page id modulo shard
+// count), each with its own mutex, LRU list, and frame map, so concurrent
+// readers contend only when they touch the same shard. A frame being copied
+// out is *pinned* first — eviction skips pinned frames — which lets the
+// copy run outside the shard lock without another thread tearing the frame
+// under it. Read()/Pin() are safe from any number of threads; Write(),
+// Discard(), and FlushAll() require external exclusion against all other
+// calls (single-writer, like the PageFile underneath).
 
 #ifndef SRTREE_STORAGE_BUFFER_POOL_H_
 #define SRTREE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/storage/page_file.h"
 
@@ -18,55 +30,101 @@ namespace srtree {
 
 class BufferPool {
  public:
-  // `capacity` is the number of pages held in memory; must be >= 1.
-  BufferPool(PageFile* file, size_t capacity);
+  // `capacity` is the total number of pages held in memory; must be >= 1.
+  // The pool uses min(shards, capacity) shards so every shard owns at least
+  // one frame.
+  explicit BufferPool(PageFile* file, size_t capacity, size_t shards = 8);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   ~BufferPool();
 
-  // Reads through the pool. A hit costs no disk read; a miss fetches the
-  // page from the underlying file (counting one read) and may evict the
-  // least recently used frame (writing it back first if dirty).
-  void Read(PageId id, char* out, int level = -1);
+  // A pinned view of one cached page. While the guard lives, the frame
+  // cannot be evicted, so data() stays valid and untorn. Move-only; unpins
+  // on destruction.
+  class PageGuard {
+   public:
+    PageGuard(PageGuard&& other) noexcept;
+    PageGuard& operator=(PageGuard&& other) noexcept;
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+    ~PageGuard();
+
+    const char* data() const { return data_; }
+
+   private:
+    friend class BufferPool;
+    PageGuard(BufferPool* pool, size_t shard, PageId id, const char* data)
+        : pool_(pool), shard_(shard), id_(id), data_(data) {}
+
+    BufferPool* pool_ = nullptr;
+    size_t shard_ = 0;
+    PageId id_ = 0;
+    const char* data_ = nullptr;
+  };
+
+  // Pins the page in its shard, fetching it from the file on a miss (which
+  // counts one disk read in the file's stats and in `delta`). A hit costs
+  // no disk read.
+  PageGuard Pin(PageId id, int level = -1, IoStatsDelta* delta = nullptr);
+
+  // Reads through the pool: Pin() + copy into `out` (page_size bytes).
+  // Safe to call concurrently with other Read()/Pin() calls.
+  void Read(PageId id, char* out, int level = -1,
+            IoStatsDelta* delta = nullptr);
 
   // Writes into the pool; the page is flushed to the file on eviction or
   // FlushAll(), so back-to-back updates of a hot node cost one disk write.
   void Write(PageId id, const char* data);
 
   // Drops the page from the pool without writeback; pair with
-  // PageFile::Free when a node is deleted.
+  // PageFile::Free when a node is deleted, or call before a direct
+  // PageFile::Write to invalidate the stale frame.
   void Discard(PageId id);
 
   // Writes every dirty frame back to the file.
   void FlushAll();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   struct Frame {
     PageId id;
     std::unique_ptr<char[]> data;
-    bool dirty;
+    bool dirty = false;
+    int pins = 0;
   };
 
+  // std::list keeps Frame addresses stable across LRU splices, which is
+  // what allows a PageGuard to hold the data pointer without the lock.
   using LruList = std::list<Frame>;
 
-  // Moves the frame to the MRU position and returns it.
-  Frame& Touch(LruList::iterator it);
-  Frame& InsertFrame(PageId id);
-  void EvictIfFull();
+  struct Shard {
+    std::mutex mu;
+    LruList lru;  // front = most recently used
+    std::unordered_map<PageId, LruList::iterator> frames;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
+  // The following helpers require the shard's mutex to be held.
+  Frame& Touch(Shard& shard, LruList::iterator it);
+  Frame& InsertFrame(Shard& shard, PageId id);
+  void EvictIfFull(Shard& shard);
   void WriteBack(Frame& frame);
+
+  void Unpin(size_t shard_index, PageId id);
 
   PageFile* file_;
   size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<PageId, LruList::iterator> frames_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace srtree

@@ -13,6 +13,44 @@
 
 namespace srtree {
 
+// Per-query I/O accounting, threaded through a single search traversal.
+//
+// The global IoStats on a PageFile aggregates every read the structure ever
+// performs and needs a lock under concurrent queries; an IoStatsDelta is
+// private to one query, so the traversal can record into it without
+// synchronization and hand it back inside the QueryResult. Summing the
+// deltas of a batch reproduces the global counters for the same queries
+// (the accounting-parity contract tests/query_engine_test.cc checks).
+struct IoStatsDelta {
+  uint64_t reads = 0;
+  uint64_t leaf_reads = 0;     // reads of level-0 pages
+  uint64_t nonleaf_reads = 0;  // reads of pages at level >= 1
+  // Reads that would still reach the disk with the simulated LRU cache
+  // enabled (PageFile::SimulateCache); equals `reads` when disabled.
+  uint64_t cache_misses = 0;
+
+  void RecordRead(int level) {
+    ++reads;
+    ++cache_misses;
+    if (level == 0) {
+      ++leaf_reads;
+    } else if (level > 0) {
+      ++nonleaf_reads;
+    }
+  }
+
+  void RecordCacheHit() { --cache_misses; }
+
+  void MergeFrom(const IoStatsDelta& other) {
+    reads += other.reads;
+    leaf_reads += other.leaf_reads;
+    nonleaf_reads += other.nonleaf_reads;
+    cache_misses += other.cache_misses;
+  }
+
+  bool operator==(const IoStatsDelta&) const = default;
+};
+
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;

@@ -56,11 +56,22 @@ bool PageFile::IsLive(PageId id) const {
   return id < pages_.size() && live_[id];
 }
 
-void PageFile::Read(PageId id, char* out, int level) {
+void PageFile::Read(PageId id, char* out, int level,
+                    IoStatsDelta* delta) const {
   CHECK(IsLive(id));
+  // Page bytes are stable while queries run (writers are excluded by
+  // contract), so the copy itself needs no lock.
   std::memcpy(out, pages_[id].get(), page_size_);
-  stats_.RecordRead(level);
-  if (cache_capacity_ > 0) TouchCache(id);
+  bool cache_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.RecordRead(level);
+    if (cache_capacity_ > 0) cache_hit = TouchCache(id);
+  }
+  if (delta != nullptr) {
+    delta->RecordRead(level);
+    if (cache_hit) delta->RecordCacheHit();
+  }
 }
 
 void PageFile::SimulateCache(size_t capacity) {
@@ -69,12 +80,12 @@ void PageFile::SimulateCache(size_t capacity) {
   cache_index_.clear();
 }
 
-void PageFile::TouchCache(PageId id) {
+bool PageFile::TouchCache(PageId id) const {
   const auto it = cache_index_.find(id);
   if (it != cache_index_.end()) {
     stats_.RecordCacheHit();  // the cache would have served this read
     cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-    return;
+    return true;
   }
   cache_lru_.push_front(id);
   cache_index_[id] = cache_lru_.begin();
@@ -82,12 +93,24 @@ void PageFile::TouchCache(PageId id) {
     cache_index_.erase(cache_lru_.back());
     cache_lru_.pop_back();
   }
+  return false;
 }
 
 void PageFile::Write(PageId id, const char* data) {
   CHECK(IsLive(id));
   std::memcpy(pages_[id].get(), data, page_size_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.RecordWrite();
+}
+
+IoStats PageFile::GetIoStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void PageFile::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.Reset();
 }
 
 const char* PageFile::PeekPage(PageId id) const {

@@ -9,6 +9,13 @@
 // Storage is in memory; the simulation is about *counting* block transfers
 // and enforcing that each node physically fits one block, not about actual
 // persistence.
+//
+// Thread safety: Read() is safe to call from any number of threads at once
+// (the shared counters and the simulated-cache LRU are guarded by a mutex);
+// that is what makes the concurrent query engine's read path sound. All
+// mutating operations — Allocate/Free/Write/SimulateCache/Load* and the
+// stats() reference accessors — require external exclusion against every
+// other call, i.e. the index must be frozen while queries are in flight.
 
 #ifndef SRTREE_STORAGE_PAGE_FILE_H_
 #define SRTREE_STORAGE_PAGE_FILE_H_
@@ -17,6 +24,7 @@
 #include <iosfwd>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,8 +55,11 @@ class PageFile {
 
   // Copies the page into `out` (page_size bytes) and counts one disk read.
   // `level` tags the read for the per-level breakdown (0 = leaf, -1 =
-  // unknown).
-  void Read(PageId id, char* out, int level = -1);
+  // unknown). When `delta` is non-null the read (and any simulated cache
+  // hit) is additionally recorded there, giving the caller a per-query view
+  // without touching the shared counters twice. Safe to call concurrently.
+  void Read(PageId id, char* out, int level = -1,
+            IoStatsDelta* delta = nullptr) const;
 
   // Copies `data` (page_size bytes) into the page and counts one write.
   void Write(PageId id, const char* data);
@@ -75,8 +86,14 @@ class PageFile {
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 
+  // Unsynchronized views of the counters; valid only while no concurrent
+  // Read() is in flight (the legacy reset-then-peek measurement pattern).
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
+
+  // Locked by-value snapshot / reset, safe against concurrent Read()s.
+  IoStats GetIoStats() const;
+  void ResetStats();
 
   // Number of currently live (allocated and not freed) pages.
   size_t live_pages() const { return live_pages_; }
@@ -84,17 +101,23 @@ class PageFile {
  private:
   bool IsLive(PageId id) const;
 
-  void TouchCache(PageId id);
+  // Requires stats_mu_; returns true when the simulated cache already held
+  // the page (the hit is recorded in stats_, the caller mirrors it into the
+  // per-query delta).
+  bool TouchCache(PageId id) const;
 
   size_t page_size_;
   size_t cache_capacity_ = 0;
-  std::list<PageId> cache_lru_;  // front = most recently used
-  std::unordered_map<PageId, std::list<PageId>::iterator> cache_index_;
+  // stats_mu_ guards stats_ and the simulated-cache LRU — the only state a
+  // read mutates — so concurrent queries stay race-free.
+  mutable std::mutex stats_mu_;
+  mutable std::list<PageId> cache_lru_;  // front = most recently used
+  mutable std::unordered_map<PageId, std::list<PageId>::iterator> cache_index_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   size_t live_pages_ = 0;
-  IoStats stats_;
+  mutable IoStats stats_;
 };
 
 }  // namespace srtree

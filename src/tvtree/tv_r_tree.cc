@@ -109,9 +109,13 @@ TvRTree::Node TvRTree::DeserializeNode(const char* buf, PageId id) const {
   return node;
 }
 
-TvRTree::Node TvRTree::ReadNode(PageId id, int level) {
+TvRTree::Node TvRTree::ReadNode(PageId id, int level, IoStatsDelta* io) const {
   std::vector<char> buf(options_.page_size);
-  file_.Read(id, buf.data(), level);
+  if (pool_ != nullptr) {
+    pool_->Read(id, buf.data(), level, io);
+  } else {
+    file_.Read(id, buf.data(), level, io);
+  }
   Node node = DeserializeNode(buf.data(), id);
   DCHECK_EQ(node.level, level);
   return node;
@@ -124,6 +128,7 @@ TvRTree::Node TvRTree::PeekNode(PageId id) const {
 void TvRTree::WriteNode(const Node& node) {
   std::vector<char> buf(options_.page_size);
   SerializeNode(node, buf.data());
+  if (pool_ != nullptr) pool_->Discard(node.id);  // invalidate stale frame
   file_.Write(node.id, buf.data());
 }
 
@@ -570,16 +575,17 @@ void TvRTree::ShrinkRoot() {
 // Search
 // --------------------------------------------------------------------------
 
-std::vector<Neighbor> TvRTree::NearestNeighbors(PointView query, int k) {
+std::vector<Neighbor> TvRTree::KnnDfsImpl(PointView query, int k,
+                                     IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
   return candidates.TakeSorted();
 }
 
 void TvRTree::SearchKnn(PageId id, int level, PointView query,
-                          KnnCandidates& cand) {
-  Node node = ReadNode(id, level);
+                   KnnCandidates& cand, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       cand.Offer(Distance(e.point, query), e.oid);
@@ -596,13 +602,13 @@ void TvRTree::SearchKnn(PageId id, int level, PointView query,
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand);
+    SearchKnn(node.children[i].child, level - 1, query, cand, io);
   }
 }
 
 
-std::vector<Neighbor> TvRTree::NearestNeighborsBestFirst(PointView query,
-                                                       int k) {
+std::vector<Neighbor> TvRTree::KnnBestFirstImpl(PointView query, int k,
+                                           IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
   if (size_ == 0) return candidates.TakeSorted();
@@ -624,7 +630,7 @@ std::vector<Neighbor> TvRTree::NearestNeighborsBestFirst(PointView query,
     const Pending next = frontier.top();
     frontier.pop();
     if (next.mindist > candidates.PruneDistance()) break;
-    Node node = ReadNode(next.id, next.level);
+    Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.points) {
         candidates.Offer(Distance(e.point, query), e.oid);
@@ -642,10 +648,11 @@ std::vector<Neighbor> TvRTree::NearestNeighborsBestFirst(PointView query,
   return candidates.TakeSorted();
 }
 
-std::vector<Neighbor> TvRTree::RangeSearch(PointView query, double radius) {
+std::vector<Neighbor> TvRTree::RangeImpl(PointView query, double radius,
+                                    IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
@@ -655,8 +662,9 @@ std::vector<Neighbor> TvRTree::RangeSearch(PointView query, double radius) {
 }
 
 void TvRTree::SearchRange(PageId id, int level, PointView query,
-                            double radius, std::vector<Neighbor>& out) {
-  Node node = ReadNode(id, level);
+                     double radius, std::vector<Neighbor>& out,
+                     IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       const double d = Distance(e.point, query);
@@ -666,7 +674,7 @@ void TvRTree::SearchRange(PageId id, int level, PointView query,
   }
   for (const NodeEntry& e : node.children) {
     if (std::sqrt(e.rect.MinDistSq(ActiveView(query))) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out);
+      SearchRange(e.child, level - 1, query, radius, out, io);
     }
   }
 }

@@ -23,6 +23,7 @@
 #include "src/geometry/rect.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -48,11 +49,6 @@ class TvRTree : public PointIndex {
   Status Insert(PointView point, uint32_t oid) override;
   Status Delete(PointView point, uint32_t oid) override;
 
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) override;
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
-
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
   void VisitNodes(const NodeVisitor& visitor) const override;
@@ -67,15 +63,28 @@ class TvRTree : public PointIndex {
   }
 
   const IoStats& io_stats() const override { return file_.stats(); }
-  void ResetIoStats() override { file_.stats().Reset(); }
+  void ResetIoStats() override { file_.ResetStats(); }
+  IoStats GetIoStats() const override { return file_.GetIoStats(); }
 
   void SimulateBufferPool(size_t capacity) override {
     file_.SimulateCache(capacity);
+  }
+  void UseBufferPool(size_t capacity) override {
+    pool_ = capacity > 0 ? std::make_unique<BufferPool>(&file_, capacity)
+                         : nullptr;
   }
 
   size_t leaf_capacity() const override { return leaf_cap_; }
   size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
 
  private:
   struct LeafEntry {
@@ -110,7 +119,8 @@ class TvRTree : public PointIndex {
   }
 
   // --- page I/O ---
-  Node ReadNode(PageId id, int level);
+  Node ReadNode(PageId id, int level,
+                IoStatsDelta* io = nullptr) const;
   Node PeekNode(PageId id) const;
   void WriteNode(const Node& node);
   void SerializeNode(const Node& node, char* buf) const;
@@ -146,9 +156,11 @@ class TvRTree : public PointIndex {
   void ShrinkRoot();
 
   // --- search ---
-  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
-  void SearchRange(PageId id, int level, PointView query, double radius,
-                   std::vector<Neighbor>& out);
+  void SearchKnn(PageId id, int level, PointView query,
+                 KnnCandidates& cand, IoStatsDelta* io) const;
+  void SearchRange(PageId id, int level, PointView query,
+                   double radius, std::vector<Neighbor>& out,
+                   IoStatsDelta* io) const;
 
   // --- validation / stats ---
   void VisitSubtree(const Node& node, std::vector<int>& path,
@@ -164,6 +176,9 @@ class TvRTree : public PointIndex {
   size_t node_min_;
 
   mutable PageFile file_;
+  // Optional warm cache on the query path (UseBufferPool); WriteNode
+  // invalidates its frames so single-writer mutation stays coherent.
+  std::unique_ptr<BufferPool> pool_;
   PageId root_id_;
   int root_level_ = 0;
   size_t size_ = 0;

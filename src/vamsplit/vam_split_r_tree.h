@@ -17,6 +17,7 @@
 #include "src/geometry/rect.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -41,11 +42,6 @@ class VamSplitRTree : public PointIndex {
   Status BulkLoad(const std::vector<Point>& points,
                   const std::vector<uint32_t>& oids) override;
 
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) override;
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
-
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
   void VisitNodes(const NodeVisitor& visitor) const override;
@@ -53,15 +49,28 @@ class VamSplitRTree : public PointIndex {
   RegionSummary LeafRegionSummary() const override;
 
   const IoStats& io_stats() const override { return file_.stats(); }
-  void ResetIoStats() override { file_.stats().Reset(); }
+  void ResetIoStats() override { file_.ResetStats(); }
+  IoStats GetIoStats() const override { return file_.GetIoStats(); }
 
   void SimulateBufferPool(size_t capacity) override {
     file_.SimulateCache(capacity);
+  }
+  void UseBufferPool(size_t capacity) override {
+    pool_ = capacity > 0 ? std::make_unique<BufferPool>(&file_, capacity)
+                         : nullptr;
   }
 
   size_t leaf_capacity() const override { return leaf_cap_; }
   size_t node_capacity() const override { return node_cap_; }
   int height() const { return root_level_ + 1; }
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
 
  private:
   struct LeafEntry {
@@ -88,7 +97,8 @@ class VamSplitRTree : public PointIndex {
   using ItemSpan = std::span<uint32_t>;
 
   // --- page I/O ---
-  Node ReadNode(PageId id, int level);
+  Node ReadNode(PageId id, int level,
+                IoStatsDelta* io = nullptr) const;
   Node PeekNode(PageId id) const;
   void WriteNode(const Node& node);
   void SerializeNode(const Node& node, char* buf) const;
@@ -113,9 +123,11 @@ class VamSplitRTree : public PointIndex {
   int MaxVarianceDim(const std::vector<Point>& points, ItemSpan items) const;
 
   // --- search ---
-  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
-  void SearchRange(PageId id, int level, PointView query, double radius,
-                   std::vector<Neighbor>& out);
+  void SearchKnn(PageId id, int level, PointView query,
+                 KnnCandidates& cand, IoStatsDelta* io) const;
+  void SearchRange(PageId id, int level, PointView query,
+                   double radius, std::vector<Neighbor>& out,
+                   IoStatsDelta* io) const;
 
   // --- validation / stats ---
   void VisitSubtree(const Node& node, std::vector<int>& path,
@@ -128,6 +140,9 @@ class VamSplitRTree : public PointIndex {
   size_t node_cap_;
 
   mutable PageFile file_;
+  // Optional warm cache on the query path (UseBufferPool); WriteNode
+  // invalidates its frames so single-writer mutation stays coherent.
+  std::unique_ptr<BufferPool> pool_;
   PageId root_id_;
   int root_level_ = 0;
   size_t size_ = 0;

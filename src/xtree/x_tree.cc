@@ -73,7 +73,8 @@ size_t XTree::MinEntries(const Node& node) const {
 // Page I/O — supernodes are chains of pages
 // --------------------------------------------------------------------------
 
-XTree::Node XTree::LoadNode(PageId id, bool count_reads, int level) {
+XTree::Node XTree::LoadNode(PageId id, bool count_reads, int level,
+                            IoStatsDelta* io) const {
   Node node;
   node.id = id;
   const size_t dim = static_cast<size_t>(options_.dim);
@@ -83,7 +84,12 @@ XTree::Node XTree::LoadNode(PageId id, bool count_reads, int level) {
   while (cur != kInvalidPageId) {
     const char* raw;
     if (count_reads) {
-      file_.Read(cur, buf.data(), level);
+      // Every page of a supernode chain is a counted read.
+      if (pool_ != nullptr) {
+        pool_->Read(cur, buf.data(), level, io);
+      } else {
+        file_.Read(cur, buf.data(), level, io);
+      }
       raw = buf.data();
     } else {
       raw = file_.PeekPage(cur);
@@ -121,14 +127,14 @@ XTree::Node XTree::LoadNode(PageId id, bool count_reads, int level) {
   return node;
 }
 
-XTree::Node XTree::ReadNode(PageId id, int level) {
-  Node node = LoadNode(id, /*count_reads=*/true, level);
+XTree::Node XTree::ReadNode(PageId id, int level, IoStatsDelta* io) const {
+  Node node = LoadNode(id, /*count_reads=*/true, level, io);
   DCHECK_EQ(node.level, level);
   return node;
 }
 
 XTree::Node XTree::PeekNode(PageId id) const {
-  return const_cast<XTree*>(this)->LoadNode(id, /*count_reads=*/false, -1);
+  return LoadNode(id, /*count_reads=*/false, -1, nullptr);
 }
 
 void XTree::WriteNode(Node& node) {
@@ -171,6 +177,7 @@ void XTree::WriteNode(Node& node) {
       }
     }
     const PageId page_id = page == 0 ? node.id : node.extra_pages[page - 1];
+    if (pool_ != nullptr) pool_->Discard(page_id);  // invalidate stale frame
     file_.Write(page_id, buf.data());
   }
 }
@@ -639,16 +646,16 @@ void XTree::ShrinkRoot() {
 // Search
 // --------------------------------------------------------------------------
 
-std::vector<Neighbor> XTree::NearestNeighbors(PointView query, int k) {
-  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+std::vector<Neighbor> XTree::KnnDfsImpl(PointView query, int k,
+                                        IoStatsDelta* io) const {
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates);
+  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
   return candidates.TakeSorted();
 }
 
 void XTree::SearchKnn(PageId id, int level, PointView query,
-                      KnnCandidates& cand) {
-  Node node = ReadNode(id, level);
+                      KnnCandidates& cand, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       cand.Offer(Distance(e.point, query), e.oid);
@@ -662,13 +669,12 @@ void XTree::SearchKnn(PageId id, int level, PointView query,
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand);
+    SearchKnn(node.children[i].child, level - 1, query, cand, io);
   }
 }
 
-std::vector<Neighbor> XTree::NearestNeighborsBestFirst(PointView query,
-                                                       int k) {
-  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+std::vector<Neighbor> XTree::KnnBestFirstImpl(PointView query, int k,
+                                              IoStatsDelta* io) const {
   KnnCandidates candidates(k);
   if (size_ == 0) return candidates.TakeSorted();
 
@@ -687,7 +693,7 @@ std::vector<Neighbor> XTree::NearestNeighborsBestFirst(PointView query,
     const Pending next = frontier.top();
     frontier.pop();
     if (next.mindist > candidates.PruneDistance()) break;
-    Node node = ReadNode(next.id, next.level);
+    Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.points) {
         candidates.Offer(Distance(e.point, query), e.oid);
@@ -704,10 +710,12 @@ std::vector<Neighbor> XTree::NearestNeighborsBestFirst(PointView query,
   return candidates.TakeSorted();
 }
 
-std::vector<Neighbor> XTree::RangeSearch(PointView query, double radius) {
-  CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+std::vector<Neighbor> XTree::RangeImpl(PointView query, double radius,
+                                       IoStatsDelta* io) const {
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result);
+  if (size_ > 0) {
+    SearchRange(root_id_, root_level_, query, radius, result, io);
+  }
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
@@ -717,8 +725,8 @@ std::vector<Neighbor> XTree::RangeSearch(PointView query, double radius) {
 }
 
 void XTree::SearchRange(PageId id, int level, PointView query, double radius,
-                        std::vector<Neighbor>& out) {
-  Node node = ReadNode(id, level);
+                        std::vector<Neighbor>& out, IoStatsDelta* io) const {
+  Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       const double d = Distance(e.point, query);
@@ -728,7 +736,7 @@ void XTree::SearchRange(PageId id, int level, PointView query, double radius,
   }
   for (const NodeEntry& e : node.children) {
     if (std::sqrt(e.rect.MinDistSq(query)) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out);
+      SearchRange(e.child, level - 1, query, radius, out, io);
     }
   }
 }

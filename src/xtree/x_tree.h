@@ -24,6 +24,7 @@
 #include "src/geometry/rect.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -52,11 +53,6 @@ class XTree : public PointIndex {
   Status Insert(PointView point, uint32_t oid) override;
   Status Delete(PointView point, uint32_t oid) override;
 
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) override;
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) override;
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) override;
-
   TreeStats GetTreeStats() const override;
   Status CheckInvariants() const override;
   void VisitNodes(const NodeVisitor& visitor) const override;
@@ -68,10 +64,15 @@ class XTree : public PointIndex {
   }
 
   const IoStats& io_stats() const override { return file_.stats(); }
-  void ResetIoStats() override { file_.stats().Reset(); }
+  void ResetIoStats() override { file_.ResetStats(); }
+  IoStats GetIoStats() const override { return file_.GetIoStats(); }
 
   void SimulateBufferPool(size_t capacity) override {
     file_.SimulateCache(capacity);
+  }
+  void UseBufferPool(size_t capacity) override {
+    pool_ = capacity > 0 ? std::make_unique<BufferPool>(&file_, capacity)
+                         : nullptr;
   }
 
   size_t leaf_capacity() const override { return leaf_cap_; }
@@ -88,6 +89,14 @@ class XTree : public PointIndex {
   SupernodeStats GetSupernodeStats() const;
   uint64_t overlap_free_splits() const { return overlap_free_splits_; }
   uint64_t supernode_extensions() const { return supernode_extensions_; }
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
 
  private:
   struct LeafEntry {
@@ -116,9 +125,11 @@ class XTree : public PointIndex {
   };
 
   // --- page I/O (chained pages for supernodes) ---
-  Node ReadNode(PageId id, int level);
+  Node ReadNode(PageId id, int level,
+                IoStatsDelta* io = nullptr) const;
   Node PeekNode(PageId id) const;
-  Node LoadNode(PageId id, bool count_reads, int level);
+  Node LoadNode(PageId id, bool count_reads, int level,
+                IoStatsDelta* io) const;
   void WriteNode(Node& node);
 
   size_t Capacity(const Node& node) const {
@@ -161,9 +172,11 @@ class XTree : public PointIndex {
   void FreeNodePages(const Node& node);
 
   // --- search ---
-  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand);
-  void SearchRange(PageId id, int level, PointView query, double radius,
-                   std::vector<Neighbor>& out);
+  void SearchKnn(PageId id, int level, PointView query,
+                 KnnCandidates& cand, IoStatsDelta* io) const;
+  void SearchRange(PageId id, int level, PointView query,
+                   double radius, std::vector<Neighbor>& out,
+                   IoStatsDelta* io) const;
 
   // --- validation / stats ---
   void VisitSubtree(const Node& node, std::vector<int>& path,
@@ -179,6 +192,9 @@ class XTree : public PointIndex {
   size_t node_min_;
 
   mutable PageFile file_;
+  // Optional warm cache on the query path (UseBufferPool); WriteNode
+  // invalidates its frames so single-writer mutation stays coherent.
+  std::unique_ptr<BufferPool> pool_;
   PageId root_id_;
   int root_level_ = 0;
   size_t size_ = 0;

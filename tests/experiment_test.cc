@@ -41,7 +41,7 @@ TEST(ExperimentTest, BuildMetricsAreConsistent) {
   EXPECT_NEAR(metrics.accesses_per_insert,
               static_cast<double>(metrics.disk_accesses) / 500.0, 1e-9);
   // The builder resets I/O stats afterwards.
-  EXPECT_EQ(index->io_stats().reads, 0u);
+  EXPECT_EQ(index->GetIoStats().reads, 0u);
 }
 
 TEST(ExperimentTest, QueryMetricsAreConsistent) {
@@ -55,8 +55,14 @@ TEST(ExperimentTest, QueryMetricsAreConsistent) {
 
   const std::vector<Point> queries =
       SampleQueriesFromDataset(data, 25, /*seed=*/79);
+  const IoStats before = index->GetIoStats();
   const QueryMetrics metrics = RunKnnWorkload(*index, queries, 5);
   EXPECT_EQ(metrics.num_queries, 25u);
+  // The workload measures through per-query deltas; the same reads also
+  // land in the global counters (accounting parity), which it no longer
+  // resets behind the caller's back.
+  EXPECT_NEAR(static_cast<double>(index->GetIoStats().reads - before.reads),
+              metrics.disk_reads * 25.0, 1e-9);
   EXPECT_GT(metrics.disk_reads, 0.0);
   EXPECT_GT(metrics.leaf_reads, 0.0);
   EXPECT_GT(metrics.nonleaf_reads, 0.0);

@@ -1,0 +1,312 @@
+// The unified Search() API and the concurrent QueryEngine.
+//
+// Covers, for every index type (seven trees + the scan baseline):
+//   * Search() against the brute-force oracle for all three query kinds;
+//   * the input-validation contract (k <= 0, negative/non-finite radius,
+//     dimensionality mismatch) — InvalidArgument plus an empty result,
+//     where the pre-redesign behavior was a crash or an unchecked traversal;
+//   * per-query IoStatsDelta / elapsed-time fields and the accounting-parity
+//     contract against the legacy global counters;
+//   * RunBatch() determinism: 8 workers return byte-identical neighbors to a
+//     sequential loop, with and without a shared buffer pool.
+
+#include "src/engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/benchlib/experiment.h"
+#include "src/index/brute_force.h"
+#include "src/index/point_index.h"
+#include "src/index/query.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+std::vector<IndexType> AllIndexTypes() {
+  std::vector<IndexType> types = {
+      IndexType::kSRTree,  IndexType::kSSTree, IndexType::kRStarTree,
+      IndexType::kKdbTree, IndexType::kVamSplitRTree,
+      IndexType::kXTree,   IndexType::kTvTree, IndexType::kScan};
+  return types;
+}
+
+class SearchApiTest : public ::testing::TestWithParam<IndexType> {
+ protected:
+  static constexpr int kDim = 6;
+  static constexpr size_t kPoints = 400;
+
+  std::unique_ptr<PointIndex> BuildIndex() {
+    IndexConfig config;
+    config.dim = kDim;
+    config.page_size = 1024;
+    config.leaf_data_size = 0;
+    auto index = MakeIndex(GetParam(), config);
+    const Status status =
+        index->BulkLoad(data_.ToPoints(), data_.SequentialOids());
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return index;
+  }
+
+  std::unique_ptr<BruteForceIndex> BuildOracle() {
+    BruteForceIndex::Options options;
+    options.dim = kDim;
+    auto oracle = std::make_unique<BruteForceIndex>(options);
+    EXPECT_TRUE(
+        oracle->BulkLoad(data_.ToPoints(), data_.SequentialOids()).ok());
+    return oracle;
+  }
+
+  Dataset data_ = MakeUniformDataset(kPoints, kDim, /*seed=*/101);
+  std::vector<Point> queries_ =
+      SampleQueriesFromDataset(data_, 12, /*seed=*/103);
+};
+
+TEST_P(SearchApiTest, MatchesOracleForEveryQueryKind) {
+  const auto index = BuildIndex();
+  const auto oracle = BuildOracle();
+  for (const Point& q : queries_) {
+    for (const QuerySpec& spec :
+         {QuerySpec::Knn(7), QuerySpec::KnnBestFirst(7),
+          QuerySpec::Range(0.4)}) {
+      const QueryResult got = index->Search(q, spec);
+      const QueryResult want = oracle->Search(q, spec);
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      ASSERT_EQ(got.neighbors.size(), want.neighbors.size());
+      for (size_t i = 0; i < got.neighbors.size(); ++i) {
+        EXPECT_EQ(got.neighbors[i].oid, want.neighbors[i].oid) << "rank " << i;
+        EXPECT_DOUBLE_EQ(got.neighbors[i].distance,
+                         want.neighbors[i].distance);
+      }
+    }
+  }
+}
+
+TEST_P(SearchApiTest, LegacyWrappersDelegateToSearch) {
+  const auto index = BuildIndex();
+  const Point& q = queries_.front();
+  EXPECT_EQ(index->NearestNeighbors(q, 5),
+            index->Search(q, QuerySpec::Knn(5)).neighbors);
+  EXPECT_EQ(index->NearestNeighborsBestFirst(q, 5),
+            index->Search(q, QuerySpec::KnnBestFirst(5)).neighbors);
+  EXPECT_EQ(index->RangeSearch(q, 0.3),
+            index->Search(q, QuerySpec::Range(0.3)).neighbors);
+}
+
+// Regression: k <= 0 used to CHECK-crash inside KnnCandidates, and a
+// negative radius ran a pointless traversal; both are now rejected before
+// any page is touched.
+TEST_P(SearchApiTest, InvalidSpecsAreRejected) {
+  const auto index = BuildIndex();
+  const Point& q = queries_.front();
+
+  for (const QuerySpec& bad :
+       {QuerySpec::Knn(0), QuerySpec::Knn(-3), QuerySpec::KnnBestFirst(0),
+        QuerySpec::KnnBestFirst(-1), QuerySpec::Range(-0.5),
+        QuerySpec::Range(std::numeric_limits<double>::quiet_NaN()),
+        QuerySpec::Range(std::numeric_limits<double>::infinity())}) {
+    const QueryResult result = index->Search(q, bad);
+    EXPECT_TRUE(result.status.IsInvalidArgument()) << result.status.ToString();
+    EXPECT_TRUE(result.neighbors.empty());
+    EXPECT_EQ(result.io.reads, 0u);  // rejected before any traversal
+  }
+
+  // Legacy wrappers return empty instead of crashing.
+  EXPECT_TRUE(index->NearestNeighbors(q, 0).empty());
+  EXPECT_TRUE(index->NearestNeighborsBestFirst(q, -2).empty());
+  EXPECT_TRUE(index->RangeSearch(q, -1.0).empty());
+
+  const Point wrong_dim(kDim + 1, 0.5);
+  const QueryResult result = index->Search(wrong_dim, QuerySpec::Knn(3));
+  EXPECT_TRUE(result.status.IsInvalidArgument());
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+TEST_P(SearchApiTest, QueryResultCarriesPerQueryAccounting) {
+  const auto index = BuildIndex();
+  const QueryResult result =
+      index->Search(queries_.front(), QuerySpec::Knn(5));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(result.io.reads, 0u);
+  EXPECT_EQ(result.io.reads, result.io.leaf_reads + result.io.nonleaf_reads);
+  // No cache simulation is attached, so every read is a (simulated) miss.
+  EXPECT_EQ(result.io.cache_misses, result.io.reads);
+  EXPECT_GE(result.elapsed_seconds, 0.0);
+}
+
+// Accounting parity: across a single-threaded batch, the per-query deltas
+// must sum to exactly the movement of the legacy global counters.
+TEST_P(SearchApiTest, DeltaSumsMatchGlobalCounters) {
+  const auto index = BuildIndex();
+  const IoStats before = index->GetIoStats();
+  IoStatsDelta sum;
+  for (const Point& q : queries_) {
+    sum.MergeFrom(index->Search(q, QuerySpec::Knn(5)).io);
+    sum.MergeFrom(index->Search(q, QuerySpec::KnnBestFirst(3)).io);
+    sum.MergeFrom(index->Search(q, QuerySpec::Range(0.35)).io);
+  }
+  const IoStats after = index->GetIoStats();
+  EXPECT_EQ(sum.reads, after.reads - before.reads);
+  EXPECT_EQ(sum.leaf_reads, after.leaf_reads() - before.leaf_reads());
+  EXPECT_EQ(sum.nonleaf_reads, after.nonleaf_reads() - before.nonleaf_reads());
+  EXPECT_EQ(sum.cache_misses, after.cache_misses - before.cache_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, SearchApiTest, ::testing::ValuesIn(AllIndexTypes()),
+    [](const ::testing::TestParamInfo<IndexType>& info) {
+      std::string name = IndexTypeName(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '*' || c == ' ') c = '_';
+      }
+      return name;
+    });
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  static constexpr int kDim = 8;
+
+  std::unique_ptr<PointIndex> BuildTree(size_t n) {
+    IndexConfig config;
+    config.dim = kDim;
+    config.page_size = 1024;
+    config.leaf_data_size = 0;
+    auto index = MakeIndex(IndexType::kSRTree, config);
+    const Dataset data = MakeUniformDataset(n, kDim, /*seed=*/211);
+    EXPECT_TRUE(index->BulkLoad(data.ToPoints(), data.SequentialOids()).ok());
+    data_ = data;
+    return index;
+  }
+
+  std::vector<Query> MakeBatch(size_t num_queries) {
+    const std::vector<Point> points =
+        SampleQueriesFromDataset(data_, num_queries, /*seed=*/223);
+    std::vector<Query> batch;
+    for (size_t i = 0; i < points.size(); ++i) {
+      switch (i % 3) {
+        case 0:
+          batch.push_back(Query{points[i], QuerySpec::Knn(6)});
+          break;
+        case 1:
+          batch.push_back(Query{points[i], QuerySpec::KnnBestFirst(4)});
+          break;
+        default:
+          batch.push_back(Query{points[i], QuerySpec::Range(0.6)});
+          break;
+      }
+    }
+    return batch;
+  }
+
+  Dataset data_{kDim};
+};
+
+// The acceptance criterion of the redesign: a parallel RunBatch must be
+// indistinguishable from running the queries one by one.
+TEST_F(QueryEngineTest, EightWorkersMatchSequentialByteForByte) {
+  auto index = BuildTree(1200);
+  const std::vector<Query> batch = MakeBatch(200);
+
+  std::vector<std::vector<Neighbor>> sequential;
+  for (const Query& q : batch) {
+    sequential.push_back(index->Search(q.point, q.spec).neighbors);
+  }
+
+  EngineOptions options;
+  options.num_workers = 8;
+  options.steal_grain = 4;  // small grain => many chunks => real stealing
+  QueryEngine engine(std::move(index), options);
+  const std::vector<QueryResult> results = engine.RunBatch(batch);
+
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok());
+    EXPECT_EQ(results[i].neighbors, sequential[i]) << "query " << i;
+  }
+
+  const BatchStats stats = engine.last_batch_stats();
+  EXPECT_EQ(stats.queries, batch.size());
+  EXPECT_GT(stats.chunks, 0u);
+  EXPECT_GT(stats.io.reads, 0u);
+}
+
+TEST_F(QueryEngineTest, BufferPoolKeepsResultsAndCutsReads) {
+  auto index = BuildTree(1200);
+  const std::vector<Query> batch = MakeBatch(120);
+
+  std::vector<std::vector<Neighbor>> uncached;
+  uint64_t uncached_reads = 0;
+  for (const Query& q : batch) {
+    const QueryResult r = index->Search(q.point, q.spec);
+    uncached.push_back(r.neighbors);
+    uncached_reads += r.io.reads;
+  }
+
+  EngineOptions options;
+  options.num_workers = 4;
+  options.buffer_pool_pages = 256;
+  QueryEngine engine(std::move(index), options);
+  (void)engine.RunBatch(batch);  // warm the pool
+  const std::vector<QueryResult> results = engine.RunBatch(batch);
+
+  uint64_t pooled_reads = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].neighbors, uncached[i]) << "query " << i;
+    pooled_reads += results[i].io.reads;
+  }
+  // Pool hits never reach the page file, so they are charged to no one.
+  EXPECT_LT(pooled_reads, uncached_reads);
+
+  // ReleaseIndex detaches the pool: the uncached read path is restored for
+  // the paper benches.
+  index = engine.ReleaseIndex();
+  ASSERT_NE(index, nullptr);
+  uint64_t detached_reads = 0;
+  for (const Query& q : batch) {
+    detached_reads += index->Search(q.point, q.spec).io.reads;
+  }
+  EXPECT_EQ(detached_reads, uncached_reads);
+}
+
+TEST_F(QueryEngineTest, EmptyAndTinyBatches) {
+  auto index = BuildTree(300);
+  EngineOptions options;
+  options.num_workers = 4;
+  QueryEngine engine(std::move(index), options);
+
+  EXPECT_TRUE(engine.RunBatch({}).empty());
+
+  const std::vector<Query> one = MakeBatch(1);
+  const std::vector<QueryResult> results = engine.RunBatch(one);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[0].neighbors.empty());
+}
+
+TEST_F(QueryEngineTest, InvalidQueriesSurfacePerResultStatus) {
+  auto index = BuildTree(300);
+  std::vector<Query> batch = MakeBatch(4);
+  batch[1].spec = QuerySpec::Knn(0);
+  batch[3].spec = QuerySpec::Range(-1.0);
+
+  EngineOptions options;
+  options.num_workers = 2;
+  QueryEngine engine(std::move(index), options);
+  const std::vector<QueryResult> results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.IsInvalidArgument());
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_TRUE(results[3].status.IsInvalidArgument());
+  EXPECT_TRUE(results[1].neighbors.empty());
+  EXPECT_TRUE(results[3].neighbors.empty());
+}
+
+}  // namespace
+}  // namespace srtree

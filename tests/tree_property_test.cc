@@ -45,12 +45,13 @@ class TreePropertyTest : public ::testing::TestWithParam<PropertyParam> {
     return index;
   }
 
-  BruteForceIndex BuildReference(const Dataset& data) {
+  // By pointer: the index embeds a mutex (thread-safe stats) and cannot move.
+  std::unique_ptr<BruteForceIndex> BuildReference(const Dataset& data) {
     BruteForceIndex::Options options;
     options.dim = GetParam().dim;
-    BruteForceIndex reference(options);
+    auto reference = std::make_unique<BruteForceIndex>(options);
     const Status status =
-        reference.BulkLoad(data.ToPoints(), data.SequentialOids());
+        reference->BulkLoad(data.ToPoints(), data.SequentialOids());
     EXPECT_TRUE(status.ok());
     return reference;
   }
@@ -82,7 +83,7 @@ TEST_P(TreePropertyTest, KnnMatchesBruteForce) {
   const Dataset data = MakeTestDataset(GetParam().dist, 600, GetParam().dim,
                                        /*seed=*/11);
   auto index = BuildIndex(data);
-  BruteForceIndex reference = BuildReference(data);
+  const std::unique_ptr<BruteForceIndex> reference = BuildReference(data);
 
   std::vector<Point> queries =
       SampleQueriesFromDataset(data, 15, /*seed=*/13);
@@ -93,7 +94,7 @@ TEST_P(TreePropertyTest, KnnMatchesBruteForce) {
     for (const int k : {1, 5, 21}) {
       SCOPED_TRACE("k=" + std::to_string(k));
       ExpectSameNeighbors(index->NearestNeighbors(q, k),
-                          reference.NearestNeighbors(q, k));
+                          reference->NearestNeighbors(q, k));
     }
   }
 }
@@ -161,26 +162,26 @@ TEST_P(TreePropertyTest, KnnWithKLargerThanDataset) {
   const Dataset data = MakeTestDataset(GetParam().dist, 50, GetParam().dim,
                                        /*seed=*/23);
   auto index = BuildIndex(data);
-  BruteForceIndex reference = BuildReference(data);
+  const std::unique_ptr<BruteForceIndex> reference = BuildReference(data);
   const Point q(GetParam().dim, 0.5);
   ExpectSameNeighbors(index->NearestNeighbors(q, 200),
-                      reference.NearestNeighbors(q, 200));
+                      reference->NearestNeighbors(q, 200));
 }
 
 TEST_P(TreePropertyTest, RangeMatchesBruteForce) {
   const Dataset data = MakeTestDataset(GetParam().dist, 600, GetParam().dim,
                                        /*seed=*/29);
   auto index = BuildIndex(data);
-  BruteForceIndex reference = BuildReference(data);
+  const std::unique_ptr<BruteForceIndex> reference = BuildReference(data);
 
   const std::vector<Point> queries =
       SampleQueriesFromDataset(data, 10, /*seed=*/31);
   for (const Point& q : queries) {
     // Radius reaching roughly the 20 nearest points.
-    const std::vector<Neighbor> knn = reference.NearestNeighbors(q, 20);
+    const std::vector<Neighbor> knn = reference->NearestNeighbors(q, 20);
     const double radius = knn.back().distance;
     ExpectSameNeighbors(index->RangeSearch(q, radius),
-                        reference.RangeSearch(q, radius));
+                        reference->RangeSearch(q, radius));
   }
 }
 
@@ -206,12 +207,12 @@ TEST_P(TreePropertyTest, InsertDeleteTrafficKeepsInvariants) {
   const Dataset data = MakeTestDataset(GetParam().dist, 500, GetParam().dim,
                                        /*seed=*/37);
   auto index = MakeSmallPageIndex(GetParam().type, GetParam().dim);
-  BruteForceIndex reference = BuildReference(Dataset(GetParam().dim));
+  const std::unique_ptr<BruteForceIndex> reference = BuildReference(Dataset(GetParam().dim));
 
   for (size_t i = 0; i < data.size(); ++i) {
     ASSERT_TRUE(index->Insert(data.point(i), static_cast<uint32_t>(i)).ok());
     ASSERT_TRUE(
-        reference.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+        reference->Insert(data.point(i), static_cast<uint32_t>(i)).ok());
     // Interleave deletions: every third point is removed again.
     if (i % 3 == 2) {
       const size_t victim = i - 1;
@@ -219,8 +220,8 @@ TEST_P(TreePropertyTest, InsertDeleteTrafficKeepsInvariants) {
           index->Delete(data.point(victim), static_cast<uint32_t>(victim))
               .ok());
       ASSERT_TRUE(reference
-                      .Delete(data.point(victim),
-                              static_cast<uint32_t>(victim))
+                      ->Delete(data.point(victim),
+                               static_cast<uint32_t>(victim))
                       .ok());
     }
     if (i % 100 == 99) {
@@ -228,14 +229,14 @@ TEST_P(TreePropertyTest, InsertDeleteTrafficKeepsInvariants) {
       ASSERT_TRUE(status.ok()) << status.ToString() << " at step " << i;
     }
   }
-  EXPECT_EQ(index->size(), reference.size());
+  EXPECT_EQ(index->size(), reference->size());
 
   const Status status = index->CheckInvariants();
   EXPECT_TRUE(status.ok()) << status.ToString();
   for (const Point& q :
        SampleQueriesFromDataset(data, 10, /*seed=*/41)) {
     ExpectSameNeighbors(index->NearestNeighbors(q, 10),
-                        reference.NearestNeighbors(q, 10));
+                        reference->NearestNeighbors(q, 10));
   }
 }
 
