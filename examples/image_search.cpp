@@ -59,12 +59,14 @@ int main(int argc, char** argv) {
               stats.height, static_cast<unsigned long long>(stats.node_count),
               static_cast<unsigned long long>(stats.leaf_count));
 
-  // Pick a query image and retrieve its k most similar images.
+  // Pick a query image and retrieve its k most similar images. The
+  // QueryResult carries the query's own I/O delta, so no counter reset is
+  // needed before measuring.
   const PointView query_image = features.point(features.size() / 2);
-  index.ResetIoStats();
-  const std::vector<Neighbor> similar =
-      index.NearestNeighbors(query_image, k + 1);  // first hit = the query
-  const uint64_t tree_reads = index.io_stats().reads;
+  const QueryResult found =
+      index.Search(query_image, QuerySpec::Knn(k + 1));  // first hit = query
+  const std::vector<Neighbor>& similar = found.neighbors;
+  const uint64_t tree_reads = found.io.reads;
 
   std::printf("\n%d images most similar to image #%zu:\n", k,
               features.size() / 2);
@@ -78,14 +80,14 @@ int main(int argc, char** argv) {
   scan_options.dim = features.dim();
   BruteForceIndex scan(scan_options);
   (void)scan.BulkLoad(features.ToPoints(), features.SequentialOids());
-  scan.ResetIoStats();
-  (void)scan.NearestNeighbors(query_image, k + 1);
+  const QueryResult scanned =
+      scan.Search(query_image, QuerySpec::Knn(k + 1));
 
   std::printf("\ndisk blocks read: SR-tree %llu vs sequential scan %llu "
               "(%.1fx fewer)\n",
               static_cast<unsigned long long>(tree_reads),
-              static_cast<unsigned long long>(scan.io_stats().reads),
-              static_cast<double>(scan.io_stats().reads) /
+              static_cast<unsigned long long>(scanned.io.reads),
+              static_cast<double>(scanned.io.reads) /
                   static_cast<double>(tree_reads));
   return 0;
 }

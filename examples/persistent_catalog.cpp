@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
 
   const PointView query = features.point(0);
   std::printf("\n5 nearest catalog entries to vector #0:\n");
-  for (const Neighbor& n : index.NearestNeighbors(query, 5)) {
+  for (const Neighbor& n : index.Search(query, QuerySpec::Knn(5)).neighbors) {
     std::printf("  #%-7u distance %.5f\n", n.oid, n.distance);
   }
 

@@ -38,16 +38,19 @@ int main() {
     }
   }
 
-  // The 3 nearest neighbors of a query point.
+  // The 3 nearest neighbors of a query point, via the unified Search()
+  // entry point (QuerySpec picks the query kind).
   const Point query = {0.12, 0.22};
   std::printf("3 nearest neighbors of (%.2f, %.2f):\n", query[0], query[1]);
-  for (const srtree::Neighbor& n : tree.NearestNeighbors(query, 3)) {
+  for (const srtree::Neighbor& n :
+       tree.Search(query, srtree::QuerySpec::Knn(3)).neighbors) {
     std::printf("  %-13s  distance %.4f\n", names[n.oid], n.distance);
   }
 
   // Everything within radius 0.2.
   std::printf("\nwithin radius 0.20:\n");
-  for (const srtree::Neighbor& n : tree.RangeSearch(query, 0.2)) {
+  for (const srtree::Neighbor& n :
+       tree.Search(query, srtree::QuerySpec::Range(0.2)).neighbors) {
     std::printf("  %-13s  distance %.4f\n", names[n.oid], n.distance);
   }
 
@@ -61,6 +64,6 @@ int main() {
   std::printf("tree height %d, %llu leaves, %llu disk reads so far\n",
               stats.height,
               static_cast<unsigned long long>(stats.leaf_count),
-              static_cast<unsigned long long>(tree.io_stats().reads));
+              static_cast<unsigned long long>(tree.GetIoStats().reads));
   return 0;
 }

@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < frames.size(); ++i) {
     const bool is_duplicate =
         index.size() > 0 &&
-        !index.RangeSearch(frames.point(i), threshold).empty();
+        !index.Search(frames.point(i), QuerySpec::Range(threshold))
+             .neighbors.empty();
     if (is_duplicate) {
       ++duplicates;
       continue;
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.leaf_count),
               index.CheckInvariants().ok() ? "hold" : "VIOLATED");
   std::printf("average disk reads per dedup check: %.1f\n",
-              static_cast<double>(index.io_stats().reads) /
+              static_cast<double>(index.GetIoStats().reads) /
                   static_cast<double>(frames.size()));
   return 0;
 }

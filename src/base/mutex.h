@@ -1,0 +1,81 @@
+// Annotated mutex primitives for the Clang Thread Safety Analysis.
+//
+// std::mutex carries no capability attributes, so locking it is invisible
+// to -Wthread-safety. Mutex wraps it as a CAPABILITY, MutexLock is the
+// scoped holder, and CondVar pairs with Mutex for condition waits. All
+// mutex-protected state in src/ uses these types; taking a naked
+// std::lock_guard / std::unique_lock on first-party state is a contract
+// violation that tools/srlint.py (rule R2) rejects, because it would
+// silently opt the critical section out of the analysis.
+//
+// The wrappers compile to exactly the std primitives on every compiler;
+// only the attributes differ under clang.
+
+#ifndef SRTREE_BASE_MUTEX_H_
+#define SRTREE_BASE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/base/thread_annotations.h"
+
+namespace srtree {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling so std::condition_variable_any can suspend on a
+  // Mutex. Only CondVar::Wait goes through these; everything else uses
+  // MutexLock (srlint R2 keeps it that way).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock holder; the scoped-capability shape -Wthread-safety verifies.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over Mutex. Waits must run in an explicit
+//   while (!condition) cv.Wait(mu);
+// loop under a MutexLock: the analysis then sees the condition being read
+// with the mutex held, which a predicate lambda would hide from it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, sleeps, and reacquires it before returning.
+  // The caller must hold `mu`; as with any condition wait, recheck the
+  // predicate after waking.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_BASE_MUTEX_H_

@@ -2,136 +2,26 @@
 
 #include "src/common/check.h"
 #include "src/common/timer.h"
-#include "src/core/sr_tree.h"
-#include "src/index/brute_force.h"
-#include "src/kdb/kdb_tree.h"
-#include "src/rstar/rstar_tree.h"
-#include "src/sstree/ss_tree.h"
-#include "src/tvtree/tv_r_tree.h"
-#include "src/vamsplit/vam_split_r_tree.h"
-#include "src/xtree/x_tree.h"
 
 namespace srtree {
 
-const char* IndexTypeName(IndexType type) {
-  switch (type) {
-    case IndexType::kSRTree:
-      return "SR-tree";
-    case IndexType::kSSTree:
-      return "SS-tree";
-    case IndexType::kRStarTree:
-      return "R*-tree";
-    case IndexType::kKdbTree:
-      return "K-D-B-tree";
-    case IndexType::kVamSplitRTree:
-      return "VAMSplit R-tree";
-    case IndexType::kXTree:
-      return "X-tree";
-    case IndexType::kTvTree:
-      return "TV-tree";
-    case IndexType::kScan:
-      return "scan";
-  }
-  return "unknown";
-}
-
-std::vector<IndexType> AllTreeTypes() {
-  return {IndexType::kKdbTree, IndexType::kRStarTree, IndexType::kSSTree,
-          IndexType::kVamSplitRTree, IndexType::kSRTree};
-}
-
-std::vector<IndexType> DynamicTreeTypes() {
-  return {IndexType::kRStarTree, IndexType::kSSTree, IndexType::kSRTree};
-}
-
-std::unique_ptr<PointIndex> MakeIndex(IndexType type,
-                                      const IndexConfig& config) {
-  switch (type) {
-    case IndexType::kSRTree: {
-      SRTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      options.min_utilization = config.min_utilization;
-      options.reinsert_fraction = config.reinsert_fraction;
-      return std::make_unique<SRTree>(options);
-    }
-    case IndexType::kSSTree: {
-      SSTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      options.min_utilization = config.min_utilization;
-      options.reinsert_fraction = config.reinsert_fraction;
-      return std::make_unique<SSTree>(options);
-    }
-    case IndexType::kRStarTree: {
-      RStarTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      options.min_utilization = config.min_utilization;
-      options.reinsert_fraction = config.reinsert_fraction;
-      return std::make_unique<RStarTree>(options);
-    }
-    case IndexType::kKdbTree: {
-      KdbTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      return std::make_unique<KdbTree>(options);
-    }
-    case IndexType::kVamSplitRTree: {
-      VamSplitRTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      return std::make_unique<VamSplitRTree>(options);
-    }
-    case IndexType::kXTree: {
-      XTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      options.min_utilization = config.min_utilization;
-      return std::make_unique<XTree>(options);
-    }
-    case IndexType::kTvTree: {
-      TvRTree::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      options.min_utilization = config.min_utilization;
-      options.reinsert_fraction = config.reinsert_fraction;
-      return std::make_unique<TvRTree>(options);
-    }
-    case IndexType::kScan: {
-      BruteForceIndex::Options options;
-      options.dim = config.dim;
-      options.page_size = config.page_size;
-      options.leaf_data_size = config.leaf_data_size;
-      return std::make_unique<BruteForceIndex>(options);
-    }
-  }
-  CHECK(false);
-  return nullptr;
-}
-
 BuildMetrics BuildIndexFromDataset(PointIndex& index, const Dataset& data) {
-  index.ResetIoStats();
+  // Snapshot deltas instead of the legacy reset-then-peek pattern: the
+  // build cost is the movement of the global counters across BulkLoad, and
+  // nothing here zeroes state another measurement might be accumulating.
+  const IoStats before = index.GetIoStats();
   CpuTimer timer;
   const Status status = index.BulkLoad(data.ToPoints(), data.SequentialOids());
   CHECK(status.ok());
   BuildMetrics metrics;
   metrics.total_cpu_seconds = timer.ElapsedSeconds();
-  metrics.disk_accesses = index.io_stats().accesses();
+  metrics.disk_accesses = index.GetIoStats().accesses() - before.accesses();
   if (data.size() > 0) {
     metrics.cpu_ms_per_insert =
         metrics.total_cpu_seconds * 1e3 / static_cast<double>(data.size());
     metrics.accesses_per_insert = static_cast<double>(metrics.disk_accesses) /
                                   static_cast<double>(data.size());
   }
-  index.ResetIoStats();
   return metrics;
 }
 

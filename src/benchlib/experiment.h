@@ -1,51 +1,24 @@
-// Experiment harness: index factory plus build/query workload runners that
-// collect exactly the metrics the paper reports (CPU time, disk reads and
-// accesses, per-level read breakdown, leaf-access ratios).
+// Experiment harness: build/query workload runners that collect exactly the
+// metrics the paper reports (CPU time, disk reads and accesses, per-level
+// read breakdown, leaf-access ratios). Index construction lives in
+// src/index/index_factory.h (re-exported here for the harness's callers);
+// this layer sees concrete trees only through the PointIndex interface.
 
 #ifndef SRTREE_BENCHLIB_EXPERIMENT_H_
 #define SRTREE_BENCHLIB_EXPERIMENT_H_
 
-#include <memory>
-#include <string>
 #include <vector>
 
+#include "src/index/index_factory.h"
 #include "src/index/point_index.h"
 #include "src/workload/dataset.h"
 
 namespace srtree {
 
-enum class IndexType {
-  kSRTree,
-  kSSTree,
-  kRStarTree,
-  kKdbTree,
-  kVamSplitRTree,
-  kXTree,   // extension: Section 2.6 related work, not in the paper's tests
-  kTvTree,  // extension: Section 2.5 related work (fixed-telescope TV-tree)
-  kScan,
-};
-
-const char* IndexTypeName(IndexType type);
-
-// The five index structures of the paper's evaluation.
-std::vector<IndexType> AllTreeTypes();
-// The dynamic trees whose insertion cost Figure 9 compares.
-std::vector<IndexType> DynamicTreeTypes();
-
-struct IndexConfig {
-  int dim = 16;
-  size_t page_size = 8192;
-  size_t leaf_data_size = 512;
-  double min_utilization = 0.4;
-  double reinsert_fraction = 0.3;
-};
-
-std::unique_ptr<PointIndex> MakeIndex(IndexType type,
-                                      const IndexConfig& config);
-
 // Populates the index from the dataset (BulkLoad: sequential inserts for
 // the dynamic trees, the VAM construction for the static tree) and reports
-// the build cost. I/O stats are reset before and after.
+// the build cost as the movement of the GetIoStats() counters — the global
+// counters are snapshotted, not reset.
 struct BuildMetrics {
   double total_cpu_seconds = 0.0;
   double cpu_ms_per_insert = 0.0;

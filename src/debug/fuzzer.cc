@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/common/check.h"
 #include "src/common/random.h"
 #include "src/debug/structural_auditor.h"
@@ -110,7 +110,7 @@ Status RunConcurrentQueryFuzz(PointIndex& index,
     }
   }
 
-  std::mutex fail_mu;
+  Mutex fail_mu;
   std::vector<std::string> failures;
   std::vector<IoStatsDelta> per_thread_io(options.num_threads);
 
@@ -141,7 +141,7 @@ Status RunConcurrentQueryFuzz(PointIndex& index,
         }
       }
       if (!error.empty()) {
-        std::lock_guard<std::mutex> lock(fail_mu);
+        MutexLock lock(fail_mu);
         failures.push_back("thread=" + std::to_string(t) +
                            " query=" + std::to_string(i) + " " + error);
         return;
@@ -185,6 +185,34 @@ Status RunConcurrentQueryFuzz(PointIndex& index,
         std::to_string(global.leaf_reads) + " nonleaf=" +
         std::to_string(global.nonleaf_reads) + " cache_misses=" +
         std::to_string(global.cache_misses) + "}");
+  }
+
+  // ResetIoStats() is only meaningful on a quiesced index (see
+  // PointIndex::ResetIoStats): with every query thread joined, a reset must
+  // leave the counters at zero, and the next query's per-query delta must
+  // equal the counters' movement exactly. Running this after the join
+  // asserts the documented exclusion contract without racing it.
+  index.ResetIoStats();  // srlint: allow(R1) asserting the quiesced-reset contract
+  const IoStats zeroed = index.GetIoStats();
+  if (zeroed.reads != 0 || zeroed.writes != 0 || zeroed.cache_misses != 0) {
+    return fail("quiesced ResetIoStats left nonzero counters: reads=" +
+                std::to_string(zeroed.reads) + " writes=" +
+                std::to_string(zeroed.writes) + " cache_misses=" +
+                std::to_string(zeroed.cache_misses));
+  }
+  const QueryResult probe = index.Search(points[0], QuerySpec::Knn(1));
+  if (!probe.status.ok()) {
+    return fail("post-reset probe query failed: " + probe.status.ToString());
+  }
+  const IoStats after_probe = index.GetIoStats();
+  if (after_probe.reads != probe.io.reads ||
+      after_probe.cache_misses != probe.io.cache_misses) {
+    return fail("post-reset accounting diverged: probe delta {reads=" +
+                std::to_string(probe.io.reads) + " cache_misses=" +
+                std::to_string(probe.io.cache_misses) +
+                "} vs global {reads=" + std::to_string(after_probe.reads) +
+                " cache_misses=" + std::to_string(after_probe.cache_misses) +
+                "}");
   }
   return Status::OK();
 }
@@ -265,16 +293,33 @@ Status MutationFuzzer::Run(std::unique_ptr<PointIndex>& index,
     return Status::OK();
   };
 
+  // All oracle comparisons go through the unified Search() entry point —
+  // the same path production callers use — so a wrapper-only regression
+  // cannot slip past the fuzzer.
+  const auto checked_search = [&](const char* tag, const Point& q,
+                                  const QuerySpec& spec) -> StatusOr<QueryResult> {
+    QueryResult r = index->Search(q, spec);
+    if (!r.status.ok()) {
+      return fail(std::string(tag) + " search failed: " + r.status.ToString());
+    }
+    return r;
+  };
+
   const auto run_queries = [&]() {
     for (int i = 0; i < options_.knn_queries_per_batch; ++i) {
       ++stats_.knn_queries;
       const Point q = query_point();
       const int k = 1 + static_cast<int>(rng.NextBounded(
                             static_cast<uint64_t>(options_.max_k)));
-      const std::vector<Neighbor> got = index->NearestNeighbors(q, k);
-      RETURN_IF_ERROR(compare("knn", q, got, oracle.NearestNeighbors(q, k)));
-      RETURN_IF_ERROR(compare("knn-best-first", q,
-                              index->NearestNeighborsBestFirst(q, k), got));
+      StatusOr<QueryResult> got = checked_search("knn", q, QuerySpec::Knn(k));
+      RETURN_IF_ERROR(got.status());
+      RETURN_IF_ERROR(compare("knn", q, got.value().neighbors,
+                              oracle.Search(q, QuerySpec::Knn(k)).neighbors));
+      StatusOr<QueryResult> best =
+          checked_search("knn-best-first", q, QuerySpec::KnnBestFirst(k));
+      RETURN_IF_ERROR(best.status());
+      RETURN_IF_ERROR(compare("knn-best-first", q, best.value().neighbors,
+                              got.value().neighbors));
     }
     for (int i = 0; i < options_.range_queries_per_batch; ++i) {
       ++stats_.range_queries;
@@ -286,8 +331,12 @@ Status MutationFuzzer::Run(std::unique_ptr<PointIndex>& index,
       } else {
         radius = rng.Uniform(0.0, options_.coord_hi - options_.coord_lo);
       }
-      RETURN_IF_ERROR(compare("range", q, index->RangeSearch(q, radius),
-                              oracle.RangeSearch(q, radius)));
+      StatusOr<QueryResult> got =
+          checked_search("range", q, QuerySpec::Range(radius));
+      RETURN_IF_ERROR(got.status());
+      RETURN_IF_ERROR(
+          compare("range", q, got.value().neighbors,
+                  oracle.Search(q, QuerySpec::Range(radius)).neighbors));
     }
     return Status::OK();
   };

@@ -29,16 +29,16 @@ QueryEngine::QueryEngine(std::unique_ptr<PointIndex> index,
 
 QueryEngine::~QueryEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 std::vector<QueryResult> QueryEngine::RunBatch(
     std::span<const Query> queries) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   CHECK(index_ != nullptr);  // ReleaseIndex() ends the engine's service life
 
   const WallTimer timer;
@@ -48,7 +48,7 @@ std::vector<QueryResult> QueryEngine::RunBatch(
     // Deal contiguous chunks round-robin across the worker deques.
     const size_t grain = options_.steal_grain;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       batch_queries_ = queries;
       batch_results_ = &results;
       steals_ = 0;
@@ -57,7 +57,7 @@ std::vector<QueryResult> QueryEngine::RunBatch(
         const size_t end = std::min(queries.size(), begin + grain);
         WorkerQueue& q = *queues_[next_worker];
         {
-          std::lock_guard<std::mutex> qlock(q.mu);
+          MutexLock qlock(q.mu);
           q.chunks.push_back(Chunk{begin, end, next_worker});
         }
         next_worker = (next_worker + 1) % static_cast<int>(queues_.size());
@@ -66,10 +66,12 @@ std::vector<QueryResult> QueryEngine::RunBatch(
       chunks_remaining_ = total_chunks;
       ++epoch_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [&] { return chunks_remaining_ == 0; });
+      // Explicit wait loop (not a predicate lambda) so the analysis sees
+      // the guarded read of chunks_remaining_ under mu_.
+      MutexLock lock(mu_);
+      while (chunks_remaining_ != 0) done_cv_.Wait(mu_);
       batch_results_ = nullptr;
       batch_queries_ = {};
     }
@@ -80,24 +82,24 @@ std::vector<QueryResult> QueryEngine::RunBatch(
   stats.chunks = total_chunks;
   stats.wall_seconds = timer.ElapsedSeconds();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.steals = steals_;
   }
   for (const QueryResult& r : results) stats.io.MergeFrom(r.io);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     last_stats_ = stats;
   }
   return results;
 }
 
 BatchStats QueryEngine::last_batch_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return last_stats_;
 }
 
 std::unique_ptr<PointIndex> QueryEngine::ReleaseIndex() {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   if (index_ != nullptr && options_.buffer_pool_pages > 0) {
     index_->UseBufferPool(0);
   }
@@ -107,34 +109,43 @@ std::unique_ptr<PointIndex> QueryEngine::ReleaseIndex() {
 void QueryEngine::WorkerLoop(int worker_id) {
   uint64_t seen_epoch = 0;
   while (true) {
+    // The batch state is snapshotted under mu_ so RunChunk below can index
+    // into it without the lock; the snapshot stays valid for the whole
+    // epoch because RunBatch does not return (and cannot start the next
+    // batch) until every chunk is drained.
+    std::span<const Query> queries;
+    std::vector<QueryResult>* results = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      // Explicit wait loop (not a predicate lambda) so the analysis sees
+      // the guarded reads of shutdown_/epoch_ under mu_.
+      MutexLock lock(mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(mu_);
       if (shutdown_) return;
       seen_epoch = epoch_;
+      queries = batch_queries_;
+      results = batch_results_;
     }
     // Drain: own deque first, then steal. When both are dry the batch has
     // no work left for this worker (chunks in flight elsewhere finish on
     // their executors), so it sleeps until the next epoch.
     Chunk chunk;
     while (PopLocal(worker_id, chunk) || StealFrom(worker_id, chunk)) {
-      RunChunk(chunk, worker_id);
+      RunChunk(chunk, queries, *results);
       size_t remaining;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         CHECK_GT(chunks_remaining_, 0u);
         remaining = --chunks_remaining_;
         if (chunk.owner != worker_id) ++steals_;
       }
-      if (remaining == 0) done_cv_.notify_all();
+      if (remaining == 0) done_cv_.NotifyAll();
     }
   }
 }
 
 bool QueryEngine::PopLocal(int worker_id, Chunk& out) {
   WorkerQueue& q = *queues_[worker_id];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.chunks.empty()) return false;
   out = q.chunks.front();
   q.chunks.pop_front();
@@ -145,7 +156,7 @@ bool QueryEngine::StealFrom(int worker_id, Chunk& out) {
   const int n = static_cast<int>(queues_.size());
   for (int step = 1; step < n; ++step) {
     WorkerQueue& victim = *queues_[(worker_id + step) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.chunks.empty()) {
       out = victim.chunks.back();
       victim.chunks.pop_back();
@@ -155,11 +166,11 @@ bool QueryEngine::StealFrom(int worker_id, Chunk& out) {
   return false;
 }
 
-void QueryEngine::RunChunk(const Chunk& chunk, int worker_id) {
-  (void)worker_id;
+void QueryEngine::RunChunk(const Chunk& chunk, std::span<const Query> queries,
+                           std::vector<QueryResult>& results) {
   for (size_t i = chunk.begin; i < chunk.end; ++i) {
-    const Query& q = batch_queries_[i];
-    (*batch_results_)[i] = index_->Search(q.point, q.spec);
+    const Query& q = queries[i];
+    results[i] = index_->Search(q.point, q.spec);
   }
 }
 

@@ -17,15 +17,15 @@
 #ifndef SRTREE_ENGINE_QUERY_ENGINE_H_
 #define SRTREE_ENGINE_QUERY_ENGINE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/geometry/point.h"
 #include "src/index/point_index.h"
 #include "src/index/query.h"
@@ -73,17 +73,18 @@ class QueryEngine {
   // queries[i]'s QueryResult, complete with per-query IoStatsDelta and
   // wall-clock latency. Callers may invoke RunBatch concurrently; batches
   // are serialized internally.
-  std::vector<QueryResult> RunBatch(std::span<const Query> queries);
+  std::vector<QueryResult> RunBatch(std::span<const Query> queries)
+      EXCLUDES(batch_mu_, mu_, stats_mu_);
 
   const PointIndex& index() const { return *index_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   // Accounting for the last completed batch (call after RunBatch returns).
-  BatchStats last_batch_stats() const;
+  BatchStats last_batch_stats() const EXCLUDES(stats_mu_);
 
   // Detaches the buffer pool and hands the index back; the engine accepts
   // no further batches. Lets one built tree move between engine configs.
-  std::unique_ptr<PointIndex> ReleaseIndex();
+  std::unique_ptr<PointIndex> ReleaseIndex() EXCLUDES(batch_mu_);
 
  private:
   // Contiguous range [begin, end) of query indices, tagged with the worker
@@ -95,8 +96,8 @@ class QueryEngine {
   };
 
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Chunk> chunks;
+    Mutex mu;
+    std::deque<Chunk> chunks GUARDED_BY(mu);
   };
 
   void WorkerLoop(int worker_id);
@@ -104,28 +105,40 @@ class QueryEngine {
   bool PopLocal(int worker_id, Chunk& out);
   // Thief end: scan the other deques, stealing from the back.
   bool StealFrom(int worker_id, Chunk& out);
-  void RunChunk(const Chunk& chunk, int worker_id);
+  // Executes one chunk against snapshots of the batch state: the worker
+  // copies `batch_queries_`/`batch_results_` out under mu_ when it observes
+  // the new epoch, so the per-query loop runs without touching guarded
+  // members (and without the lock).
+  void RunChunk(const Chunk& chunk, std::span<const Query> queries,
+                std::vector<QueryResult>& results);
 
+  // Written in the constructor and by ReleaseIndex() only; workers read it
+  // exclusively inside an epoch, which RunBatch brackets while holding
+  // batch_mu_ — the same lock ReleaseIndex() takes. Search() is const and
+  // re-entrant by the PointIndex contract, so traversals need no lock.
   std::unique_ptr<PointIndex> index_;
   EngineOptions options_;
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  // Batch state, valid between dispatch and completion of one epoch.
-  std::mutex batch_mu_;            // serializes RunBatch callers
-  std::mutex mu_;                  // guards the epoch/progress fields below
-  std::condition_variable work_cv_;  // workers wait here between batches
-  std::condition_variable done_cv_;  // RunBatch waits here for completion
-  uint64_t epoch_ = 0;
-  bool shutdown_ = false;
-  std::span<const Query> batch_queries_;
-  std::vector<QueryResult>* batch_results_ = nullptr;
-  size_t chunks_remaining_ = 0;
-  size_t steals_ = 0;
+  // Capability map: batch_mu_ serializes RunBatch/ReleaseIndex callers and
+  // guards no data; mu_ guards the epoch/progress fields below, which are
+  // valid between dispatch and completion of one epoch; each WorkerQueue's
+  // mu guards its deque; stats_mu_ guards last_stats_.
+  Mutex batch_mu_;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait here between batches
+  CondVar done_cv_;  // RunBatch waits here for completion
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::span<const Query> batch_queries_ GUARDED_BY(mu_);
+  std::vector<QueryResult>* batch_results_ GUARDED_BY(mu_) = nullptr;
+  size_t chunks_remaining_ GUARDED_BY(mu_) = 0;
+  size_t steals_ GUARDED_BY(mu_) = 0;
 
-  mutable std::mutex stats_mu_;
-  BatchStats last_stats_;
+  mutable Mutex stats_mu_;
+  BatchStats last_stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace srtree

@@ -17,6 +17,7 @@ Status BruteForceIndex::Insert(PointView point, uint32_t oid) {
   }
   points_.emplace_back(point.begin(), point.end());
   oids_.push_back(oid);
+  MutexLock lock(stats_mu_);
   stats_.RecordWrite();
   return Status::OK();
 }
@@ -29,6 +30,7 @@ Status BruteForceIndex::Delete(PointView point, uint32_t oid) {
       points_.pop_back();
       oids_[i] = oids_.back();
       oids_.pop_back();
+      MutexLock lock(stats_mu_);
       stats_.RecordWrite();
       return Status::OK();
     }
@@ -46,7 +48,7 @@ void BruteForceIndex::ChargeScan(IoStatsDelta* io) const {
   const size_t entries_per_page = leaf_capacity();
   const size_t pages =
       (points_.size() + entries_per_page - 1) / entries_per_page;
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   for (size_t i = 0; i < pages; ++i) {
     stats_.RecordRead(/*level=*/0);
     if (io != nullptr) io->RecordRead(/*level=*/0);

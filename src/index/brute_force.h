@@ -8,9 +8,10 @@
 #ifndef SRTREE_INDEX_BRUTE_FORCE_H_
 #define SRTREE_INDEX_BRUTE_FORCE_H_
 
-#include <mutex>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/index/point_index.h"
 #include "src/storage/page.h"
 
@@ -41,13 +42,24 @@ class BruteForceIndex : public PointIndex {
   Status CheckInvariants() const override { return Status::OK(); }
   RegionSummary LeafRegionSummary() const override { return {}; }
 
-  const IoStats& io_stats() const override { return stats_; }
-  void ResetIoStats() override {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  // DEPRECATED: unsynchronized reference into the counters; sound only
+  // under the external-exclusion contract (no concurrent Search() while the
+  // reference is read) that the analysis opt-out stands in for.
+  const IoStats& io_stats() const override NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
+  // The reset itself is locked, but the reset-then-peek *measurement
+  // pattern* is not: queries running between the reset and the peek corrupt
+  // the reading. Callers must exclude concurrent Search() around the whole
+  // pattern (the concurrent fuzzer asserts the quiesced-reset contract);
+  // new code uses Search()'s per-query deltas instead. srlint rule R1
+  // flags any new call site.
+  void ResetIoStats() override EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     stats_.Reset();
   }
-  IoStats GetIoStats() const override {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  IoStats GetIoStats() const override EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     return stats_;
   }
 
@@ -62,15 +74,15 @@ class BruteForceIndex : public PointIndex {
                                   IoStatsDelta* io) const override;
 
  private:
-  void ChargeScan(IoStatsDelta* io) const;
+  void ChargeScan(IoStatsDelta* io) const EXCLUDES(stats_mu_);
 
   Options options_;
   std::vector<Point> points_;
   std::vector<uint32_t> oids_;
   // Queries are const yet charge simulated scan reads, so the global
   // counters are mutable and locked; per-query deltas need no lock.
-  mutable std::mutex stats_mu_;
-  mutable IoStats stats_;
+  mutable Mutex stats_mu_;
+  mutable IoStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace srtree

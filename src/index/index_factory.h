@@ -1,0 +1,49 @@
+// Index factory: the one place that names every concrete index structure.
+//
+// Everything downstream of the PointIndex interface — the experiment
+// harness, the benches, the CLI, the query engine — constructs indexes
+// through MakeIndex() so it never includes a tree header itself. srlint
+// rule R3 holds src/engine/ and src/benchlib/ to that layering.
+
+#ifndef SRTREE_INDEX_INDEX_FACTORY_H_
+#define SRTREE_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/point_index.h"
+
+namespace srtree {
+
+enum class IndexType {
+  kSRTree,
+  kSSTree,
+  kRStarTree,
+  kKdbTree,
+  kVamSplitRTree,
+  kXTree,   // extension: Section 2.6 related work, not in the paper's tests
+  kTvTree,  // extension: Section 2.5 related work (fixed-telescope TV-tree)
+  kScan,
+};
+
+const char* IndexTypeName(IndexType type);
+
+// The five index structures of the paper's evaluation.
+std::vector<IndexType> AllTreeTypes();
+// The dynamic trees whose insertion cost Figure 9 compares.
+std::vector<IndexType> DynamicTreeTypes();
+
+struct IndexConfig {
+  int dim = 16;
+  size_t page_size = 8192;
+  size_t leaf_data_size = 512;
+  double min_utilization = 0.4;
+  double reinsert_fraction = 0.3;
+};
+
+std::unique_ptr<PointIndex> MakeIndex(IndexType type,
+                                      const IndexConfig& config);
+
+}  // namespace srtree
+
+#endif  // SRTREE_INDEX_INDEX_FACTORY_H_

@@ -130,6 +130,15 @@ class PointIndex {
   // dangling/race hazard under the concurrent engine — so it is kept only
   // for the single-threaded paper benches; prefer GetIoStats().
   virtual const IoStats& io_stats() const = 0;
+
+  // Zeroes the global counters. The reset itself is locked in every
+  // implementation, but the reset-then-measure pattern it exists for is
+  // not: a Search() racing the reset lands its reads on an unknown side of
+  // the zeroing, corrupting the measurement. Callers must quiesce the index
+  // (join every query thread) before resetting — the contract
+  // debug::RunConcurrentQueryFuzz asserts after its workers join.
+  // Concurrent-safe accounting uses QueryResult::io deltas instead; srlint
+  // rule R1 flags new call sites of this method.
   virtual void ResetIoStats() = 0;
 
   // By-value snapshot of the global counters, safe to take while queries

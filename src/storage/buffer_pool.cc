@@ -35,7 +35,7 @@ void BufferPool::EvictIfFull(Shard& shard) {
   // overshoot is bounded by the number of concurrent pins).
   for (auto it = std::prev(shard.lru.end());; --it) {
     if (it->pins == 0) {
-      if (it->dirty) WriteBack(*it);
+      if (it->dirty) WriteBack(shard, *it);
       shard.frames.erase(it->id);
       shard.lru.erase(it);
       return;
@@ -44,7 +44,8 @@ void BufferPool::EvictIfFull(Shard& shard) {
   }
 }
 
-void BufferPool::WriteBack(Frame& frame) {
+void BufferPool::WriteBack(Shard& shard, Frame& frame) {
+  (void)shard;  // present so the REQUIRES(shard.mu) contract is expressible
   file_->Write(frame.id, frame.data.get());
   frame.dirty = false;
 }
@@ -61,7 +62,7 @@ BufferPool::PageGuard BufferPool::Pin(PageId id, int level,
                                       IoStatsDelta* delta) {
   const size_t shard_index = id % shards_.size();
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -78,7 +79,7 @@ BufferPool::PageGuard BufferPool::Pin(PageId id, int level,
 
 void BufferPool::Unpin(size_t shard_index, PageId id) {
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.frames.find(id);
   CHECK(it != shard.frames.end());
   CHECK_GT(it->second->pins, 0);
@@ -114,13 +115,13 @@ BufferPool::PageGuard::~PageGuard() {
 
 void BufferPool::Read(PageId id, char* out, int level, IoStatsDelta* delta) {
   // The copy runs unlocked: the pin guarantees the frame outlives it.
-  const PageGuard guard = Pin(id, level, delta);
-  std::memcpy(out, guard.data(), file_->page_size());
+  const ScopedPin pin(*this, id, level, delta);
+  std::memcpy(out, pin.data(), file_->page_size());
 }
 
 void BufferPool::Write(PageId id, const char* data) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(id);
   Frame& frame =
       (it != shard.frames.end()) ? Touch(shard, it->second)
@@ -131,7 +132,7 @@ void BufferPool::Write(PageId id, const char* data) {
 
 void BufferPool::Discard(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.frames.find(id);
   if (it == shard.frames.end()) return;
   CHECK_EQ(it->second->pins, 0);
@@ -141,9 +142,9 @@ void BufferPool::Discard(PageId id) {
 
 void BufferPool::FlushAll() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (Frame& frame : shard->lru) {
-      if (frame.dirty) WriteBack(frame);
+      if (frame.dirty) WriteBack(*shard, frame);
     }
   }
 }

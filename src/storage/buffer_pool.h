@@ -20,10 +20,11 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -40,9 +41,16 @@ class BufferPool {
 
   ~BufferPool();
 
+  // The pin protocol as a capability: a thread holding a pin may read the
+  // frame's bytes without the shard lock, because eviction skips pinned
+  // frames. PinCapability is the (zero-state) capability the analysis
+  // tracks; ScopedPin below is its scoped holder.
+  class CAPABILITY("pin") PinCapability {};
+
   // A pinned view of one cached page. While the guard lives, the frame
   // cannot be evicted, so data() stays valid and untorn. Move-only; unpins
-  // on destruction.
+  // on destruction. The move machinery is outside what the static analysis
+  // can follow — ScopedPin is the annotated, analysis-checked wrapper.
   class PageGuard {
    public:
     PageGuard(PageGuard&& other) noexcept;
@@ -62,6 +70,26 @@ class BufferPool {
     size_t shard_ = 0;
     PageId id_ = 0;
     const char* data_ = nullptr;
+  };
+
+  // Scoped-capability form of the pin/unpin protocol: construction pins the
+  // page (shared — any number of concurrent pins), destruction unpins.
+  // -Wthread-safety verifies every ScopedPin is released on every path.
+  // Non-movable by design; a pin that needs to change hands uses PageGuard.
+  class SCOPED_CAPABILITY ScopedPin {
+   public:
+    ScopedPin(BufferPool& pool, PageId id, int level = -1,
+              IoStatsDelta* delta = nullptr) ACQUIRE_SHARED(pool.pin_cap_)
+        : guard_(pool.Pin(id, level, delta)) {}
+    ~ScopedPin() RELEASE() {}
+
+    ScopedPin(const ScopedPin&) = delete;
+    ScopedPin& operator=(const ScopedPin&) = delete;
+
+    const char* data() const { return guard_.data(); }
+
+   private:
+    PageGuard guard_;
   };
 
   // Pins the page in its shard, fetching it from the file on a miss (which
@@ -103,26 +131,29 @@ class BufferPool {
   // what allows a PageGuard to hold the data pointer without the lock.
   using LruList = std::list<Frame>;
 
+  // Capability map: shard.mu guards the shard's LRU order, its frame map,
+  // and (through them) every Frame's dirty/pins fields. Frame *bytes* are
+  // readable without the lock only under a pin.
   struct Shard {
-    std::mutex mu;
-    LruList lru;  // front = most recently used
-    std::unordered_map<PageId, LruList::iterator> frames;
-    size_t capacity = 0;
+    Mutex mu;
+    LruList lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<PageId, LruList::iterator> frames GUARDED_BY(mu);
+    size_t capacity = 0;  // set once at construction, then read-only
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
 
-  // The following helpers require the shard's mutex to be held.
-  Frame& Touch(Shard& shard, LruList::iterator it);
-  Frame& InsertFrame(Shard& shard, PageId id);
-  void EvictIfFull(Shard& shard);
-  void WriteBack(Frame& frame);
+  Frame& Touch(Shard& shard, LruList::iterator it) REQUIRES(shard.mu);
+  Frame& InsertFrame(Shard& shard, PageId id) REQUIRES(shard.mu);
+  void EvictIfFull(Shard& shard) REQUIRES(shard.mu);
+  void WriteBack(Shard& shard, Frame& frame) REQUIRES(shard.mu);
 
   void Unpin(size_t shard_index, PageId id);
 
   PageFile* file_;
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  PinCapability pin_cap_;  // carrier for the ScopedPin annotations
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

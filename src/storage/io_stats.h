@@ -51,6 +51,11 @@ struct IoStatsDelta {
   bool operator==(const IoStatsDelta&) const = default;
 };
 
+// Aggregate counters. IoStats has no lock of its own: every shared instance
+// is a GUARDED_BY member of its owner (PageFile::stats_,
+// BruteForceIndex::stats_), and by-value snapshots/copies are thread-local.
+// Keep it that way — new shared instances should be declared
+// GUARDED_BY(owner mutex) so -Wthread-safety checks the discipline.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;

@@ -64,7 +64,7 @@ void PageFile::Read(PageId id, char* out, int level,
   std::memcpy(out, pages_[id].get(), page_size_);
   bool cache_hit = false;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.RecordRead(level);
     if (cache_capacity_ > 0) cache_hit = TouchCache(id);
   }
@@ -75,6 +75,7 @@ void PageFile::Read(PageId id, char* out, int level,
 }
 
 void PageFile::SimulateCache(size_t capacity) {
+  MutexLock lock(stats_mu_);
   cache_capacity_ = capacity;
   cache_lru_.clear();
   cache_index_.clear();
@@ -99,17 +100,17 @@ bool PageFile::TouchCache(PageId id) const {
 void PageFile::Write(PageId id, const char* data) {
   CHECK(IsLive(id));
   std::memcpy(pages_[id].get(), data, page_size_);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.RecordWrite();
 }
 
 IoStats PageFile::GetIoStats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 void PageFile::ResetStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.Reset();
 }
 
@@ -172,7 +173,7 @@ Status PageFile::LoadFrom(std::istream& in) {
       free_list_.push_back(static_cast<PageId>(i));
     }
   }
-  stats_.Reset();
+  ResetStats();
   return Status::OK();
 }
 

@@ -24,11 +24,12 @@
 #include <iosfwd>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/common/status.h"
 #include "src/storage/io_stats.h"
 #include "src/storage/page.h"
@@ -86,14 +87,16 @@ class PageFile {
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 
-  // Unsynchronized views of the counters; valid only while no concurrent
-  // Read() is in flight (the legacy reset-then-peek measurement pattern).
-  IoStats& stats() { return stats_; }
-  const IoStats& stats() const { return stats_; }
+  // DEPRECATED: unsynchronized views of the counters; valid only while no
+  // concurrent Read() is in flight (the legacy reset-then-peek measurement
+  // pattern). That external-exclusion contract is what the analysis opt-out
+  // stands in for; new code takes GetIoStats() snapshots instead.
+  IoStats& stats() NO_THREAD_SAFETY_ANALYSIS { return stats_; }
+  const IoStats& stats() const NO_THREAD_SAFETY_ANALYSIS { return stats_; }
 
   // Locked by-value snapshot / reset, safe against concurrent Read()s.
-  IoStats GetIoStats() const;
-  void ResetStats();
+  IoStats GetIoStats() const EXCLUDES(stats_mu_);
+  void ResetStats() EXCLUDES(stats_mu_);
 
   // Number of currently live (allocated and not freed) pages.
   size_t live_pages() const { return live_pages_; }
@@ -101,23 +104,24 @@ class PageFile {
  private:
   bool IsLive(PageId id) const;
 
-  // Requires stats_mu_; returns true when the simulated cache already held
-  // the page (the hit is recorded in stats_, the caller mirrors it into the
-  // per-query delta).
-  bool TouchCache(PageId id) const;
+  // Returns true when the simulated cache already held the page (the hit is
+  // recorded in stats_, the caller mirrors it into the per-query delta).
+  bool TouchCache(PageId id) const REQUIRES(stats_mu_);
 
   size_t page_size_;
-  size_t cache_capacity_ = 0;
   // stats_mu_ guards stats_ and the simulated-cache LRU — the only state a
   // read mutates — so concurrent queries stay race-free.
-  mutable std::mutex stats_mu_;
-  mutable std::list<PageId> cache_lru_;  // front = most recently used
-  mutable std::unordered_map<PageId, std::list<PageId>::iterator> cache_index_;
+  mutable Mutex stats_mu_;
+  size_t cache_capacity_ GUARDED_BY(stats_mu_) = 0;
+  // front = most recently used
+  mutable std::list<PageId> cache_lru_ GUARDED_BY(stats_mu_);
+  mutable std::unordered_map<PageId, std::list<PageId>::iterator> cache_index_
+      GUARDED_BY(stats_mu_);
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   size_t live_pages_ = 0;
-  mutable IoStats stats_;
+  mutable IoStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace srtree

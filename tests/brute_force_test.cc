@@ -19,7 +19,7 @@ TEST(BruteForceTest, InsertAndQuery) {
   EXPECT_EQ(index.size(), 3u);
 
   const std::vector<Neighbor> result =
-      index.NearestNeighbors(Point{0.1, 0.0}, 2);
+      index.Search(Point{0.1, 0.0}, QuerySpec::Knn(2)).neighbors;
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0].oid, 1u);
   EXPECT_EQ(result[1].oid, 2u);
@@ -36,7 +36,7 @@ TEST(BruteForceTest, RangeSearchSortedByDistance) {
   ASSERT_TRUE(index.Insert(Point{1.0, 0.0}, 2).ok());
   ASSERT_TRUE(index.Insert(Point{9.0, 0.0}, 3).ok());
   const std::vector<Neighbor> result =
-      index.RangeSearch(Point{0.0, 0.0}, 4.0);
+      index.Search(Point{0.0, 0.0}, QuerySpec::Range(4.0)).neighbors;
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0].oid, 2u);
   EXPECT_EQ(result[1].oid, 1u);
@@ -50,7 +50,7 @@ TEST(BruteForceTest, DeleteRemovesExactPair) {
   ASSERT_TRUE(index.Delete(Point{1.0, 1.0}, 1).ok());
   EXPECT_EQ(index.size(), 1u);
   const std::vector<Neighbor> result =
-      index.NearestNeighbors(Point{1.0, 1.0}, 5);
+      index.Search(Point{1.0, 1.0}, QuerySpec::Knn(5)).neighbors;
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].oid, 2u);
 }
@@ -65,10 +65,10 @@ TEST(BruteForceTest, ScanChargesSequentialPages) {
   for (int i = 0; i < 25; ++i) {
     ASSERT_TRUE(index.Insert(Point(16, i * 0.01), i).ok());
   }
-  index.ResetIoStats();
-  (void)index.NearestNeighbors(Point(16, 0.0), 1);
-  EXPECT_EQ(index.io_stats().reads, 3u);  // ceil(25 / 12)
-  EXPECT_EQ(index.io_stats().leaf_reads(), 3u);
+  // The per-query delta measures the scan cost without resetting counters.
+  const QueryResult result = index.Search(Point(16, 0.0), QuerySpec::Knn(1));
+  EXPECT_EQ(result.io.reads, 3u);  // ceil(25 / 12)
+  EXPECT_EQ(result.io.leaf_reads, 3u);
 }
 
 }  // namespace

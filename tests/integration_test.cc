@@ -130,7 +130,8 @@ TEST_F(MiniReproduction, AllTreesReturnIdenticalAnswers) {
     BuildIndexFromDataset(*index, data);
     std::vector<Neighbor> all;
     for (const Point& q : queries) {
-      for (const Neighbor& n : index->NearestNeighbors(q, 21)) {
+      for (const Neighbor& n :
+           index->Search(q, QuerySpec::Knn(21)).neighbors) {
         all.push_back(n);
       }
     }

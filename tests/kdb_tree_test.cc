@@ -98,10 +98,11 @@ TEST(KdbTreeTest, PointQueryDescendsSingleBranch) {
   for (size_t i = 0; i < data.size(); ++i) {
     ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
   }
-  tree.ResetIoStats();
+  const IoStats before = tree.GetIoStats();
   ASSERT_TRUE(tree.Delete(data.point(77), 77).ok());
   // Delete reads one node per level (plus one write per modified page).
-  EXPECT_EQ(tree.io_stats().reads, static_cast<uint64_t>(tree.height()));
+  EXPECT_EQ(tree.GetIoStats().reads - before.reads,
+            static_cast<uint64_t>(tree.height()));
 }
 
 }  // namespace

@@ -81,8 +81,8 @@ TEST(SRTreePersistenceTest, SaveOpenRoundTrip) {
 
   // Identical query answers.
   for (const Point& q : SampleQueriesFromDataset(data, 10, /*seed=*/87)) {
-    const auto expected = tree.NearestNeighbors(q, 10);
-    const auto actual = reopened.NearestNeighbors(q, 10);
+    const auto expected = tree.Search(q, QuerySpec::Knn(10)).neighbors;
+    const auto actual = reopened.Search(q, QuerySpec::Knn(10)).neighbors;
     ASSERT_EQ(actual.size(), expected.size());
     for (size_t i = 0; i < actual.size(); ++i) {
       EXPECT_EQ(actual[i].oid, expected[i].oid);
@@ -110,7 +110,8 @@ TEST(SRTreePersistenceTest, OpenRestoresOptions) {
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ((*restored)->dim(), 3);
   EXPECT_EQ((*restored)->leaf_capacity(), tree.leaf_capacity());
-  const auto result = (*restored)->NearestNeighbors(Point{0.1, 0.2, 0.3}, 1);
+  const auto result =
+      (*restored)->Search(Point{0.1, 0.2, 0.3}, QuerySpec::Knn(1)).neighbors;
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].oid, 7u);
 }

@@ -1,0 +1,131 @@
+// QueryEngine edge cases: degenerate batch shapes and lifecycle corners
+// that the main query_engine_test's steady-state batches never hit. Every
+// batch result is compared against a sequential Search() loop over the same
+// queries — the engine's determinism contract says they must be identical.
+
+#include "src/engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/index/index_factory.h"
+#include "src/index/point_index.h"
+#include "src/index/query.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+constexpr int kDim = 4;
+
+std::unique_ptr<PointIndex> BuildSmallIndex(size_t n) {
+  IndexConfig config;
+  config.dim = kDim;
+  config.page_size = 1024;
+  config.leaf_data_size = 0;
+  auto index = MakeIndex(IndexType::kSRTree, config);
+  const Dataset data = MakeUniformDataset(n, kDim, /*seed=*/211);
+  const Status status = index->BulkLoad(data.ToPoints(), data.SequentialOids());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return index;
+}
+
+// The sequential oracle: the same queries, one at a time, on the same index.
+std::vector<QueryResult> RunSequential(const PointIndex& index,
+                                       const std::vector<Query>& queries) {
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const Query& q : queries) {
+    results.push_back(index.Search(q.point, q.spec));
+  }
+  return results;
+}
+
+void ExpectSameAnswers(const std::vector<QueryResult>& got,
+                       const std::vector<QueryResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status.code(), want[i].status.code()) << "query " << i;
+    EXPECT_EQ(got[i].neighbors, want[i].neighbors) << "query " << i;
+  }
+}
+
+TEST(QueryEngineEdgeTest, EmptyBatchCompletesAndCountsZero) {
+  EngineOptions options;
+  options.num_workers = 4;
+  QueryEngine engine(BuildSmallIndex(200), options);
+
+  const std::vector<QueryResult> results = engine.RunBatch({});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(engine.last_batch_stats().queries, 0u);
+  EXPECT_EQ(engine.last_batch_stats().chunks, 0u);
+
+  // The pool must stay healthy: an empty batch followed by a real one.
+  const std::vector<Query> queries = {
+      {Point(kDim, 0.5), QuerySpec::Knn(3)},
+  };
+  ExpectSameAnswers(engine.RunBatch(queries),
+                    RunSequential(engine.index(), queries));
+}
+
+TEST(QueryEngineEdgeTest, MoreWorkersThanQueries) {
+  EngineOptions options;
+  options.num_workers = 8;
+  options.steal_grain = 1;  // every query is its own chunk
+  QueryEngine engine(BuildSmallIndex(200), options);
+
+  std::vector<Query> queries;
+  for (const Point& q : SampleUniformQueries(kDim, 3, /*seed=*/223)) {
+    queries.push_back({q, QuerySpec::Knn(5)});
+  }
+  ASSERT_LT(queries.size(), 8u);
+
+  const std::vector<QueryResult> results = engine.RunBatch(queries);
+  ExpectSameAnswers(results, RunSequential(engine.index(), queries));
+  EXPECT_EQ(engine.last_batch_stats().queries, queries.size());
+}
+
+TEST(QueryEngineEdgeTest, KLargerThanDataset) {
+  constexpr size_t kPoints = 40;
+  EngineOptions options;
+  options.num_workers = 4;
+  QueryEngine engine(BuildSmallIndex(kPoints), options);
+
+  std::vector<Query> queries;
+  for (const Point& q : SampleUniformQueries(kDim, 6, /*seed=*/227)) {
+    queries.push_back({q, QuerySpec::Knn(10 * kPoints)});
+  }
+  const std::vector<QueryResult> results = engine.RunBatch(queries);
+  ExpectSameAnswers(results, RunSequential(engine.index(), queries));
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.neighbors.size(), kPoints);  // the whole dataset, ranked
+  }
+}
+
+TEST(QueryEngineEdgeTest, DestructionWithIdlePool) {
+  // Workers park on the work CV immediately; the destructor must wake and
+  // join them without a batch ever having run.
+  for (const int workers : {1, 2, 8}) {
+    EngineOptions options;
+    options.num_workers = workers;
+    QueryEngine engine(BuildSmallIndex(50), options);
+    EXPECT_EQ(engine.num_workers(), workers);
+  }
+}
+
+TEST(QueryEngineEdgeTest, ReleaseIndexAfterEmptyBatch) {
+  EngineOptions options;
+  options.num_workers = 2;
+  QueryEngine engine(BuildSmallIndex(100), options);
+  (void)engine.RunBatch({});
+  std::unique_ptr<PointIndex> index = engine.ReleaseIndex();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 100u);
+}
+
+}  // namespace
+}  // namespace srtree

@@ -91,11 +91,11 @@ TEST_P(SearchApiTest, MatchesOracleForEveryQueryKind) {
 TEST_P(SearchApiTest, LegacyWrappersDelegateToSearch) {
   const auto index = BuildIndex();
   const Point& q = queries_.front();
-  EXPECT_EQ(index->NearestNeighbors(q, 5),
+  EXPECT_EQ(index->NearestNeighbors(q, 5),  // srlint: allow(R1) wrapper regression test
             index->Search(q, QuerySpec::Knn(5)).neighbors);
-  EXPECT_EQ(index->NearestNeighborsBestFirst(q, 5),
+  EXPECT_EQ(index->NearestNeighborsBestFirst(q, 5),  // srlint: allow(R1) wrapper regression test
             index->Search(q, QuerySpec::KnnBestFirst(5)).neighbors);
-  EXPECT_EQ(index->RangeSearch(q, 0.3),
+  EXPECT_EQ(index->RangeSearch(q, 0.3),  // srlint: allow(R1) wrapper regression test
             index->Search(q, QuerySpec::Range(0.3)).neighbors);
 }
 
@@ -118,9 +118,9 @@ TEST_P(SearchApiTest, InvalidSpecsAreRejected) {
   }
 
   // Legacy wrappers return empty instead of crashing.
-  EXPECT_TRUE(index->NearestNeighbors(q, 0).empty());
-  EXPECT_TRUE(index->NearestNeighborsBestFirst(q, -2).empty());
-  EXPECT_TRUE(index->RangeSearch(q, -1.0).empty());
+  EXPECT_TRUE(index->NearestNeighbors(q, 0).empty());  // srlint: allow(R1) wrapper regression test
+  EXPECT_TRUE(index->NearestNeighborsBestFirst(q, -2).empty());  // srlint: allow(R1) wrapper regression test
+  EXPECT_TRUE(index->RangeSearch(q, -1.0).empty());  // srlint: allow(R1) wrapper regression test
 
   const Point wrong_dim(kDim + 1, 0.5);
   const QueryResult result = index->Search(wrong_dim, QuerySpec::Knn(3));

@@ -56,19 +56,19 @@ TEST(RStarTreeTest, QueryReadsAtLeastRootToLeafPath) {
   for (size_t i = 0; i < data.size(); ++i) {
     ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
   }
-  tree.ResetIoStats();
-  (void)tree.NearestNeighbors(data.point(0), 1);
-  EXPECT_GE(tree.io_stats().reads, static_cast<uint64_t>(tree.height()));
-  EXPECT_GE(tree.io_stats().leaf_reads(), 1u);
+  const QueryResult result = tree.Search(data.point(0), QuerySpec::Knn(1));
+  EXPECT_GE(result.io.reads, static_cast<uint64_t>(tree.height()));
+  EXPECT_GE(result.io.leaf_reads, 1u);
 }
 
 TEST(RStarTreeTest, InsertionCountsDiskAccesses) {
   RStarTree::Options options;
   options.dim = 4;
   RStarTree tree(options);
-  tree.ResetIoStats();
+  const IoStats before = tree.GetIoStats();
   ASSERT_TRUE(tree.Insert(Point(4, 0.5), 0).ok());
-  EXPECT_GE(tree.io_stats().accesses(), 2u);  // at least read + write root
+  // At least read + write of the root.
+  EXPECT_GE(tree.GetIoStats().accesses() - before.accesses(), 2u);
 }
 
 TEST(RStarTreeTest, LeafRegionsAreRectsOnly) {

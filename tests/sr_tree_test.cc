@@ -87,15 +87,18 @@ TEST(SRTreeTest, RectInMindistReducesDiskReads) {
 
   const std::vector<Point> queries =
       SampleQueriesFromDataset(data, 30, /*seed=*/31);
-  full->ResetIoStats();
-  sphere_only->ResetIoStats();
+  IoStatsDelta full_io, sphere_io;
   for (const Point& q : queries) {
-    const auto a = full->NearestNeighbors(q, 10);
-    const auto b = sphere_only->NearestNeighbors(q, 10);
-    ASSERT_EQ(a.size(), b.size());
-    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].oid, b[i].oid);
+    const QueryResult a = full->Search(q, QuerySpec::Knn(10));
+    const QueryResult b = sphere_only->Search(q, QuerySpec::Knn(10));
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].oid, b.neighbors[i].oid);
+    }
+    full_io.MergeFrom(a.io);
+    sphere_io.MergeFrom(b.io);
   }
-  EXPECT_LE(full->io_stats().reads, sphere_only->io_stats().reads);
+  EXPECT_LE(full_io.reads, sphere_io.reads);
 }
 
 TEST(SRTreeTest, InvariantsSurviveHeavyTraffic) {

@@ -69,8 +69,8 @@ TEST_P(StressTest, RandomOperationStreamMatchesReference) {
     } else if (dice < 90) {
       const Point q = random_point();
       const int k = 1 + static_cast<int>(rng.NextBounded(8));
-      const auto actual = index->NearestNeighbors(q, k);
-      const auto expected = reference.NearestNeighbors(q, k);
+      const auto actual = index->Search(q, QuerySpec::Knn(k)).neighbors;
+      const auto expected = reference.Search(q, QuerySpec::Knn(k)).neighbors;
       ASSERT_EQ(actual.size(), expected.size()) << "op " << op;
       for (size_t i = 0; i < actual.size(); ++i) {
         ASSERT_EQ(actual[i].oid, expected[i].oid) << "op " << op;
@@ -78,8 +78,9 @@ TEST_P(StressTest, RandomOperationStreamMatchesReference) {
     } else {
       const Point q = random_point();
       const double radius = rng.Uniform(0.05, 0.5);
-      const auto actual = index->RangeSearch(q, radius);
-      const auto expected = reference.RangeSearch(q, radius);
+      const auto actual = index->Search(q, QuerySpec::Range(radius)).neighbors;
+      const auto expected =
+          reference.Search(q, QuerySpec::Range(radius)).neighbors;
       ASSERT_EQ(actual.size(), expected.size()) << "op " << op;
       for (size_t i = 0; i < actual.size(); ++i) {
         ASSERT_EQ(actual[i].oid, expected[i].oid) << "op " << op;

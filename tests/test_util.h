@@ -74,6 +74,26 @@ inline std::unique_ptr<PointIndex> MakeSmallPageIndex(IndexType type,
   return MakeIndex(type, SmallPageConfig(dim));
 }
 
+// Search()-based shorthands for assertions that only care about the
+// neighbor list. Unlike the deprecated wrapper methods (srlint rule R1),
+// these go through the unified entry point, so tests exercise the same path
+// production callers use; grab the full QueryResult directly when a test
+// also wants the status or the per-query I/O delta.
+inline std::vector<Neighbor> SearchKnn(const PointIndex& index,
+                                       PointView query, int k) {
+  return index.Search(query, QuerySpec::Knn(k)).neighbors;
+}
+
+inline std::vector<Neighbor> SearchKnnBestFirst(const PointIndex& index,
+                                                PointView query, int k) {
+  return index.Search(query, QuerySpec::KnnBestFirst(k)).neighbors;
+}
+
+inline std::vector<Neighbor> SearchRange(const PointIndex& index,
+                                         PointView query, double radius) {
+  return index.Search(query, QuerySpec::Range(radius)).neighbors;
+}
+
 inline std::string TypeToken(IndexType type) {
   switch (type) {
     case IndexType::kSRTree:

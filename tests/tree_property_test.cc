@@ -18,6 +18,8 @@ using testing::DistKind;
 using testing::DistKindName;
 using testing::MakeSmallPageIndex;
 using testing::MakeTestDataset;
+using testing::SearchKnn;
+using testing::SearchRange;
 using testing::TypeToken;
 
 struct PropertyParam {
@@ -93,8 +95,7 @@ TEST_P(TreePropertyTest, KnnMatchesBruteForce) {
   for (const Point& q : queries) {
     for (const int k : {1, 5, 21}) {
       SCOPED_TRACE("k=" + std::to_string(k));
-      ExpectSameNeighbors(index->NearestNeighbors(q, k),
-                          reference->NearestNeighbors(q, k));
+      ExpectSameNeighbors(SearchKnn(*index, q, k), SearchKnn(*reference, q, k));
     }
   }
 }
@@ -109,16 +110,14 @@ TEST_P(TreePropertyTest, BestFirstMatchesDepthFirstAndReadsNoMore) {
   uint64_t dfs_reads = 0;
   uint64_t bf_reads = 0;
   for (const Point& q : queries) {
-    index->ResetIoStats();
-    const std::vector<Neighbor> dfs = index->NearestNeighbors(q, 10);
-    dfs_reads += index->io_stats().reads;
+    const QueryResult dfs = index->Search(q, QuerySpec::Knn(10));
+    dfs_reads += dfs.io.reads;
 
-    index->ResetIoStats();
-    const std::vector<Neighbor> best_first =
-        index->NearestNeighborsBestFirst(q, 10);
-    bf_reads += index->io_stats().reads;
+    const QueryResult best_first =
+        index->Search(q, QuerySpec::KnnBestFirst(10));
+    bf_reads += best_first.io.reads;
 
-    ExpectSameNeighbors(best_first, dfs);
+    ExpectSameNeighbors(best_first.neighbors, dfs.neighbors);
   }
   // Best-first is I/O-optimal for a given MINDIST bound: over the workload
   // it cannot read more pages than the depth-first traversal.
@@ -164,8 +163,8 @@ TEST_P(TreePropertyTest, KnnWithKLargerThanDataset) {
   auto index = BuildIndex(data);
   const std::unique_ptr<BruteForceIndex> reference = BuildReference(data);
   const Point q(GetParam().dim, 0.5);
-  ExpectSameNeighbors(index->NearestNeighbors(q, 200),
-                      reference->NearestNeighbors(q, 200));
+  ExpectSameNeighbors(SearchKnn(*index, q, 200),
+                      SearchKnn(*reference, q, 200));
 }
 
 TEST_P(TreePropertyTest, RangeMatchesBruteForce) {
@@ -178,23 +177,23 @@ TEST_P(TreePropertyTest, RangeMatchesBruteForce) {
       SampleQueriesFromDataset(data, 10, /*seed=*/31);
   for (const Point& q : queries) {
     // Radius reaching roughly the 20 nearest points.
-    const std::vector<Neighbor> knn = reference->NearestNeighbors(q, 20);
+    const std::vector<Neighbor> knn = SearchKnn(*reference, q, 20);
     const double radius = knn.back().distance;
-    ExpectSameNeighbors(index->RangeSearch(q, radius),
-                        reference->RangeSearch(q, radius));
+    ExpectSameNeighbors(SearchRange(*index, q, radius),
+                        SearchRange(*reference, q, radius));
   }
 }
 
 TEST_P(TreePropertyTest, EmptyAndSingleton) {
   auto index = MakeSmallPageIndex(GetParam().type, GetParam().dim);
   const Point q(GetParam().dim, 0.25);
-  EXPECT_TRUE(index->NearestNeighbors(q, 3).empty());
-  EXPECT_TRUE(index->RangeSearch(q, 10.0).empty());
+  EXPECT_TRUE(SearchKnn(*index, q, 3).empty());
+  EXPECT_TRUE(SearchRange(*index, q, 10.0).empty());
   EXPECT_TRUE(index->CheckInvariants().ok());
 
   const Status status = index->BulkLoad({Point(GetParam().dim, 0.5)}, {42});
   ASSERT_TRUE(status.ok()) << status.ToString();
-  const std::vector<Neighbor> result = index->NearestNeighbors(q, 3);
+  const std::vector<Neighbor> result = SearchKnn(*index, q, 3);
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].oid, 42u);
   EXPECT_TRUE(index->CheckInvariants().ok());
@@ -235,8 +234,8 @@ TEST_P(TreePropertyTest, InsertDeleteTrafficKeepsInvariants) {
   EXPECT_TRUE(status.ok()) << status.ToString();
   for (const Point& q :
        SampleQueriesFromDataset(data, 10, /*seed=*/41)) {
-    ExpectSameNeighbors(index->NearestNeighbors(q, 10),
-                        reference->NearestNeighbors(q, 10));
+    ExpectSameNeighbors(SearchKnn(*index, q, 10),
+                        SearchKnn(*reference, q, 10));
   }
 }
 
@@ -256,13 +255,11 @@ TEST_P(TreePropertyTest, DeleteToEmptyAndReuse) {
   }
   EXPECT_EQ(index->size(), 0u);
   EXPECT_TRUE(index->CheckInvariants().ok());
-  EXPECT_TRUE(
-      index->NearestNeighbors(Point(GetParam().dim, 0.5), 3).empty());
+  EXPECT_TRUE(SearchKnn(*index, Point(GetParam().dim, 0.5), 3).empty());
 
   // The emptied index must accept new points.
   ASSERT_TRUE(index->Insert(data.point(0), 999).ok());
-  const std::vector<Neighbor> result =
-      index->NearestNeighbors(data.point(0), 1);
+  const std::vector<Neighbor> result = SearchKnn(*index, data.point(0), 1);
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].oid, 999u);
 }
@@ -297,7 +294,7 @@ TEST_P(TreePropertyTest, DuplicatePointsAreAllRetrievable) {
   }
   ASSERT_TRUE(index->BulkLoad(points, oids).ok());
 
-  const std::vector<Neighbor> result = index->NearestNeighbors(p, 5);
+  const std::vector<Neighbor> result = SearchKnn(*index, p, 5);
   ASSERT_EQ(result.size(), 5u);
   for (size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(result[i].oid, 10 + i);

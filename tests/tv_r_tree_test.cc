@@ -56,8 +56,8 @@ TEST(TvRTreeTest, FullActiveDimsBehavesLikeRStar) {
   EXPECT_EQ(tv.height(), rstar.height());
   EXPECT_EQ(tv.GetTreeStats().leaf_count, rstar.GetTreeStats().leaf_count);
   for (const Point& q : SampleQueriesFromDataset(data, 10, /*seed=*/91)) {
-    const auto a = tv.NearestNeighbors(q, 5);
-    const auto b = rstar.NearestNeighbors(q, 5);
+    const auto a = tv.Search(q, QuerySpec::Knn(5)).neighbors;
+    const auto b = rstar.Search(q, QuerySpec::Knn(5)).neighbors;
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].oid, b[i].oid);
   }
@@ -89,8 +89,8 @@ TEST(TvRTreeTest, ReducedDimensionsStayExact) {
   }
   EXPECT_TRUE(tree.CheckInvariants().ok());
   for (const Point& q : SampleQueriesFromDataset(data, 10, /*seed=*/97)) {
-    const auto actual = tree.NearestNeighbors(q, 10);
-    const auto expected = reference.NearestNeighbors(q, 10);
+    const auto actual = tree.Search(q, QuerySpec::Knn(10)).neighbors;
+    const auto expected = reference.Search(q, QuerySpec::Knn(10)).neighbors;
     ASSERT_EQ(actual.size(), expected.size());
     for (size_t i = 0; i < actual.size(); ++i) {
       EXPECT_EQ(actual[i].oid, expected[i].oid);

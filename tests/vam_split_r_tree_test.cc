@@ -79,7 +79,8 @@ TEST(VamSplitRTreeTest, EmptyBulkLoad) {
   VamSplitRTree tree(options);
   ASSERT_TRUE(tree.BulkLoad({}, {}).ok());
   EXPECT_EQ(tree.size(), 0u);
-  EXPECT_TRUE(tree.NearestNeighbors(Point{0.0, 0.0}, 3).empty());
+  EXPECT_TRUE(
+      tree.Search(Point{0.0, 0.0}, QuerySpec::Knn(3)).neighbors.empty());
 }
 
 }  // namespace

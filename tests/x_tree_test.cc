@@ -66,13 +66,12 @@ TEST(XTreeTest, SupernodeReadsCostOnePerPage) {
     ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
   }
   const TreeStats stats = tree.GetTreeStats();
-  tree.ResetIoStats();
-  (void)tree.NearestNeighbors(data.point(0), 1);
+  const QueryResult result = tree.Search(data.point(0), QuerySpec::Knn(1));
   // Reading the root supernode alone may already cost several reads; the
   // total must be at least the tree height and is bounded by the page
   // population.
-  EXPECT_GE(tree.io_stats().reads, static_cast<uint64_t>(tree.height()));
-  EXPECT_LE(tree.io_stats().reads, stats.node_count + stats.leaf_count);
+  EXPECT_GE(result.io.reads, static_cast<uint64_t>(tree.height()));
+  EXPECT_LE(result.io.reads, stats.node_count + stats.leaf_count);
 }
 
 TEST(XTreeTest, DeleteShrinksSupernodes) {

@@ -9,6 +9,10 @@ Checks (all cheap, no compiler needed):
     ("src/..." / "tests/..." / "bench/..."), never "../" or bare names.
   * No `using namespace` at any scope inside headers.
 
+Also runs tools/srlint.py (the project contract linter: deprecated-API call
+sites, naked std locks, layering, test registration) so the single `lint`
+ctest target gates both.
+
 Usage: tools/lint.py [repo_root]    (exit 0 clean, 1 with findings)
 """
 
@@ -91,7 +95,11 @@ def main() -> int:
     for p in problems:
         print(p)
     print(f"lint.py: {len(files)} files, {len(problems)} problem(s)")
-    return 1 if problems else 0
+
+    srlint = subprocess.run(
+        [sys.executable, str(pathlib.Path(__file__).resolve().parent /
+                             "srlint.py"), "--root", str(root)])
+    return 1 if problems or srlint.returncode != 0 else 0
 
 
 if __name__ == "__main__":

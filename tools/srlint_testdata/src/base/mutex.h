@@ -1,0 +1,10 @@
+// R2 allowlist fixture: the one place std locks are allowed to appear is
+// the annotated wrapper header itself.
+#ifndef SRTREE_TOOLS_SRLINT_TESTDATA_SRC_BASE_MUTEX_H_
+#define SRTREE_TOOLS_SRLINT_TESTDATA_SRC_BASE_MUTEX_H_
+
+#include <mutex>
+
+using MutexLock = std::lock_guard<std::mutex>;  // no srlint-expect marker
+
+#endif  // SRTREE_TOOLS_SRLINT_TESTDATA_SRC_BASE_MUTEX_H_

@@ -1,0 +1,13 @@
+// R1 fixture: member calls to the deprecated query/stats API.
+#include "src/index/point_index.h"
+
+void Bench(srtree::PointIndex& index, srtree::PointView q,
+           srtree::PointIndex* ptr) {
+  auto a = index.NearestNeighbors(q, 4);           // srlint-expect(R1)
+  auto b = index.NearestNeighborsBestFirst(q, 4);  // srlint-expect(R1)
+  auto c = ptr->RangeSearch(q, 1.0);               // srlint-expect(R1)
+  index.ResetIoStats();                            // srlint-expect(R1)
+  // A documented waiver suppresses the finding on its line:
+  index.ResetIoStats();  // srlint: allow(R1) quiesced-reset fixture
+  (void)a; (void)b; (void)c;
+}

@@ -1,0 +1,6 @@
+// R3 fixture: the engine layer may include the interface, not a tree.
+#include "src/index/point_index.h"
+#include "src/core/sr_tree.h"  // srlint-expect(R3)
+
+// An include that only appears in a comment must not count:
+// #include "src/rstar/rstar_tree.h"

@@ -1,0 +1,11 @@
+// R2 fixture: std locks under src/ bypass the thread-safety analysis.
+#include <mutex>
+
+void CriticalSection() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);  // srlint-expect(R2)
+}
+
+// Mentions of std::unique_lock in comments are fine, as is the literal
+// below — neither is a lock in code.
+const char* kDoc = "prefer MutexLock over std::lock_guard";

@@ -1,0 +1,13 @@
+// R1 allowlist fixture: this path hosts the deprecated wrappers, so even a
+// member call to one is accepted here without a waiver.
+#ifndef SRTREE_TOOLS_SRLINT_TESTDATA_SRC_INDEX_POINT_INDEX_H_
+#define SRTREE_TOOLS_SRLINT_TESTDATA_SRC_INDEX_POINT_INDEX_H_
+
+struct Compat {
+  void Forward(Compat& other) {
+    other.ResetIoStats();  // allowlisted: no srlint-expect marker
+  }
+  void ResetIoStats() {}
+};
+
+#endif  // SRTREE_TOOLS_SRLINT_TESTDATA_SRC_INDEX_POINT_INDEX_H_

@@ -1,0 +1,4 @@
+// R4 fixture: defines a test but is missing from tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+TEST(OrphanTest, NeverBuilt) {}  // srlint-expect(R4)

@@ -1,0 +1,4 @@
+// R4 counter-fixture: registered in tests/CMakeLists.txt, so no finding.
+#include <gtest/gtest.h>
+
+TEST(RegisteredTest, Runs) {}

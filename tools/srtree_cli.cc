@@ -151,15 +151,17 @@ int RunQuery(int argc, char** argv, bool range) {
         " coordinates, index has " + std::to_string((*tree)->dim())));
   }
 
-  const std::vector<Neighbor> result =
-      range ? (*tree)->RangeSearch(*point, parser.GetDouble("radius"))
-            : (*tree)->NearestNeighbors(
-                  *point, static_cast<int>(parser.GetInt("k")));
-  for (const Neighbor& n : result) {
+  const QuerySpec spec =
+      range ? QuerySpec::Range(parser.GetDouble("radius"))
+            : QuerySpec::Knn(static_cast<int>(parser.GetInt("k")));
+  const QueryResult result = (*tree)->Search(*point, spec);
+  if (!result.status.ok()) return Fail(result.status);
+  for (const Neighbor& n : result.neighbors) {
     std::printf("%u,%.17g\n", n.oid, n.distance);
   }
-  std::fprintf(stderr, "%zu results, %llu disk reads\n", result.size(),
-               static_cast<unsigned long long>((*tree)->io_stats().reads));
+  std::fprintf(stderr, "%zu results, %llu disk reads\n",
+               result.neighbors.size(),
+               static_cast<unsigned long long>(result.io.reads));
   return 0;
 }
 
