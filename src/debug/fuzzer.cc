@@ -42,6 +42,9 @@ Status RunConcurrentQueryFuzz(PointIndex& index,
   }
   const int dim = index.dim();
   CHECK_GT(options.num_threads, 0);
+  // Schedule generation and the post-reset probe both index into `points`;
+  // a zero-point run has nothing to fuzz against.
+  CHECK_GT(options.num_points, 0u);
 
   Xoshiro256 rng(options.seed);
   const auto random_point = [&](Xoshiro256& r) {

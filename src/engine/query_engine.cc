@@ -49,6 +49,7 @@ std::vector<QueryResult> QueryEngine::RunBatch(
     const size_t grain = options_.steal_grain;
     {
       MutexLock lock(mu_);
+      ++epoch_;
       batch_queries_ = queries;
       batch_results_ = &results;
       steals_ = 0;
@@ -58,13 +59,12 @@ std::vector<QueryResult> QueryEngine::RunBatch(
         WorkerQueue& q = *queues_[next_worker];
         {
           MutexLock qlock(q.mu);
-          q.chunks.push_back(Chunk{begin, end, next_worker});
+          q.chunks.push_back(Chunk{begin, end, next_worker, epoch_});
         }
         next_worker = (next_worker + 1) % static_cast<int>(queues_.size());
         ++total_chunks;
       }
       chunks_remaining_ = total_chunks;
-      ++epoch_;
     }
     work_cv_.NotifyAll();
     {
@@ -110,9 +110,12 @@ void QueryEngine::WorkerLoop(int worker_id) {
   uint64_t seen_epoch = 0;
   while (true) {
     // The batch state is snapshotted under mu_ so RunChunk below can index
-    // into it without the lock; the snapshot stays valid for the whole
-    // epoch because RunBatch does not return (and cannot start the next
-    // batch) until every chunk is drained.
+    // into it without the lock. The snapshot is only valid for chunks of
+    // epoch `seen_epoch`: once the last such chunk is done, RunBatch may
+    // return and the caller may dispatch the next batch while this worker
+    // is still in its drain loop. PopLocal/StealFrom therefore filter by
+    // epoch — a newer chunk bounces the worker back to the wait loop to
+    // re-snapshot before executing it.
     std::span<const Query> queries;
     std::vector<QueryResult>* results = nullptr;
     {
@@ -125,11 +128,13 @@ void QueryEngine::WorkerLoop(int worker_id) {
       queries = batch_queries_;
       results = batch_results_;
     }
-    // Drain: own deque first, then steal. When both are dry the batch has
-    // no work left for this worker (chunks in flight elsewhere finish on
-    // their executors), so it sleeps until the next epoch.
+    // Drain: own deque first, then steal. When both are dry *for this
+    // epoch* the batch has no work left for this worker (chunks in flight
+    // elsewhere finish on their executors; newer-epoch chunks are picked up
+    // after re-snapshotting), so it returns to the wait loop.
     Chunk chunk;
-    while (PopLocal(worker_id, chunk) || StealFrom(worker_id, chunk)) {
+    while (PopLocal(worker_id, seen_epoch, chunk) ||
+           StealFrom(worker_id, seen_epoch, chunk)) {
       RunChunk(chunk, queries, *results);
       size_t remaining;
       {
@@ -143,21 +148,26 @@ void QueryEngine::WorkerLoop(int worker_id) {
   }
 }
 
-bool QueryEngine::PopLocal(int worker_id, Chunk& out) {
+bool QueryEngine::PopLocal(int worker_id, uint64_t epoch, Chunk& out) {
   WorkerQueue& q = *queues_[worker_id];
   MutexLock lock(q.mu);
-  if (q.chunks.empty()) return false;
+  // A mismatched chunk belongs to a batch dispatched after the snapshot
+  // this worker is executing against; leave it queued and report "dry" so
+  // the caller re-snapshots first. Queues never mix epochs (RunBatch only
+  // deals after the previous batch fully drained), so checking the front
+  // suffices.
+  if (q.chunks.empty() || q.chunks.front().epoch != epoch) return false;
   out = q.chunks.front();
   q.chunks.pop_front();
   return true;
 }
 
-bool QueryEngine::StealFrom(int worker_id, Chunk& out) {
+bool QueryEngine::StealFrom(int worker_id, uint64_t epoch, Chunk& out) {
   const int n = static_cast<int>(queues_.size());
   for (int step = 1; step < n; ++step) {
     WorkerQueue& victim = *queues_[(worker_id + step) % n];
     MutexLock lock(victim.mu);
-    if (!victim.chunks.empty()) {
+    if (!victim.chunks.empty() && victim.chunks.back().epoch == epoch) {
       out = victim.chunks.back();
       victim.chunks.pop_back();
       return true;

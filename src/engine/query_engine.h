@@ -88,11 +88,16 @@ class QueryEngine {
 
  private:
   // Contiguous range [begin, end) of query indices, tagged with the worker
-  // deque it was dealt to so executed-by-thief chunks can be counted.
+  // deque it was dealt to (so executed-by-thief chunks can be counted) and
+  // the epoch that dispatched it. The epoch tag is the cross-batch safety
+  // net: a worker only pops chunks whose epoch matches the batch state it
+  // snapshotted, so a chunk dealt by the *next* RunBatch can never run
+  // against the previous batch's (by then destroyed) results vector.
   struct Chunk {
     size_t begin = 0;
     size_t end = 0;
     int owner = 0;
+    uint64_t epoch = 0;
   };
 
   struct WorkerQueue {
@@ -101,14 +106,18 @@ class QueryEngine {
   };
 
   void WorkerLoop(int worker_id);
-  // Owner end: pop the front of our own deque.
-  bool PopLocal(int worker_id, Chunk& out);
-  // Thief end: scan the other deques, stealing from the back.
-  bool StealFrom(int worker_id, Chunk& out);
+  // Owner end: pop the front of our own deque. Only pops chunks dispatched
+  // for `epoch`; a newer chunk is left in place for the worker to pick up
+  // after it re-snapshots the batch state.
+  bool PopLocal(int worker_id, uint64_t epoch, Chunk& out);
+  // Thief end: scan the other deques, stealing from the back. Same epoch
+  // filter as PopLocal.
+  bool StealFrom(int worker_id, uint64_t epoch, Chunk& out);
   // Executes one chunk against snapshots of the batch state: the worker
   // copies `batch_queries_`/`batch_results_` out under mu_ when it observes
   // the new epoch, so the per-query loop runs without touching guarded
-  // members (and without the lock).
+  // members (and without the lock). The snapshots are only ever applied to
+  // chunks carrying the same epoch tag (enforced by PopLocal/StealFrom).
   void RunChunk(const Chunk& chunk, std::span<const Query> queries,
                 std::vector<QueryResult>& results);
 

@@ -117,6 +117,31 @@ TEST(QueryEngineEdgeTest, DestructionWithIdlePool) {
   }
 }
 
+TEST(QueryEngineEdgeTest, BackToBackBatchesNeverCrossEpochs) {
+  // Regression test for a cross-epoch use-after-free: a worker that drains
+  // the last chunk of batch N used to loop straight back into PopLocal/
+  // StealFrom, and if the caller had already dispatched batch N+1 it could
+  // execute an N+1 chunk against the stale results pointer snapshotted for
+  // N — a write through a destroyed vector. Chunks are now epoch-tagged and
+  // a worker refuses chunks from an epoch it did not snapshot. Tiny batches
+  // with single-query chunks maximize the dispatch-while-draining window; a
+  // regression can surface under TSan as a data race / heap-use-after-free,
+  // or in any build as a wrong or missing result.
+  EngineOptions options;
+  options.num_workers = 8;
+  options.steal_grain = 1;
+  QueryEngine engine(BuildSmallIndex(200), options);
+
+  std::vector<Query> queries;
+  for (const Point& q : SampleUniformQueries(kDim, 5, /*seed=*/229)) {
+    queries.push_back({q, QuerySpec::Knn(4)});
+  }
+  const std::vector<QueryResult> want = RunSequential(engine.index(), queries);
+  for (int round = 0; round < 500; ++round) {
+    ExpectSameAnswers(engine.RunBatch(queries), want);
+  }
+}
+
 TEST(QueryEngineEdgeTest, ReleaseIndexAfterEmptyBatch) {
   EngineOptions options;
   options.num_workers = 2;
