@@ -9,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/storage/image_io.h"
 
 namespace srtree {
 namespace {
@@ -57,10 +58,27 @@ SRTree::SRTree(const Options& options) : options_(options), file_(options.page_s
 
 namespace {
 
-// Index-file header preceding the page-file image.
-constexpr uint32_t kSrTreeMagic = 0x53525431;  // "SRT1"
+// v2 header record embedded in the SRIX container (src/storage/image_io.h);
+// the container carries the magic, tag, and a CRC32C over these bytes.
+struct SrImageHeader {
+  int32_t dim;
+  uint64_t page_size;
+  uint64_t leaf_data_size;
+  double min_utilization;
+  double reinsert_fraction;
+  uint8_t use_rect_in_radius;
+  uint8_t use_rect_in_mindist;
+  uint8_t pad[6];
+  uint32_t root_id;
+  int32_t root_level;
+  uint64_t size;
+};
 
-struct SrTreeHeader {
+// Pre-v2 single-fstream format: this raw struct followed by a v1 page-file
+// image. Still readable for one release; only SaveLegacyV1ForTest writes it.
+constexpr uint32_t kLegacySrTreeMagic = 0x53525431;  // "SRT1"
+
+struct SrTreeLegacyHeaderV1 {
   uint32_t magic;
   int32_t dim;
   uint64_t page_size;
@@ -75,13 +93,53 @@ struct SrTreeHeader {
   uint64_t size;
 };
 
+// True iff `o` would pass every constructor CHECK, so Open() can reject a
+// forged header with Corruption instead of crashing the process. The
+// negated-range form also rejects NaN utilization/fraction values.
+bool PlausibleOptions(const SRTree::Options& o) {
+  if (o.dim <= 0 || o.dim > (1 << 16)) return false;
+  if (!(o.min_utilization > 0.0 && o.min_utilization <= 0.5)) return false;
+  if (!(o.reinsert_fraction > 0.0 && o.reinsert_fraction < 1.0)) return false;
+  if (o.page_size <= kHeaderBytes || o.page_size > (1u << 28)) return false;
+  if (o.leaf_data_size > o.page_size) return false;
+  const size_t dim = static_cast<size_t>(o.dim);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + o.leaf_data_size;
+  const size_t node_entry = dim * sizeof(double) + sizeof(double) +
+                            2 * dim * sizeof(double) + 2 * sizeof(uint32_t);
+  return (o.page_size - kHeaderBytes) / leaf_entry >= 2 &&
+         (o.page_size - kHeaderBytes) / node_entry >= 2;
+}
+
 }  // namespace
 
 Status SRTree::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SrImageHeader header = {};
+  header.dim = options_.dim;
+  header.page_size = options_.page_size;
+  header.leaf_data_size = options_.leaf_data_size;
+  header.min_utilization = options_.min_utilization;
+  header.reinsert_fraction = options_.reinsert_fraction;
+  header.use_rect_in_radius = options_.use_rect_in_radius ? 1 : 0;
+  header.use_rect_in_mindist = options_.use_rect_in_mindist ? 1 : 0;
+  header.root_id = root_id_;
+  header.root_level = root_level_;
+  header.size = size_;
+  return AtomicWriteFile(path, [&](std::ostream& out) {
+    RETURN_IF_ERROR(
+        WriteIndexImageTo(out, kImageTag, &header, sizeof(header)));
+    return file_.SaveTo(out);
+  });
+}
+
+Status SRTree::SaveLegacyV1ForTest(const std::string& path) const {
+  // Emits the exact pre-v2 byte layout so the compatibility tests can
+  // generate v1 fixtures without checking in binaries.
+  std::ofstream out(  // srlint: allow(R5) legacy-fixture writer, not prod
+      path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  SrTreeHeader header = {};
-  header.magic = kSrTreeMagic;
+  SrTreeLegacyHeaderV1 header = {};
+  header.magic = kLegacySrTreeMagic;
   header.dim = options_.dim;
   header.page_size = options_.page_size;
   header.leaf_data_size = options_.leaf_data_size;
@@ -94,17 +152,38 @@ Status SRTree::Save(const std::string& path) const {
   header.size = size_;
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   if (!out.good()) return Status::IoError("short write: " + path);
-  return file_.SaveTo(out);
+  return file_.SaveToV1ForTest(out);
 }
 
 StatusOr<std::unique_ptr<SRTree>> SRTree::Open(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  SrTreeHeader header = {};
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!in.good() || header.magic != kSrTreeMagic) {
-    return Status::Corruption("not an SR-tree index file");
+  StatusOr<std::string> tag = PeekIndexImageTag(path);
+  if (!tag.ok()) return tag.status();
+
+  SrImageHeader header = {};
+  IndexImageFile image;
+  if (*tag == "legacy-sr-v1") {
+    // v1 compatibility window: raw header, unchecksummed page image. Loaded
+    // read-compatibly; Save() rewrites it as v2.
+    RETURN_IF_ERROR(image.OpenRaw(path));
+    SrTreeLegacyHeaderV1 legacy = {};
+    image.stream().read(reinterpret_cast<char*>(&legacy), sizeof(legacy));
+    if (!image.stream().good() || legacy.magic != kLegacySrTreeMagic) {
+      return Status::Corruption("not an SR-tree index file");
+    }
+    header.dim = legacy.dim;
+    header.page_size = legacy.page_size;
+    header.leaf_data_size = legacy.leaf_data_size;
+    header.min_utilization = legacy.min_utilization;
+    header.reinsert_fraction = legacy.reinsert_fraction;
+    header.use_rect_in_radius = legacy.use_rect_in_radius;
+    header.use_rect_in_mindist = legacy.use_rect_in_mindist;
+    header.root_id = legacy.root_id;
+    header.root_level = legacy.root_level;
+    header.size = legacy.size;
+  } else {
+    RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
   }
+
   Options options;
   options.dim = header.dim;
   options.page_size = header.page_size;
@@ -113,11 +192,15 @@ StatusOr<std::unique_ptr<SRTree>> SRTree::Open(const std::string& path) {
   options.reinsert_fraction = header.reinsert_fraction;
   options.use_rect_in_radius = header.use_rect_in_radius != 0;
   options.use_rect_in_mindist = header.use_rect_in_mindist != 0;
-  if (options.dim <= 0 || options.page_size == 0) {
+  if (!PlausibleOptions(options) || header.root_level < 0 ||
+      header.root_level > 64) {
     return Status::Corruption("implausible SR-tree header");
   }
   auto tree = std::make_unique<SRTree>(options);
-  RETURN_IF_ERROR(tree->file_.LoadFrom(in));
+  RETURN_IF_ERROR(tree->file_.LoadFrom(image.stream()));
+  if (!tree->file_.is_live(header.root_id)) {
+    return Status::Corruption("SR-tree root page is not live in the image");
+  }
   tree->root_id_ = header.root_id;
   tree->root_level_ = header.root_level;
   tree->size_ = header.size;
@@ -717,11 +800,7 @@ std::vector<Neighbor> SRTree::RangeImpl(PointView query, double radius,
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
   if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.oid < b.oid;
-            });
+  std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 

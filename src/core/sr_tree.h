@@ -53,13 +53,22 @@ class SRTree : public PointIndex {
 
   explicit SRTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "srtree";
+
   // Persists the index — options, tree metadata, and the full page file —
-  // to a single file at `path`.
-  Status Save(const std::string& path) const;
+  // as one checksummed image at `path`, written atomically (see
+  // PointIndex::Save).
+  Status Save(const std::string& path) const override;
 
   // Opens an index previously written by Save(); the options are restored
-  // from the file.
+  // from the file. Accepts both the current v2 image and the pre-v2 legacy
+  // format (read-compatibly, for one release).
   static StatusOr<std::unique_ptr<SRTree>> Open(const std::string& path);
+
+  // Writes the pre-v2 (unchecksummed, non-atomic) format so compatibility
+  // tests can generate v1 fixtures. Never a production path.
+  Status SaveLegacyV1ForTest(const std::string& path) const;
 
   int dim() const override { return options_.dim; }
   size_t size() const override { return size_; }

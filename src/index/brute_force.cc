@@ -74,11 +74,7 @@ std::vector<Neighbor> BruteForceIndex::RangeImpl(PointView query,
     const double d = Distance(points_[i], query);
     if (d <= radius) result.push_back(Neighbor{d, oids_[i]});
   }
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.oid < b.oid;
-            });
+  std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 

@@ -1,6 +1,9 @@
 #include "src/index/index_factory.h"
 
+#include <utility>
+
 #include "src/common/check.h"
+#include "src/storage/image_io.h"
 #include "src/core/sr_tree.h"
 #include "src/index/brute_force.h"
 #include "src/kdb/kdb_tree.h"
@@ -114,6 +117,33 @@ std::unique_ptr<PointIndex> MakeIndex(IndexType type,
   }
   CHECK(false);
   return nullptr;
+}
+
+namespace {
+
+// Adapts a concrete tree's static Open() to the PointIndex result type.
+template <typename Tree>
+StatusOr<std::unique_ptr<PointIndex>> OpenAs(const std::string& path) {
+  StatusOr<std::unique_ptr<Tree>> tree = Tree::Open(path);
+  if (!tree.ok()) return tree.status();
+  return StatusOr<std::unique_ptr<PointIndex>>(std::move(*tree));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<PointIndex>> OpenIndex(const std::string& path) {
+  StatusOr<std::string> tag = PeekIndexImageTag(path);
+  if (!tag.ok()) return tag.status();
+  if (*tag == SRTree::kImageTag || *tag == "legacy-sr-v1") {
+    return OpenAs<SRTree>(path);
+  }
+  if (*tag == SSTree::kImageTag) return OpenAs<SSTree>(path);
+  if (*tag == RStarTree::kImageTag) return OpenAs<RStarTree>(path);
+  if (*tag == KdbTree::kImageTag) return OpenAs<KdbTree>(path);
+  if (*tag == VamSplitRTree::kImageTag) return OpenAs<VamSplitRTree>(path);
+  if (*tag == XTree::kImageTag) return OpenAs<XTree>(path);
+  if (*tag == TvRTree::kImageTag) return OpenAs<TvRTree>(path);
+  return Status::Corruption("unknown index image type tag: " + *tag);
 }
 
 }  // namespace srtree

@@ -9,6 +9,7 @@
 #define SRTREE_INDEX_INDEX_FACTORY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/index/point_index.h"
@@ -43,6 +44,13 @@ struct IndexConfig {
 
 std::unique_ptr<PointIndex> MakeIndex(IndexType type,
                                       const IndexConfig& config);
+
+// Opens an index image written by PointIndex::Save(), dispatching on the
+// type tag embedded in the file (including the legacy pre-v2 SR-tree
+// format). The returned index is fully validated: a corrupt, truncated, or
+// foreign file yields a non-OK status, never a crash or a silently broken
+// tree.
+StatusOr<std::unique_ptr<PointIndex>> OpenIndex(const std::string& path);
 
 }  // namespace srtree
 

@@ -35,8 +35,7 @@ class KnnCandidates {
  private:
   struct Worse {
     bool operator()(const Neighbor& a, const Neighbor& b) const {
-      if (a.distance != b.distance) return a.distance < b.distance;
-      return a.oid < b.oid;  // larger oid = worse, popped first
+      return a < b;  // canonical (distance, oid): larger = worse, on top
     }
   };
 

@@ -63,6 +63,18 @@ class PointIndex {
   virtual Status BulkLoad(const std::vector<Point>& points,
                           const std::vector<uint32_t>& oids);
 
+  // Persists the index — options, tree metadata, and the full page file —
+  // as a single checksummed image at `path`, written atomically (temp file
+  // + fsync + rename; see src/storage/image_io.h): the destination always
+  // holds either the previous image or the complete new one. Reopen with
+  // OpenIndex() (src/index/index_factory.h) or the concrete tree's static
+  // Open(). Structures without a page representation (the brute-force
+  // scan) return Unimplemented.
+  virtual Status Save(const std::string& path) const {
+    (void)path;
+    return Status::Unimplemented(name() + " does not support Save()");
+  }
+
   // The unified query entry point. Validates the spec (k >= 1 for the k-NN
   // kinds, radius >= 0 and finite for range, query dimensionality matching
   // dim()) and returns InvalidArgument with an empty neighbor list when it

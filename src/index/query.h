@@ -25,6 +25,14 @@ struct Neighbor {
   uint32_t oid = 0;
 
   bool operator==(const Neighbor&) const = default;
+
+  // Canonical result ordering: by (distance, oid). Every sorted neighbor
+  // list uses exactly this relation, so results with duplicate distances
+  // come back in the same order from every index structure.
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return oid < other.oid;
+  }
 };
 
 enum class QueryKind {

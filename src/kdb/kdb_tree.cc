@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/storage/image_io.h"
 
 namespace srtree {
 namespace {
@@ -42,6 +43,89 @@ KdbTree::KdbTree(const Options& options) : options_(options), file_(options.page
 Rect KdbTree::Domain() const {
   return Rect(Point(options_.dim, options_.domain_lo),
               Point(options_.dim, options_.domain_hi));
+}
+
+// --------------------------------------------------------------------------
+// Persistence
+// --------------------------------------------------------------------------
+
+namespace {
+
+// v2 header record embedded in the SRIX container (src/storage/image_io.h);
+// the container carries the magic, tag, and a CRC32C over these bytes.
+struct KdbImageHeader {
+  int32_t dim;
+  uint32_t pad0;
+  uint64_t page_size;
+  uint64_t leaf_data_size;
+  double domain_lo;
+  double domain_hi;
+  uint32_t root_id;
+  int32_t root_level;
+  uint64_t size;
+};
+
+// True iff `o` would pass every constructor CHECK, so Open() can reject a
+// forged header with Corruption instead of crashing the process. The
+// negated comparison also rejects NaN domain bounds.
+bool PlausibleOptions(const KdbTree::Options& o) {
+  if (o.dim <= 0 || o.dim > (1 << 16)) return false;
+  if (!(o.domain_lo < o.domain_hi)) return false;
+  if (o.page_size <= kHeaderBytes || o.page_size > (1u << 28)) return false;
+  if (o.leaf_data_size > o.page_size) return false;
+  const size_t dim = static_cast<size_t>(o.dim);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + o.leaf_data_size;
+  const size_t node_entry = 2 * dim * sizeof(double) + sizeof(uint32_t);
+  return (o.page_size - kHeaderBytes) / leaf_entry >= 2 &&
+         (o.page_size - kHeaderBytes) / node_entry >= 2;
+}
+
+}  // namespace
+
+Status KdbTree::Save(const std::string& path) const {
+  KdbImageHeader header = {};
+  header.dim = options_.dim;
+  header.page_size = options_.page_size;
+  header.leaf_data_size = options_.leaf_data_size;
+  header.domain_lo = options_.domain_lo;
+  header.domain_hi = options_.domain_hi;
+  header.root_id = root_id_;
+  header.root_level = root_level_;
+  header.size = size_;
+  return AtomicWriteFile(path, [&](std::ostream& out) {
+    RETURN_IF_ERROR(
+        WriteIndexImageTo(out, kImageTag, &header, sizeof(header)));
+    return file_.SaveTo(out);
+  });
+}
+
+StatusOr<std::unique_ptr<KdbTree>> KdbTree::Open(const std::string& path) {
+  KdbImageHeader header = {};
+  IndexImageFile image;
+  RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
+
+  Options options;
+  options.dim = header.dim;
+  options.page_size = header.page_size;
+  options.leaf_data_size = header.leaf_data_size;
+  options.domain_lo = header.domain_lo;
+  options.domain_hi = header.domain_hi;
+  if (!PlausibleOptions(options) || header.root_level < 0 ||
+      header.root_level > 64) {
+    return Status::Corruption("implausible K-D-B-tree header");
+  }
+  auto tree = std::make_unique<KdbTree>(options);
+  RETURN_IF_ERROR(tree->file_.LoadFrom(image.stream()));
+  if (!tree->file_.is_live(header.root_id)) {
+    return Status::Corruption("K-D-B-tree root page is not live in the image");
+  }
+  tree->root_id_ = header.root_id;
+  tree->root_level_ = header.root_level;
+  tree->size_ = header.size;
+  tree->maintenance_ = MaintenanceStats{};
+  RETURN_IF_ERROR(tree->CheckInvariants());
+  return tree;
 }
 
 // --------------------------------------------------------------------------
@@ -490,11 +574,7 @@ std::vector<Neighbor> KdbTree::RangeImpl(PointView query, double radius,
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
   if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.oid < b.oid;
-            });
+  std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 

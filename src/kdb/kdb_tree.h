@@ -36,6 +36,13 @@ class KdbTree : public PointIndex {
 
   explicit KdbTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "kdbtree";
+
+  // Checksummed atomic image persistence (see PointIndex::Save).
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<KdbTree>> Open(const std::string& path);
+
   int dim() const override { return options_.dim; }
   size_t size() const override { return size_; }
   std::string name() const override { return "K-D-B-tree"; }

@@ -37,6 +37,13 @@ class RStarTree : public PointIndex {
 
   explicit RStarTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "rstar";
+
+  // Checksummed atomic image persistence (see PointIndex::Save).
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<RStarTree>> Open(const std::string& path);
+
   int dim() const override { return options_.dim; }
   size_t size() const override { return size_; }
   std::string name() const override { return "R*-tree"; }

@@ -34,6 +34,13 @@ class SSTree : public PointIndex {
 
   explicit SSTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "sstree";
+
+  // Checksummed atomic image persistence (see PointIndex::Save).
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<SSTree>> Open(const std::string& path);
+
   int dim() const override { return options_.dim; }
   size_t size() const override { return size_; }
   std::string name() const override { return "SS-tree"; }

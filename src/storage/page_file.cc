@@ -1,17 +1,54 @@
 #include "src/storage/page_file.h"
 
 #include <cstring>
-#include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "src/common/check.h"
+#include "src/storage/crc32c.h"
+#include "src/storage/image_io.h"
 
 namespace srtree {
 namespace {
 
 // Image header: magic + version guard against loading foreign files.
-constexpr uint32_t kPageFileMagic = 0x53525046;  // "SRPF"
-constexpr uint32_t kPageFileVersion = 1;
+//
+// Format v2 (current; all framing little-endian):
+//   [u32 magic "SRPF"] [u32 version = 2] [u64 page_size] [u64 page_count]
+//   [u64 live_count] [u32 header_crc = crc32c(magic..live_count)]
+//   page_count records: [u8 live (0|1)]
+//                       live pages append [page bytes] [u32 crc32c(page)]
+//   footer: [u32 "SRPE"] [u64 page_count] [u64 live_count]
+//           [u32 image_crc = crc32c of every preceding image byte EXCEPT
+//            the embedded CRC words (header_crc and the per-page CRCs)]
+//
+// Every byte of the image is covered by a validation rule: the header and
+// each live page by a CRC, the record layout by the exact-size equation
+// (the image must extend to the end of the stream), the counts by the
+// footer echo, and the whole image by the footer's running CRC — so
+// truncation, torn pages, and bit flips all surface as Corruption instead
+// of silently loading garbage geometry. The image CRC is what rules out
+// the one failure per-record checksums cannot see: an overwrite torn at a
+// record boundary splicing the prefix of one valid image onto the suffix
+// of another.
+//
+// The embedded CRC words MUST stay out of the image CRC. CRC32C is linear,
+// so the XOR-difference between two valid [page][crc32c(page)] records is
+// [D][crc_linear(D)] — itself a CRC32C codeword. Had the image CRC covered
+// those words, every record-boundary splice of two valid images would
+// cancel out exactly and the footer check would pass; over the raw bytes
+// alone a splice survives only with the generic 2^-32 collision odds.
+//
+// Format v1 (legacy, read-only for one release): the same header without
+// live_count/CRCs, host-endian PODs, no footer. Accepted by LoadFrom so
+// images written before the v2 bump keep opening; Save always writes v2.
+constexpr uint32_t kPageFileMagic = 0x53525046;    // "SRPF"
+constexpr uint32_t kPageFileFooterMagic = 0x45505253;  // "SRPE"
+constexpr uint32_t kPageFileVersion = 2;
+constexpr uint32_t kLegacyPageFileVersion = 1;
 
+// v1 wrote host-endian PODs; these exist only for the legacy read path
+// (and the v1 fixture writer the compatibility tests use).
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -21,6 +58,45 @@ template <typename T>
 bool ReadPod(std::istream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return in.good();
+}
+
+// Bytes remaining between the stream position and EOF, or -1 when the
+// stream is not seekable.
+int64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !in.good()) return -1;
+  return static_cast<int64_t>(end - pos);
+}
+
+// Extend a running CRC over the little-endian encoding of a framing word.
+uint32_t CrcExtendLe32(uint32_t crc, uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v >> 16), static_cast<unsigned char>(v >> 24)};
+  return Crc32cExtend(crc, b, sizeof(b));
+}
+
+uint32_t CrcExtendLe64(uint32_t crc, uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return Crc32cExtend(crc, b, sizeof(b));
+}
+
+// The v2 header CRC covers the serialized little-endian header fields.
+uint32_t HeaderCrc(uint64_t page_size, uint64_t page_count,
+                   uint64_t live_count) {
+  std::ostringstream buf(std::ios::binary);
+  PutLe32(buf, kPageFileMagic);
+  PutLe32(buf, kPageFileVersion);
+  PutLe64(buf, page_size);
+  PutLe64(buf, page_count);
+  PutLe64(buf, live_count);
+  const std::string bytes = std::move(buf).str();
+  return Crc32c(bytes.data(), bytes.size());
 }
 
 }  // namespace
@@ -33,6 +109,10 @@ PageId PageFile::Allocate() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
+    // Dead pages restored by LoadFrom carry no buffer (a forged image must
+    // not be able to force one allocation per claimed page); materialize on
+    // first reuse.
+    if (pages_[id] == nullptr) pages_[id] = std::make_unique<char[]>(page_size_);
     std::memset(pages_[id].get(), 0, page_size_);
     live_[id] = true;
     ++live_pages_;
@@ -125,68 +205,231 @@ char* PageFile::MutablePageForTest(PageId id) {
 }
 
 Status PageFile::SaveTo(std::ostream& out) const {
+  uint64_t live_count = 0;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    if (live_[i]) ++live_count;
+  }
+  PutLe32(out, kPageFileMagic);
+  PutLe32(out, kPageFileVersion);
+  PutLe64(out, page_size_);
+  PutLe64(out, pages_.size());
+  PutLe64(out, live_count);
+  const uint32_t header_crc = HeaderCrc(page_size_, pages_.size(), live_count);
+  PutLe32(out, header_crc);
+  // Running CRC over the image's raw bytes — every byte EXCEPT the embedded
+  // CRC words, which by CRC linearity would let valid-record splices cancel
+  // (see the format comment above). This is what detects an overwrite torn
+  // at a record boundary.
+  uint32_t image_crc = 0;
+  image_crc = CrcExtendLe32(image_crc, kPageFileMagic);
+  image_crc = CrcExtendLe32(image_crc, kPageFileVersion);
+  image_crc = CrcExtendLe64(image_crc, page_size_);
+  image_crc = CrcExtendLe64(image_crc, pages_.size());
+  image_crc = CrcExtendLe64(image_crc, live_count);
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    const char live = live_[i] ? 1 : 0;
+    out.put(live);
+    image_crc = Crc32cExtend(image_crc, &live, 1);
+    if (live) {
+      out.write(pages_[i].get(), static_cast<std::streamsize>(page_size_));
+      const uint32_t page_crc = Crc32c(pages_[i].get(), page_size_);
+      PutLe32(out, page_crc);
+      image_crc = Crc32cExtend(image_crc, pages_[i].get(), page_size_);
+    }
+  }
+  PutLe32(out, kPageFileFooterMagic);
+  PutLe64(out, pages_.size());
+  PutLe64(out, live_count);
+  image_crc = CrcExtendLe32(image_crc, kPageFileFooterMagic);
+  image_crc = CrcExtendLe64(image_crc, pages_.size());
+  image_crc = CrcExtendLe64(image_crc, live_count);
+  PutLe32(out, image_crc);
+  if (!out.good()) return Status::IoError("short write while saving pages");
+  return Status::OK();
+}
+
+Status PageFile::SaveToV1ForTest(std::ostream& out) const {
   WritePod(out, kPageFileMagic);
-  WritePod(out, kPageFileVersion);
+  WritePod(out, kLegacyPageFileVersion);
   WritePod(out, static_cast<uint64_t>(page_size_));
   WritePod(out, static_cast<uint64_t>(pages_.size()));
   for (size_t i = 0; i < pages_.size(); ++i) {
     const uint8_t live = live_[i] ? 1 : 0;
     WritePod(out, live);
-    if (live) out.write(pages_[i].get(), page_size_);
+    if (live) out.write(pages_[i].get(), static_cast<std::streamsize>(page_size_));
   }
   if (!out.good()) return Status::IoError("short write while saving pages");
   return Status::OK();
 }
 
 Status PageFile::LoadFrom(std::istream& in) {
+  // Everything is staged into locals and swapped in only after the whole
+  // image validates: a corrupt or truncated image must leave this PageFile
+  // — possibly a live, healthy index — byte-for-byte untouched.
+  std::vector<std::unique_ptr<char[]>> pages;
+  std::vector<bool> live;
+  std::vector<PageId> free_list;
+  size_t live_pages = 0;
+  bool legacy = false;
+
   uint32_t magic = 0, version = 0;
-  uint64_t page_size = 0, page_count = 0;
-  if (!ReadPod(in, &magic) || magic != kPageFileMagic) {
+  if (!GetLe32(in, &magic) || magic != kPageFileMagic) {
     return Status::Corruption("not a page-file image (bad magic)");
   }
-  if (!ReadPod(in, &version) || version != kPageFileVersion) {
+  if (!GetLe32(in, &version) ||
+      (version != kPageFileVersion && version != kLegacyPageFileVersion)) {
     return Status::Corruption("unsupported page-file image version");
   }
-  if (!ReadPod(in, &page_size) || !ReadPod(in, &page_count)) {
-    return Status::Corruption("truncated page-file header");
+  legacy = version == kLegacyPageFileVersion;
+
+  uint64_t page_size = 0, page_count = 0, live_count = 0;
+  uint32_t header_crc = 0;
+  if (legacy) {
+    // v1 wrote the header PODs host-endian with no checksum.
+    if (!ReadPod(in, &page_size) || !ReadPod(in, &page_count)) {
+      return Status::Corruption("truncated page-file header");
+    }
+  } else {
+    if (!GetLe64(in, &page_size) || !GetLe64(in, &page_count) ||
+        !GetLe64(in, &live_count) || !GetLe32(in, &header_crc)) {
+      return Status::Corruption("truncated page-file header");
+    }
+    if (HeaderCrc(page_size, page_count, live_count) != header_crc) {
+      return Status::Corruption("page-file header checksum mismatch");
+    }
+    if (live_count > page_count) {
+      return Status::Corruption("page-file header live count exceeds pages");
+    }
   }
   if (page_size != page_size_) {
     return Status::InvalidArgument("image page size does not match");
   }
+  if (page_count > std::numeric_limits<PageId>::max()) {
+    return Status::Corruption("page-file header page count implausible");
+  }
 
-  pages_.clear();
-  live_.clear();
-  free_list_.clear();
-  live_pages_ = 0;
-  for (uint64_t i = 0; i < page_count; ++i) {
-    uint8_t live = 0;
-    if (!ReadPod(in, &live)) {
-      return Status::Corruption("truncated page-file image");
-    }
-    pages_.push_back(std::make_unique<char[]>(page_size_));
-    live_.push_back(live != 0);
-    if (live) {
-      in.read(pages_.back().get(), page_size_);
-      if (!in.good()) return Status::Corruption("truncated page contents");
-      ++live_pages_;
+  // Validate the claimed page count against the bytes actually present
+  // BEFORE building any state from it: a forged multi-terabyte header must
+  // be rejected up front, not discovered one heap block at a time.
+  const int64_t remaining = RemainingBytes(in);
+  if (remaining >= 0) {
+    if (legacy) {
+      // Each v1 record consumes at least its live byte.
+      if (page_count > static_cast<uint64_t>(remaining)) {
+        return Status::Corruption(
+            "page-file image truncated (header claims more pages than bytes)");
+      }
     } else {
-      free_list_.push_back(static_cast<PageId>(i));
+      // v2 images are sized exactly by the header; the image extends to the
+      // end of the stream, so any mismatch means truncation or trailing
+      // garbage.
+      constexpr uint64_t kFooterBytes = 4 + 8 + 8 + 4;
+      const uint64_t expected =
+          page_count + live_count * (page_size + 4) + kFooterBytes;
+      if (expected != static_cast<uint64_t>(remaining)) {
+        return Status::Corruption("page-file image size mismatch");
+      }
     }
   }
-  ResetStats();
+
+  // Mirror of SaveTo's running image CRC: raw bytes only, never the
+  // embedded CRC words (unused on the legacy path).
+  uint32_t image_crc = 0;
+  if (!legacy) {
+    image_crc = CrcExtendLe32(image_crc, kPageFileMagic);
+    image_crc = CrcExtendLe32(image_crc, kPageFileVersion);
+    image_crc = CrcExtendLe64(image_crc, page_size);
+    image_crc = CrcExtendLe64(image_crc, page_count);
+    image_crc = CrcExtendLe64(image_crc, live_count);
+  }
+
+  pages.reserve(page_count);
+  live.reserve(page_count);
+  for (uint64_t i = 0; i < page_count; ++i) {
+    const int flag = in.get();
+    if (flag == std::char_traits<char>::eof()) {
+      return Status::Corruption("truncated page-file image");
+    }
+    if (!legacy && flag != 0 && flag != 1) {
+      return Status::Corruption("page-file record has invalid live flag");
+    }
+    if (!legacy) {
+      const char flag_byte = static_cast<char>(flag);
+      image_crc = Crc32cExtend(image_crc, &flag_byte, 1);
+    }
+    if (flag != 0) {
+      auto page = std::make_unique<char[]>(page_size_);
+      in.read(page.get(), static_cast<std::streamsize>(page_size_));
+      if (!in.good()) return Status::Corruption("truncated page contents");
+      if (!legacy) {
+        uint32_t page_crc = 0;
+        if (!GetLe32(in, &page_crc)) {
+          return Status::Corruption("truncated page checksum");
+        }
+        if (Crc32c(page.get(), page_size_) != page_crc) {
+          return Status::Corruption("page checksum mismatch at page " +
+                                    std::to_string(i));
+        }
+        image_crc = Crc32cExtend(image_crc, page.get(), page_size_);
+      }
+      pages.push_back(std::move(page));
+      live.push_back(true);
+      ++live_pages;
+    } else {
+      // Dead pages stage no buffer; Allocate() materializes one on reuse.
+      pages.push_back(nullptr);
+      live.push_back(false);
+      free_list.push_back(static_cast<PageId>(i));
+    }
+  }
+  if (!legacy) {
+    uint32_t footer_magic = 0, footer_crc = 0;
+    uint64_t footer_pages = 0, footer_live = 0;
+    if (!GetLe32(in, &footer_magic) || footer_magic != kPageFileFooterMagic ||
+        !GetLe64(in, &footer_pages) || !GetLe64(in, &footer_live) ||
+        !GetLe32(in, &footer_crc)) {
+      return Status::Corruption("truncated page-file footer");
+    }
+    if (footer_pages != page_count || footer_live != live_count) {
+      return Status::Corruption("page-file footer does not match header");
+    }
+    image_crc = CrcExtendLe32(image_crc, footer_magic);
+    image_crc = CrcExtendLe64(image_crc, footer_pages);
+    image_crc = CrcExtendLe64(image_crc, footer_live);
+    if (footer_crc != image_crc) {
+      return Status::Corruption("page-file image checksum mismatch");
+    }
+    if (live_pages != live_count) {
+      return Status::Corruption("page-file live count does not match records");
+    }
+  }
+
+  // The image is fully validated; swap it in. The simulated-cache LRU and
+  // the counters refer to the replaced pages, so both reset with the
+  // contents (the configured cache capacity is kept).
+  pages_ = std::move(pages);
+  live_ = std::move(live);
+  free_list_ = std::move(free_list);
+  live_pages_ = live_pages;
+  loaded_legacy_image_ = legacy;
+  {
+    MutexLock lock(stats_mu_);
+    cache_lru_.clear();
+    cache_index_.clear();
+    stats_.Reset();
+  }
   return Status::OK();
 }
 
 Status PageFile::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  return SaveTo(out);
+  return AtomicWriteFile(path,
+                         [this](std::ostream& out) { return SaveTo(out); });
 }
 
 Status PageFile::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  return LoadFrom(in);
+  IndexImageFile image;
+  RETURN_IF_ERROR(image.OpenRaw(path));
+  return LoadFrom(image.stream());
 }
 
 }  // namespace srtree

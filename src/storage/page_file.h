@@ -82,10 +82,33 @@ class PageFile {
   // contents) to a stream/file; LoadFrom replaces this PageFile's contents
   // with a previously saved image. I/O counters are not persisted. These
   // are the substrate of the index structures' Save/Open.
+  //
+  // Durability contract (format v2, see page_file.cc):
+  //   * SaveTo writes a checksummed image — header CRC32C, per-page
+  //     CRC32C, and a footer echoing the page counts plus a CRC32C over
+  //     the whole image — with fixed little-endian framing. The image must
+  //     be the final section of the stream (LoadFrom validates its exact
+  //     size against EOF).
+  //   * Save(path) is atomic: temp file + flush + fsync + rename via
+  //     storage::AtomicWriteFile, so the destination always holds either
+  //     the previous image or the complete new one.
+  //   * LoadFrom is all-or-nothing: the image is staged into fresh state
+  //     and swapped in only after every checksum and count validates. On
+  //     any failure this PageFile — possibly a live index — is untouched.
+  //   * v1 (pre-checksum) images are still accepted read-compatibly for
+  //     one release; loaded_legacy_image() reports that case.
   Status SaveTo(std::ostream& out) const;
   Status LoadFrom(std::istream& in);
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
+
+  // Writes the legacy v1 (unchecksummed, host-endian) image; exists only
+  // so the compatibility tests can generate v1 fixtures.
+  Status SaveToV1ForTest(std::ostream& out) const;
+
+  // True when the last successful LoadFrom read a legacy v1 image (the
+  // compatibility window new code should not extend).
+  bool loaded_legacy_image() const { return loaded_legacy_image_; }
 
   // DEPRECATED: unsynchronized views of the counters; valid only while no
   // concurrent Read() is in flight (the legacy reset-then-peek measurement
@@ -100,6 +123,10 @@ class PageFile {
 
   // Number of currently live (allocated and not freed) pages.
   size_t live_pages() const { return live_pages_; }
+
+  // True when `id` names a live (allocated and not freed) page. Lets the
+  // index Open() paths validate a restored root id before dereferencing it.
+  bool is_live(PageId id) const { return IsLive(id); }
 
  private:
   bool IsLive(PageId id) const;
@@ -117,10 +144,14 @@ class PageFile {
   mutable std::list<PageId> cache_lru_ GUARDED_BY(stats_mu_);
   mutable std::unordered_map<PageId, std::list<PageId>::iterator> cache_index_
       GUARDED_BY(stats_mu_);
+  // Dead pages restored from an image may hold a null buffer until
+  // Allocate() recycles them — that is what bounds a forged header's
+  // allocation to the bytes actually present in the stream.
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   size_t live_pages_ = 0;
+  bool loaded_legacy_image_ = false;
   mutable IoStats stats_ GUARDED_BY(stats_mu_);
 };
 

@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/storage/image_io.h"
 
 namespace srtree {
 namespace {
@@ -50,6 +51,97 @@ TvRTree::TvRTree(const Options& options)
   root.level = 0;
   WriteNode(root);
   root_id_ = root.id;
+}
+
+// --------------------------------------------------------------------------
+// Persistence
+// --------------------------------------------------------------------------
+
+namespace {
+
+// v2 header record embedded in the SRIX container (src/storage/image_io.h);
+// the container carries the magic, tag, and a CRC32C over these bytes.
+// active_dims is the RESOLVED value (never the 0 "auto" sentinel) so the
+// reopened directory geometry matches the saved pages exactly.
+struct TvImageHeader {
+  int32_t dim;
+  int32_t active_dims;
+  uint64_t page_size;
+  uint64_t leaf_data_size;
+  double min_utilization;
+  double reinsert_fraction;
+  uint32_t root_id;
+  int32_t root_level;
+  uint64_t size;
+};
+
+// True iff `o` would pass every constructor CHECK, so Open() can reject a
+// forged header with Corruption instead of crashing the process. The
+// negated-range form also rejects NaN utilization/fraction values. Expects
+// a resolved (positive) active_dims.
+bool PlausibleOptions(const TvRTree::Options& o) {
+  if (o.dim <= 0 || o.dim > (1 << 16)) return false;
+  if (o.active_dims <= 0 || o.active_dims > o.dim) return false;
+  if (!(o.min_utilization > 0.0 && o.min_utilization <= 0.5)) return false;
+  if (!(o.reinsert_fraction > 0.0 && o.reinsert_fraction < 1.0)) return false;
+  if (o.page_size <= kHeaderBytes || o.page_size > (1u << 28)) return false;
+  if (o.leaf_data_size > o.page_size) return false;
+  const size_t dim = static_cast<size_t>(o.dim);
+  const size_t active = static_cast<size_t>(o.active_dims);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + o.leaf_data_size;
+  const size_t node_entry = 2 * active * sizeof(double) + sizeof(uint32_t);
+  return (o.page_size - kHeaderBytes) / leaf_entry >= 2 &&
+         (o.page_size - kHeaderBytes) / node_entry >= 2;
+}
+
+}  // namespace
+
+Status TvRTree::Save(const std::string& path) const {
+  TvImageHeader header = {};
+  header.dim = options_.dim;
+  header.active_dims = active_dims_;
+  header.page_size = options_.page_size;
+  header.leaf_data_size = options_.leaf_data_size;
+  header.min_utilization = options_.min_utilization;
+  header.reinsert_fraction = options_.reinsert_fraction;
+  header.root_id = root_id_;
+  header.root_level = root_level_;
+  header.size = size_;
+  return AtomicWriteFile(path, [&](std::ostream& out) {
+    RETURN_IF_ERROR(
+        WriteIndexImageTo(out, kImageTag, &header, sizeof(header)));
+    return file_.SaveTo(out);
+  });
+}
+
+StatusOr<std::unique_ptr<TvRTree>> TvRTree::Open(const std::string& path) {
+  TvImageHeader header = {};
+  IndexImageFile image;
+  RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
+
+  Options options;
+  options.dim = header.dim;
+  options.active_dims = header.active_dims;
+  options.page_size = header.page_size;
+  options.leaf_data_size = header.leaf_data_size;
+  options.min_utilization = header.min_utilization;
+  options.reinsert_fraction = header.reinsert_fraction;
+  if (!PlausibleOptions(options) || header.root_level < 0 ||
+      header.root_level > 64) {
+    return Status::Corruption("implausible TV-tree header");
+  }
+  auto tree = std::make_unique<TvRTree>(options);
+  RETURN_IF_ERROR(tree->file_.LoadFrom(image.stream()));
+  if (!tree->file_.is_live(header.root_id)) {
+    return Status::Corruption("TV-tree root page is not live in the image");
+  }
+  tree->root_id_ = header.root_id;
+  tree->root_level_ = header.root_level;
+  tree->size_ = header.size;
+  tree->maintenance_ = MaintenanceStats{};
+  RETURN_IF_ERROR(tree->CheckInvariants());
+  return tree;
 }
 
 // --------------------------------------------------------------------------
@@ -653,11 +745,7 @@ std::vector<Neighbor> TvRTree::RangeImpl(PointView query, double radius,
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
   if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.oid < b.oid;
-            });
+  std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 

@@ -41,6 +41,15 @@ class TvRTree : public PointIndex {
 
   explicit TvRTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "tvtree";
+
+  // Checksummed atomic image persistence (see PointIndex::Save). The image
+  // records the RESOLVED active dimension count, so an index saved with
+  // active_dims = 0 reopens with the same directory geometry.
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<TvRTree>> Open(const std::string& path);
+
   int dim() const override { return options_.dim; }
   int active_dims() const { return active_dims_; }
   size_t size() const override { return size_; }

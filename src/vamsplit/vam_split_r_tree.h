@@ -32,6 +32,14 @@ class VamSplitRTree : public PointIndex {
 
   explicit VamSplitRTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "vamsplit";
+
+  // Checksummed atomic image persistence (see PointIndex::Save).
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<VamSplitRTree>> Open(
+      const std::string& path);
+
   int dim() const override { return options_.dim; }
   size_t size() const override { return size_; }
   std::string name() const override { return "VAMSplit R-tree"; }

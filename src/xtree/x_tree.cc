@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/storage/image_io.h"
 
 namespace srtree {
 namespace {
@@ -67,6 +68,96 @@ XTree::XTree(const Options& options)
 
 size_t XTree::MinEntries(const Node& node) const {
   return node.is_leaf() ? leaf_min_ : node_min_;
+}
+
+// --------------------------------------------------------------------------
+// Persistence
+// --------------------------------------------------------------------------
+
+namespace {
+
+// v2 header record embedded in the SRIX container (src/storage/image_io.h);
+// the container carries the magic, tag, and a CRC32C over these bytes.
+struct XImageHeader {
+  int32_t dim;
+  uint32_t pad0;
+  uint64_t page_size;
+  uint64_t leaf_data_size;
+  double min_utilization;
+  double max_overlap;
+  double min_fanout;
+  uint32_t root_id;
+  int32_t root_level;
+  uint64_t size;
+};
+
+// True iff `o` would pass every constructor CHECK, so Open() can reject a
+// forged header with Corruption instead of crashing the process. The
+// negated-range form also rejects NaN parameter values.
+bool PlausibleOptions(const XTree::Options& o) {
+  if (o.dim <= 0 || o.dim > (1 << 16)) return false;
+  if (!(o.min_utilization > 0.0 && o.min_utilization <= 0.5)) return false;
+  if (!(o.max_overlap >= 0.0)) return false;
+  if (!(o.min_fanout > 0.0 && o.min_fanout <= 0.5)) return false;
+  if (o.page_size <= kHeaderBytes || o.page_size > (1u << 28)) return false;
+  if (o.leaf_data_size > o.page_size) return false;
+  const size_t dim = static_cast<size_t>(o.dim);
+  const size_t leaf_entry =
+      dim * sizeof(double) + sizeof(uint32_t) + o.leaf_data_size;
+  const size_t node_entry = 2 * dim * sizeof(double) + sizeof(uint32_t);
+  return (o.page_size - kHeaderBytes) / leaf_entry >= 2 &&
+         (o.page_size - kHeaderBytes) / node_entry >= 2;
+}
+
+}  // namespace
+
+Status XTree::Save(const std::string& path) const {
+  XImageHeader header = {};
+  header.dim = options_.dim;
+  header.page_size = options_.page_size;
+  header.leaf_data_size = options_.leaf_data_size;
+  header.min_utilization = options_.min_utilization;
+  header.max_overlap = options_.max_overlap;
+  header.min_fanout = options_.min_fanout;
+  header.root_id = root_id_;
+  header.root_level = root_level_;
+  header.size = size_;
+  return AtomicWriteFile(path, [&](std::ostream& out) {
+    RETURN_IF_ERROR(
+        WriteIndexImageTo(out, kImageTag, &header, sizeof(header)));
+    return file_.SaveTo(out);
+  });
+}
+
+StatusOr<std::unique_ptr<XTree>> XTree::Open(const std::string& path) {
+  XImageHeader header = {};
+  IndexImageFile image;
+  RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
+
+  Options options;
+  options.dim = header.dim;
+  options.page_size = header.page_size;
+  options.leaf_data_size = header.leaf_data_size;
+  options.min_utilization = header.min_utilization;
+  options.max_overlap = header.max_overlap;
+  options.min_fanout = header.min_fanout;
+  if (!PlausibleOptions(options) || header.root_level < 0 ||
+      header.root_level > 64) {
+    return Status::Corruption("implausible X-tree header");
+  }
+  auto tree = std::make_unique<XTree>(options);
+  RETURN_IF_ERROR(tree->file_.LoadFrom(image.stream()));
+  if (!tree->file_.is_live(header.root_id)) {
+    return Status::Corruption("X-tree root page is not live in the image");
+  }
+  tree->root_id_ = header.root_id;
+  tree->root_level_ = header.root_level;
+  tree->size_ = header.size;
+  tree->maintenance_ = MaintenanceStats{};
+  tree->overlap_free_splits_ = 0;
+  tree->supernode_extensions_ = 0;
+  RETURN_IF_ERROR(tree->CheckInvariants());
+  return tree;
 }
 
 // --------------------------------------------------------------------------
@@ -716,11 +807,7 @@ std::vector<Neighbor> XTree::RangeImpl(PointView query, double radius,
   if (size_ > 0) {
     SearchRange(root_id_, root_level_, query, radius, result, io);
   }
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.oid < b.oid;
-            });
+  std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 

@@ -46,6 +46,15 @@ class XTree : public PointIndex {
 
   explicit XTree(const Options& options);
 
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "xtree";
+
+  // Checksummed atomic image persistence (see PointIndex::Save). Supernode
+  // chains are self-contained in the page image (next-page links live in
+  // the page headers), so no extra metadata is needed.
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<XTree>> Open(const std::string& path);
+
   int dim() const override { return options_.dim; }
   size_t size() const override { return size_; }
   std::string name() const override { return "X-tree"; }

@@ -1,8 +1,9 @@
 // Mutation-fuzz harness run: every tree variant is driven through seeded
 // randomized interleavings of Insert / Delete / NearestNeighbors /
-// BestFirst / RangeSearch (plus Save/Open for the SR-tree), cross-checked
-// against the brute-force oracle, with the structural auditor run after
-// every batch. Seeds are fixed, so a failure reproduces from the log.
+// BestFirst / RangeSearch (plus Save/OpenIndex round-trips for every
+// dynamic tree), cross-checked against the brute-force oracle, with the
+// structural auditor run after every batch. Seeds are fixed, so a failure
+// reproduces from the log.
 
 #include <memory>
 #include <string>
@@ -10,8 +11,8 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/sr_tree.h"
 #include "src/debug/fuzzer.h"
+#include "src/index/index_factory.h"
 #include "tests/test_util.h"
 
 namespace srtree {
@@ -89,21 +90,22 @@ TEST(MutationFuzzStaticTest, VamSplitQueryOnlyFuzz) {
   EXPECT_EQ(fuzzer.stats().knn_queries, 250u);
 }
 
-// SR-tree with Save/Open round-trips interleaved into the schedule: the
+// Save/Open round-trips interleaved into the mutation schedule, through
+// the virtual PointIndex::Save and the factory OpenIndex dispatch: the
 // reopened tree must hold identical contents and still pass the audit.
-TEST(MutationFuzzPersistenceTest, SrTreeSurvivesSaveOpenRoundTrips) {
-  SRTree::Options tree_options;
-  tree_options.dim = 4;
-  tree_options.page_size = 2048;
-  tree_options.leaf_data_size = 0;
-  std::unique_ptr<PointIndex> index =
-      std::make_unique<SRTree>(tree_options);
+class MutationFuzzPersistenceTest
+    : public ::testing::TestWithParam<FuzzParam> {};
 
-  const std::string path =
-      ::testing::TempDir() + "/fuzz_sr_roundtrip.srtree";
+TEST_P(MutationFuzzPersistenceTest, SurvivesSaveOpenRoundTrips) {
+  constexpr int kDim = 4;
+  std::unique_ptr<PointIndex> index =
+      MakeSmallPageIndex(GetParam().type, kDim);
+
+  const std::string path = ::testing::TempDir() + "/fuzz_roundtrip_" +
+                           TypeToken(GetParam().type) + ".idx";
 
   debug::FuzzOptions options;
-  options.seed = 404;
+  options.seed = GetParam().seed;
   options.num_mutations = 5000;
   options.batch_size = 250;
   options.reopen_every_batches = 4;
@@ -113,15 +115,23 @@ TEST(MutationFuzzPersistenceTest, SrTreeSurvivesSaveOpenRoundTrips) {
       index,
       [&path](PointIndex& current)
           -> StatusOr<std::unique_ptr<PointIndex>> {
-        auto& tree = dynamic_cast<SRTree&>(current);
-        RETURN_IF_ERROR(tree.Save(path));
-        StatusOr<std::unique_ptr<SRTree>> reopened = SRTree::Open(path);
-        if (!reopened.ok()) return reopened.status();
-        return std::unique_ptr<PointIndex>(std::move(reopened).value());
+        RETURN_IF_ERROR(current.Save(path));
+        return OpenIndex(path);
       });
   EXPECT_TRUE(status.ok()) << status.ToString();
   EXPECT_GE(fuzzer.stats().reopens, 4u);
 }
+
+// Every dynamic tree variant goes through the generic persistence path.
+INSTANTIATE_TEST_SUITE_P(
+    AllDynamicTrees, MutationFuzzPersistenceTest,
+    ::testing::Values(FuzzParam{IndexType::kSRTree, 404},
+                      FuzzParam{IndexType::kSSTree, 404},
+                      FuzzParam{IndexType::kRStarTree, 404},
+                      FuzzParam{IndexType::kKdbTree, 404},
+                      FuzzParam{IndexType::kXTree, 404},
+                      FuzzParam{IndexType::kTvTree, 404}),
+    ParamName);
 
 }  // namespace
 }  // namespace srtree

@@ -1,8 +1,12 @@
 #include "src/index/knn.h"
 
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "src/index/index_factory.h"
 
 namespace srtree {
 namespace {
@@ -52,6 +56,58 @@ TEST(KnnCandidatesTest, TiesBrokenBySmallerOid) {
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0].oid, 3u);
   EXPECT_EQ(result[1].oid, 5u);
+}
+
+TEST(NeighborOrderTest, CanonicalOrderingByDistanceThenOid) {
+  const Neighbor near{1.0, 9};
+  const Neighbor far{2.0, 1};
+  const Neighbor near_twin{1.0, 12};
+  EXPECT_TRUE(near < far);
+  EXPECT_TRUE(near < near_twin);
+  EXPECT_FALSE(near_twin < near);
+  EXPECT_FALSE(near < near);
+}
+
+// Regression for duplicate distances: four points equidistant from the
+// query must come back in ascending oid order from every index structure,
+// regardless of insertion order. Before Neighbor::operator< each tree
+// carried its own tie-break.
+TEST(NeighborOrderTest, DuplicateDistancesOrderedByOidInEveryIndex) {
+  const Point query{0.5, 0.5};
+  const double d = 0.125;
+  // Insertion order deliberately scrambled relative to oid order.
+  const std::vector<Point> points = {{0.5, 0.5 + d},
+                                     {0.5 - d, 0.5},
+                                     {0.5, 0.5 - d},
+                                     {0.5 + d, 0.5}};
+  const std::vector<uint32_t> oids = {7, 3, 9, 1};
+
+  IndexConfig config;
+  config.dim = 2;
+  config.page_size = 512;
+  config.leaf_data_size = 0;
+  std::vector<IndexType> types = AllTreeTypes();
+  types.push_back(IndexType::kXTree);
+  types.push_back(IndexType::kTvTree);
+  types.push_back(IndexType::kScan);
+  for (const IndexType type : types) {
+    std::unique_ptr<PointIndex> index = MakeIndex(type, config);
+    ASSERT_TRUE(index->BulkLoad(points, oids).ok()) << IndexTypeName(type);
+    for (const QuerySpec& spec :
+         {QuerySpec::Knn(4), QuerySpec::KnnBestFirst(4),
+          QuerySpec::Range(d + 0.01)}) {
+      const QueryResult result = index->Search(query, spec);
+      ASSERT_TRUE(result.status.ok()) << IndexTypeName(type);
+      ASSERT_EQ(result.neighbors.size(), 4u) << IndexTypeName(type);
+      const std::vector<uint32_t> want = {1, 3, 7, 9};
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(result.neighbors[i].oid, want[i])
+            << IndexTypeName(type) << " result " << i;
+        EXPECT_DOUBLE_EQ(result.neighbors[i].distance, d)
+            << IndexTypeName(type);
+      }
+    }
+  }
 }
 
 TEST(KnnCandidatesTest, SortedOutputStableUnderInsertionOrder) {

@@ -1,9 +1,17 @@
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/sr_tree.h"
+#include "src/debug/fault_injection.h"
+#include "src/index/index_factory.h"
+#include "src/storage/crc32c.h"
+#include "src/storage/image_io.h"
 #include "src/storage/page_file.h"
 #include "src/workload/queries.h"
 #include "src/workload/uniform.h"
@@ -13,6 +21,12 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::string bytes;
+  EXPECT_TRUE(ReadFileToString(path, &bytes).ok()) << path;
+  return bytes;
 }
 
 TEST(PageFilePersistenceTest, RoundTrip) {
@@ -121,6 +135,242 @@ TEST(SRTreePersistenceTest, OpenRejectsGarbage) {
   std::ofstream(path, std::ios::binary) << "junk junk junk junk junk";
   EXPECT_FALSE(SRTree::Open(path).ok());
   EXPECT_FALSE(SRTree::Open(TempPath("does_not_exist.idx")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Staged load: a failed LoadFrom must leave the previous contents
+// byte-identical, even when the corruption is discovered deep in the image.
+
+TEST(PageFilePersistenceTest, FailedLoadLeavesPriorContentsUntouched) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  std::vector<char> da(64, 'a'), db(64, 'b');
+  file.Write(a, da.data());
+  file.Write(b, db.data());
+  const std::string before_a(file.PeekPage(a), 64);
+  const std::string before_b(file.PeekPage(b), 64);
+
+  // A valid image, corrupted one byte inside the last page's payload so
+  // the header parses and staging gets well underway before failing.
+  std::ostringstream buf(std::ios::binary);
+  ASSERT_TRUE(file.SaveTo(buf).ok());
+  std::string image = std::move(buf).str();
+  image[image.size() - 40] ^= 0x10;
+
+  std::istringstream in(image, std::ios::binary);
+  EXPECT_TRUE(file.LoadFrom(in).IsCorruption());
+
+  EXPECT_EQ(file.live_pages(), 2u);
+  EXPECT_EQ(std::string(file.PeekPage(a), 64), before_a);
+  EXPECT_EQ(std::string(file.PeekPage(b), 64), before_b);
+  // Still fully functional: the next allocation extends the file.
+  EXPECT_EQ(file.Allocate(), 2u);
+}
+
+// A forged header claiming a multi-terabyte page count must be rejected
+// against the actual stream size, not trusted into allocation.
+TEST(PageFilePersistenceTest, ForgedHugePageCountRejected) {
+  PageFile file(64);
+  (void)file.Allocate();
+  std::ostringstream buf(std::ios::binary);
+  ASSERT_TRUE(file.SaveTo(buf).ok());
+  std::string image = std::move(buf).str();
+
+  // Header layout: magic(4) version(4) page_size(8) page_count(8)
+  // live_count(8) header_crc(4). Patch page_count to 2^40 pages (64 TiB of
+  // claimed payload) and re-seal the header CRC so the size equation — not
+  // the checksum — is what must catch it.
+  const uint64_t forged = uint64_t{1} << 40;
+  for (int i = 0; i < 8; ++i) {
+    image[16 + i] = static_cast<char>(forged >> (8 * i));
+  }
+  const uint32_t crc = Crc32c(image.data(), 32);
+  for (int i = 0; i < 4; ++i) {
+    image[32 + i] = static_cast<char>(crc >> (8 * i));
+  }
+
+  PageFile target(64);
+  std::istringstream in(image, std::ios::binary);
+  EXPECT_TRUE(target.LoadFrom(in).IsCorruption());
+  EXPECT_EQ(target.live_pages(), 0u);
+}
+
+// An in-place overwrite torn at a record boundary splices two individually
+// valid images; only the whole-image footer CRC can catch that.
+TEST(PageFilePersistenceTest, TornSpliceOfTwoValidImagesRejected) {
+  PageFile newer(64), older(64);
+  std::vector<char> dn(64, 'n'), dold(64, 'o');
+  for (int i = 0; i < 4; ++i) {
+    newer.Write(newer.Allocate(), dn.data());
+    older.Write(older.Allocate(), dold.data());
+  }
+  std::ostringstream bn(std::ios::binary), bo(std::ios::binary);
+  ASSERT_TRUE(newer.SaveTo(bn).ok());
+  ASSERT_TRUE(older.SaveTo(bo).ok());
+  const std::string image_new = std::move(bn).str();
+  const std::string image_old = std::move(bo).str();
+  ASSERT_EQ(image_new.size(), image_old.size());
+
+  // Same page counts, same sizes: every per-record check passes on both
+  // sides of the cut. Cut inside the record area, past the header.
+  const std::string spliced =
+      debug::SpliceImages(image_new, image_old, 36 + 1 + 64 + 4);
+  PageFile target(64);
+  std::istringstream in(spliced, std::ios::binary);
+  const Status status = target.LoadFrom(in);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(PageFilePersistenceTest, V1ImageStillLoads) {
+  PageFile file(64);
+  const PageId a = file.Allocate();
+  std::vector<char> data(64, 'v');
+  file.Write(a, data.data());
+  std::ostringstream buf(std::ios::binary);
+  ASSERT_TRUE(file.SaveToV1ForTest(buf).ok());
+
+  PageFile restored(64);
+  std::istringstream in(std::move(buf).str(), std::ios::binary);
+  ASSERT_TRUE(restored.LoadFrom(in).ok());
+  EXPECT_TRUE(restored.loaded_legacy_image());
+  EXPECT_EQ(restored.live_pages(), 1u);
+  EXPECT_EQ(std::string(restored.PeekPage(a), 64), std::string(64, 'v'));
+  EXPECT_FALSE(file.loaded_legacy_image());
+}
+
+// ---------------------------------------------------------------------------
+// Atomic save: an injected fault anywhere in the write/flush/rename path
+// must leave the previous image byte-identical and no temp file behind.
+
+TEST(AtomicSaveTest, InjectedFaultsLeavePreviousImageIntact) {
+  SRTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  SRTree tree(options);
+  const Dataset data = MakeUniformDataset(400, 4, /*seed=*/11);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  const std::string path = TempPath("atomic_save.idx");
+  ASSERT_TRUE(tree.Save(path).ok());
+  const std::string before = ReadAll(path);
+
+  ASSERT_TRUE(tree.Insert(Point(4, 0.25), 40000).ok());
+  debug::FaultInjector injector;
+  for (const debug::FaultKind kind :
+       {debug::FaultKind::kShortWrite, debug::FaultKind::kFailedFlush,
+        debug::FaultKind::kFailedRename}) {
+    injector.Arm(kind, 0.5);
+    SetSaveFailpointsForTest(&injector);
+    const Status status = tree.Save(path);
+    SetSaveFailpointsForTest(nullptr);
+    EXPECT_FALSE(status.ok()) << debug::FaultKindName(kind);
+    EXPECT_EQ(ReadAll(path), before) << debug::FaultKindName(kind);
+    std::string tmp;
+    EXPECT_FALSE(ReadFileToString(path + ".tmp", &tmp).ok())
+        << debug::FaultKindName(kind);
+  }
+  EXPECT_EQ(injector.faults_delivered(), 3u);
+
+  // With the failpoints gone the same save lands, and the new image is
+  // loadable and reflects the extra insert.
+  ASSERT_TRUE(tree.Save(path).ok());
+  auto reopened = OpenIndex(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), tree.size());
+}
+
+// ---------------------------------------------------------------------------
+// Every index structure round-trips through its Save() and the tag-
+// dispatching OpenIndex(), answering queries identically afterwards.
+
+TEST(OpenIndexTest, AllIndexTypesRoundTrip) {
+  const Dataset data = MakeUniformDataset(400, 4, /*seed=*/29);
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const PointView view = data.point(i);
+    points.emplace_back(view.begin(), view.end());
+    oids.push_back(static_cast<uint32_t>(i));
+  }
+  IndexConfig config;
+  config.dim = 4;
+  config.page_size = 1024;
+  config.leaf_data_size = 0;
+
+  std::vector<IndexType> types = AllTreeTypes();
+  types.push_back(IndexType::kXTree);
+  types.push_back(IndexType::kTvTree);
+  for (const IndexType type : types) {
+    SCOPED_TRACE(IndexTypeName(type));
+    std::unique_ptr<PointIndex> index = MakeIndex(type, config);
+    ASSERT_TRUE(index->BulkLoad(points, oids).ok());
+    const std::string path =
+        TempPath("roundtrip_" + std::to_string(static_cast<int>(type)));
+    ASSERT_TRUE(index->Save(path).ok());
+
+    auto reopened = OpenIndex(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->name(), index->name());
+    EXPECT_EQ((*reopened)->size(), index->size());
+    EXPECT_EQ((*reopened)->dim(), index->dim());
+    EXPECT_TRUE((*reopened)->CheckInvariants().ok());
+    for (const Point& q : SampleQueriesFromDataset(data, 8, /*seed=*/31)) {
+      const auto expected = index->Search(q, QuerySpec::Knn(6)).neighbors;
+      const auto actual = (*reopened)->Search(q, QuerySpec::Knn(6)).neighbors;
+      ASSERT_EQ(actual.size(), expected.size());
+      for (size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i].oid, expected[i].oid);
+        EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST(OpenIndexTest, RejectsGarbageAndForeignFiles) {
+  const std::string garbage = TempPath("open_index_garbage");
+  std::ofstream(garbage, std::ios::binary) << "no index in here";
+  EXPECT_FALSE(OpenIndex(garbage).ok());
+  EXPECT_FALSE(OpenIndex(TempPath("open_index_missing")).ok());
+
+  // A bare PageFile image has no SRIX container and must be refused.
+  PageFile file(64);
+  (void)file.Allocate();
+  const std::string bare = TempPath("open_index_bare_pagefile");
+  ASSERT_TRUE(file.Save(bare).ok());
+  EXPECT_FALSE(OpenIndex(bare).ok());
+}
+
+TEST(OpenIndexTest, LegacySrTreeV1ImageStillOpens) {
+  SRTree::Options options;
+  options.dim = 4;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  SRTree tree(options);
+  const Dataset data = MakeUniformDataset(200, 4, /*seed=*/53);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
+  }
+  const std::string path = TempPath("legacy_sr_v1.idx");
+  ASSERT_TRUE(tree.SaveLegacyV1ForTest(path).ok());
+
+  StatusOr<std::string> tag = PeekIndexImageTag(path);
+  ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+  EXPECT_EQ(*tag, "legacy-sr-v1");
+
+  auto reopened = OpenIndex(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), tree.size());
+  EXPECT_TRUE((*reopened)->CheckInvariants().ok());
+  const Point q = Point(4, 0.5);
+  const auto expected = tree.Search(q, QuerySpec::Knn(5)).neighbors;
+  const auto actual = (*reopened)->Search(q, QuerySpec::Knn(5)).neighbors;
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].oid, expected[i].oid);
+  }
 }
 
 }  // namespace

@@ -22,6 +22,12 @@ tools/lint.py checks file *shape* (guards, include style); srlint checks
   R4  test registration: every file under tests/ that defines a gtest TEST
       must be listed in tests/CMakeLists.txt, otherwise it builds nowhere
       and silently stops running.
+  R5  raw file streams on index images: no std::ifstream / std::ofstream /
+      std::fstream under src/ outside src/storage/ (checksummed image I/O)
+      and src/workload/ (text CSV datasets). Index images go through
+      storage::AtomicWriteFile / IndexImageFile / ReadFileToString so every
+      byte on disk is covered by the durability contract — a raw stream
+      silently opts out of checksums, atomic rename, and fault injection.
 
 A finding on one line can be waived in place with a comment naming the rule
 and a reason, e.g.
@@ -53,8 +59,8 @@ from typing import NamedTuple
 FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
 
-WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-4])\)")
-EXPECT_RE = re.compile(r"srlint-expect\((R[1-4])\)")  # self-test fixtures
+WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-5])\)")
+EXPECT_RE = re.compile(r"srlint-expect\((R[1-5])\)")  # self-test fixtures
 
 
 class Finding(NamedTuple):
@@ -187,6 +193,9 @@ R3_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 R4_TEST_RE = re.compile(r"^\s*(TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(")
 
+R5_STREAM_RE = re.compile(r"\bstd\s*::\s*(ifstream|ofstream|fstream)\b")
+R5_ALLOWED_DIRS = ("src/storage/", "src/workload/")
+
 
 def check_r1(rel: str, lines: list[str]):
     if rel in R1_ALLOWED_FILES:
@@ -241,6 +250,20 @@ def check_r4(rel: str, lines: list[str], registered: str):
                     f"{name} defines tests but is not registered in "
                     f"tests/CMakeLists.txt, so they never run")
             return  # one finding per file is enough
+
+
+def check_r5(rel: str, lines: list[str]):
+    if not rel.startswith("src/") or rel.startswith(R5_ALLOWED_DIRS):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        m = R5_STREAM_RE.search(line)
+        if m:
+            yield Finding(
+                rel, lineno, "R5",
+                f"raw std::{m.group(1)} under src/; file I/O goes through "
+                f"storage::AtomicWriteFile / IndexImageFile / "
+                f"ReadFileToString (src/storage/image_io.h) so images keep "
+                f"checksums and atomic-rename durability")
 
 
 # --------------------------------------------------------------------------
@@ -318,7 +341,8 @@ def lint_files(root: pathlib.Path, files: list[str]) -> list[Finding]:
                 waived.setdefault(lineno, set()).add(m.group(1))
         for f in (*check_r1(rel, code_lines), *check_r2(rel, code_lines),
                   *check_r3(rel, code_lines, raw_lines),
-                  *check_r4(rel, code_lines, registered)):
+                  *check_r4(rel, code_lines, registered),
+                  *check_r5(rel, code_lines)):
             if f.rule not in waived.get(f.lineno, set()):
                 findings.append(f)
     return sorted(findings)
@@ -367,7 +391,7 @@ def run_self_test() -> int:
         ok = False
         print(f"self-test: SPURIOUS finding {rule} at {rel}:{lineno}")
     rules_seen = {rule for _, _, rule in want}
-    for rule in ("R1", "R2", "R3", "R4"):
+    for rule in ("R1", "R2", "R3", "R4", "R5"):
         if rule not in rules_seen:
             ok = False
             print(f"self-test: fixture tree seeds no {rule} violation")

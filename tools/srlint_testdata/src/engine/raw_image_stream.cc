@@ -1,0 +1,17 @@
+// R5 fixture: raw file streams under src/ bypass the checksummed,
+// atomic-rename image I/O in src/storage/.
+#include <fstream>
+#include <string>
+
+void DumpImage(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);  // srlint-expect(R5)
+  out << "not a checksummed image";
+}
+
+void ReadImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);  // srlint: allow(R5) fixture waiver
+  (void)in;
+}
+
+// A comment naming std::ifstream is fine, as is the literal below.
+const char* kAdvice = "use storage::AtomicWriteFile, not std::ofstream";

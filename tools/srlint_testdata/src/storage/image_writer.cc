@@ -1,0 +1,10 @@
+// R5 allowlist counter-example: src/storage/ is where the checksummed
+// image I/O lives, so raw streams are legitimate here. No marker — the
+// self-test fails if R5 starts flagging this.
+#include <fstream>
+#include <string>
+
+void WriteImage(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "image bytes";
+}

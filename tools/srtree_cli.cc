@@ -1,21 +1,26 @@
 // srtree_cli — command-line front end for the SR-tree library.
 //
 //   srtree_cli generate --kind real --n 10000 --dim 16 --output data.csv
-//   srtree_cli build    --input data.csv --index catalog.srt
+//   srtree_cli build    --input data.csv --index catalog.srt --type sr
 //   srtree_cli query    --index catalog.srt --point 0.1,0.2,... --k 10
 //   srtree_cli range    --index catalog.srt --point 0.1,0.2,... --radius 0.2
 //   srtree_cli stats    --index catalog.srt
+//
+// build accepts any saveable index structure via --type; query/range/stats
+// dispatch on the type tag embedded in the image, so they work on whatever
+// build wrote.
 //
 // CSV format: one vector per line, comma-separated coordinates; '#' starts
 // a comment. Object ids are the 0-based row numbers.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/flags.h"
-#include "src/core/sr_tree.h"
+#include "src/index/index_factory.h"
 #include "src/workload/cluster.h"
 #include "src/workload/dataset.h"
 #include "src/workload/histogram.h"
@@ -46,6 +51,19 @@ StatusOr<Point> ParsePoint(const std::string& text) {
   }
   if (point.empty()) return Status::InvalidArgument("empty point");
   return point;
+}
+
+StatusOr<IndexType> ParseIndexType(const std::string& name) {
+  if (name == "sr") return IndexType::kSRTree;
+  if (name == "ss") return IndexType::kSSTree;
+  if (name == "rstar") return IndexType::kRStarTree;
+  if (name == "kdb") return IndexType::kKdbTree;
+  if (name == "vamsplit") return IndexType::kVamSplitRTree;
+  if (name == "xtree") return IndexType::kXTree;
+  if (name == "tvtree") return IndexType::kTvTree;
+  return Status::InvalidArgument(
+      "unknown --type '" + name +
+      "' (want sr|ss|rstar|kdb|vamsplit|xtree|tvtree)");
 }
 
 int RunGenerate(int argc, char** argv) {
@@ -99,6 +117,7 @@ int RunBuild(int argc, char** argv) {
   FlagParser parser;
   parser.AddString("input", "", "CSV file of vectors (required)");
   parser.AddString("index", "", "index file to write (required)");
+  parser.AddString("type", "sr", "sr|ss|rstar|kdb|vamsplit|xtree|tvtree");
   parser.AddInt("data-bytes", 512, "attribute bytes reserved per vector");
   parser.AddInt("page-size", 8192, "disk page size in bytes");
   const Status flag_status = parser.Parse(argc, argv);
@@ -107,24 +126,33 @@ int RunBuild(int argc, char** argv) {
   if (parser.GetString("input").empty() || parser.GetString("index").empty()) {
     return Fail(Status::InvalidArgument("--input and --index are required"));
   }
+  StatusOr<IndexType> type = ParseIndexType(parser.GetString("type"));
+  if (!type.ok()) return Fail(type.status());
 
   StatusOr<Dataset> data = LoadCsvDataset(parser.GetString("input"));
   if (!data.ok()) return Fail(data.status());
 
-  SRTree::Options options;
-  options.dim = data->dim();
-  options.page_size = static_cast<size_t>(parser.GetInt("page-size"));
-  options.leaf_data_size = static_cast<size_t>(parser.GetInt("data-bytes"));
-  SRTree tree(options);
+  IndexConfig config;
+  config.dim = data->dim();
+  config.page_size = static_cast<size_t>(parser.GetInt("page-size"));
+  config.leaf_data_size = static_cast<size_t>(parser.GetInt("data-bytes"));
+  std::unique_ptr<PointIndex> tree = MakeIndex(*type, config);
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  points.reserve(data->size());
+  oids.reserve(data->size());
   for (size_t i = 0; i < data->size(); ++i) {
-    const Status status =
-        tree.Insert(data->point(i), static_cast<uint32_t>(i));
-    if (!status.ok()) return Fail(status);
+    const PointView view = data->point(i);
+    points.emplace_back(view.begin(), view.end());
+    oids.push_back(static_cast<uint32_t>(i));
   }
-  const Status status = tree.Save(parser.GetString("index"));
+  Status status = tree->BulkLoad(points, oids);
   if (!status.ok()) return Fail(status);
-  std::printf("indexed %zu vectors (dim %d, height %d) -> %s\n", tree.size(),
-              tree.dim(), tree.height(), parser.GetString("index").c_str());
+  status = tree->Save(parser.GetString("index"));
+  if (!status.ok()) return Fail(status);
+  std::printf("indexed %zu vectors (%s, dim %d, height %d) -> %s\n",
+              tree->size(), tree->name().c_str(), tree->dim(),
+              tree->GetTreeStats().height, parser.GetString("index").c_str());
   return 0;
 }
 
@@ -141,7 +169,7 @@ int RunQuery(int argc, char** argv, bool range) {
     return Fail(Status::InvalidArgument("--index and --point are required"));
   }
 
-  auto tree = SRTree::Open(parser.GetString("index"));
+  auto tree = OpenIndex(parser.GetString("index"));
   if (!tree.ok()) return Fail(tree.status());
   StatusOr<Point> point = ParsePoint(parser.GetString("point"));
   if (!point.ok()) return Fail(point.status());
@@ -174,10 +202,11 @@ int RunStats(int argc, char** argv) {
   if (parser.GetString("index").empty()) {
     return Fail(Status::InvalidArgument("--index is required"));
   }
-  auto tree = SRTree::Open(parser.GetString("index"));
+  auto tree = OpenIndex(parser.GetString("index"));
   if (!tree.ok()) return Fail(tree.status());
   const TreeStats stats = (*tree)->GetTreeStats();
   const RegionSummary regions = (*tree)->LeafRegionSummary();
+  std::printf("structure:      %s\n", (*tree)->name().c_str());
   std::printf("vectors:        %zu\n", (*tree)->size());
   std::printf("dimensionality: %d\n", (*tree)->dim());
   std::printf("height:         %d\n", stats.height);
