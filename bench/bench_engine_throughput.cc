@@ -66,7 +66,7 @@ int Run(const BenchOptions& options) {
     }
   }
   table.Print();
-  return 0;
+  return bench::EmitJsonReport(options, {table});
 }
 
 }  // namespace

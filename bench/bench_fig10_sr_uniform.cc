@@ -11,13 +11,12 @@ namespace srtree {
 namespace {
 
 int Run(const BenchOptions& options) {
-  bench::RunQueryPerformanceFigure(
+  return bench::RunQueryPerformanceFigure(
       options,
       {IndexType::kRStarTree, IndexType::kSSTree, IndexType::kVamSplitRTree,
        IndexType::kSRTree},
       UniformSizeLadder(options), /*real_data=*/false,
       "Figure 10 (uniform data set)");
-  return 0;
 }
 
 }  // namespace

@@ -12,13 +12,12 @@ namespace srtree {
 namespace {
 
 int Run(const BenchOptions& options) {
-  bench::RunQueryPerformanceFigure(
+  return bench::RunQueryPerformanceFigure(
       options,
       {IndexType::kRStarTree, IndexType::kSSTree, IndexType::kVamSplitRTree,
        IndexType::kSRTree},
       RealSizeLadder(options), /*real_data=*/true,
       "Figure 11 (real data set)");
-  return 0;
 }
 
 }  // namespace

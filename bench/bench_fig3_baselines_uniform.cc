@@ -12,13 +12,12 @@ namespace srtree {
 namespace {
 
 int Run(const BenchOptions& options) {
-  bench::RunQueryPerformanceFigure(
+  return bench::RunQueryPerformanceFigure(
       options,
       {IndexType::kKdbTree, IndexType::kRStarTree, IndexType::kSSTree,
        IndexType::kVamSplitRTree},
       UniformSizeLadder(options), /*real_data=*/false,
       "Figure 3 (uniform data set)");
-  return 0;
 }
 
 }  // namespace

@@ -11,13 +11,12 @@ namespace srtree {
 namespace {
 
 int Run(const BenchOptions& options) {
-  bench::RunQueryPerformanceFigure(
+  return bench::RunQueryPerformanceFigure(
       options,
       {IndexType::kKdbTree, IndexType::kRStarTree, IndexType::kSSTree,
        IndexType::kVamSplitRTree},
       RealSizeLadder(options), /*real_data=*/true,
       "Figure 4 (real data set)");
-  return 0;
 }
 
 }  // namespace

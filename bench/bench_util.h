@@ -45,11 +45,27 @@ inline Dataset MakeRealDataset(size_t n, int dim, uint64_t seed) {
   return MakeHistogramDataset(config);
 }
 
+// Writes `tables` to options.json_path when --json was given. Returns a
+// process exit code: a bad path must fail the run loudly, not leave CI
+// comparing against a stale snapshot.
+inline int EmitJsonReport(const BenchOptions& options,
+                          const std::vector<Table>& tables) {
+  if (options.json_path.empty()) return 0;
+  const Status status = WriteJsonReport(options.json_path, tables);
+  if (!status.ok()) {
+    std::fprintf(stderr, "--json: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("json report written to %s\n", options.json_path.c_str());
+  return 0;
+}
+
 // Shared driver for the query-performance figures (3, 4, 10, 11): builds
 // each index over the size ladder, runs the k-NN workload (query anchors
 // sampled from the data set, as in Section 3.1), and prints one CPU-time
-// table and one disk-reads table with one series per index.
-inline void RunQueryPerformanceFigure(const BenchOptions& options,
+// table and one disk-reads table with one series per index. Returns the
+// process exit code (non-zero only when --json was given and failed).
+inline int RunQueryPerformanceFigure(const BenchOptions& options,
                                       const std::vector<IndexType>& types,
                                       const std::vector<int64_t>& sizes,
                                       bool real_data,
@@ -85,6 +101,7 @@ inline void RunQueryPerformanceFigure(const BenchOptions& options,
   }
   cpu_table.Print();
   read_table.Print();
+  return EmitJsonReport(options, {cpu_table, read_table});
 }
 
 }  // namespace srtree::bench

@@ -79,7 +79,12 @@ int main(int argc, char** argv) {
   BruteForceIndex::Options scan_options;
   scan_options.dim = features.dim();
   BruteForceIndex scan(scan_options);
-  (void)scan.BulkLoad(features.ToPoints(), features.SequentialOids());
+  const Status loaded =
+      scan.BulkLoad(features.ToPoints(), features.SequentialOids());
+  if (!loaded.ok()) {
+    std::printf("scan build failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
   const QueryResult scanned =
       scan.Search(query_image, QuerySpec::Knn(k + 1));
 

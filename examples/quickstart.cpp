@@ -55,7 +55,11 @@ int main() {
   }
 
   // Deletion keeps the structure valid.
-  (void)tree.Delete(cities[1], 1);
+  const srtree::Status deleted = tree.Delete(cities[1], 1);
+  if (!deleted.ok()) {
+    std::printf("delete failed: %s\n", deleted.ToString().c_str());
+    return 1;
+  }
   std::printf("\nafter deleting 'old town': %zu points, invariants %s\n",
               tree.size(),
               tree.CheckInvariants().ok() ? "hold" : "VIOLATED");

@@ -9,6 +9,8 @@ void AddBenchFlags(FlagParser& parser) {
   parser.AddInt("queries", 0, "query trials (0 = default for the scale)");
   parser.AddInt("seed", 1, "base random seed");
   parser.AddString("sizes", "", "comma-separated dataset sizes override");
+  parser.AddString("json", "",
+                   "also write the result tables as JSON to this path");
 }
 
 BenchOptions GetBenchOptions(const FlagParser& parser) {
@@ -19,6 +21,7 @@ BenchOptions GetBenchOptions(const FlagParser& parser) {
   options.num_queries = static_cast<size_t>(parser.GetInt("queries"));
   options.seed = static_cast<uint64_t>(parser.GetInt("seed"));
   options.sizes = parser.GetIntList("sizes");
+  options.json_path = parser.GetString("json");
   return options;
 }
 

@@ -8,6 +8,7 @@
 #define SRTREE_BENCHLIB_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/flags.h"
@@ -21,6 +22,9 @@ struct BenchOptions {
   size_t num_queries = 0;  // 0 = pick by `full` (1000 paper / 100 reduced)
   uint64_t seed = 1;
   std::vector<int64_t> sizes;  // dataset sizes; empty = experiment default
+  // When non-empty, benches additionally write their tables as a JSON
+  // report to this path (atomically; see benchlib/report.h).
+  std::string json_path;
 };
 
 // Registers the shared flags on `parser`.

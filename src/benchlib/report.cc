@@ -2,10 +2,55 @@
 
 #include <cmath>
 #include <cstdio>
+#include <ostream>
 
 #include "src/common/check.h"
+#include "src/storage/image_io.h"
 
 namespace srtree {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(items[i]) + "\"";
+  }
+  return out + "]";
+}
+
+}  // namespace
 
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
@@ -58,6 +103,32 @@ std::string Table::ToCsv() const {
   std::string out = "csv: " + join(columns_);
   for (const auto& row : rows_) out += "csv: " + join(row);
   return out;
+}
+
+std::string Table::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"title\": \"" + JsonEscape(title_) + "\",\n";
+  out += "  \"columns\": " + JsonStringArray(columns_) + ",\n";
+  out += "  \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += (r > 0 ? ",\n           " : "\n           ");
+    out += JsonStringArray(rows_[r]);
+  }
+  out += rows_.empty() ? "]\n" : "\n  ]\n";
+  return out + "}";
+}
+
+Status WriteJsonReport(const std::string& path,
+                       const std::vector<Table>& tables) {
+  return AtomicWriteFile(path, [&tables](std::ostream& os) {
+    os << "{\n\"tables\": [\n";
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (t > 0) os << ",\n";
+      os << tables[t].ToJson();
+    }
+    os << "\n]\n}\n";
+    return Status::OK();
+  });
 }
 
 void Table::Print() const {

@@ -1,12 +1,15 @@
 // ASCII table / series output for the bench binaries. Every experiment
 // prints the same rows or series its paper table/figure shows, plus a CSV
-// block that is trivial to plot.
+// block that is trivial to plot, and can snapshot the same tables as a
+// machine-readable JSON report (--json) for regression tracking.
 
 #ifndef SRTREE_BENCHLIB_REPORT_H_
 #define SRTREE_BENCHLIB_REPORT_H_
 
 #include <string>
 #include <vector>
+
+#include "src/common/status.h"
 
 namespace srtree {
 
@@ -20,8 +23,12 @@ class Table {
   std::string ToString() const;
   // Comma-separated rendering (header + rows), for plotting.
   std::string ToCsv() const;
+  // One JSON object: {"title": ..., "columns": [...], "rows": [[...]]}.
+  // Cells stay strings — exactly what the ASCII/CSV renderings show, so
+  // the three outputs can never disagree.
+  std::string ToJson() const;
 
-  // Prints both renderings to stdout.
+  // Prints both text renderings to stdout.
   void Print() const;
 
  private:
@@ -29,6 +36,12 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Writes {"tables": [<table json>, ...]} to `path` through
+// storage::AtomicWriteFile, so a crashed bench run can never leave a
+// truncated report behind.
+Status WriteJsonReport(const std::string& path,
+                       const std::vector<Table>& tables);
 
 // Compact numeric formatting: fixed for "normal" magnitudes, scientific for
 // the tiny high-dimensional volumes of Figures 5/6/12/13.

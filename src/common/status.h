@@ -26,7 +26,16 @@ enum class StatusCode {
 };
 
 // Value-semantic error holder. Ok statuses are cheap (no allocation).
-class Status {
+//
+// The class itself is [[nodiscard]]: any function returning a Status makes
+// the caller acknowledge the result. A deliberately ignored Status must be
+// waived in the project's greppable form
+//
+//     (void)index.Insert(p, oid);  // srcheck: allow(C1) <reason>
+//
+// which the srcheck C1 rule (tools/srcheck.py) recognizes; a bare (void)
+// cast without the comment is still a finding.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -73,8 +82,10 @@ class Status {
 };
 
 // Holds either a value or the Status explaining why there is none.
+// [[nodiscard]] for the same reason as Status: dropping one on the floor
+// silently discards the error path.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     CHECK(!status_.ok());

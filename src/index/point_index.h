@@ -89,7 +89,7 @@ class PointIndex {
   //                   Hjaltason & Samet, which reads no more pages than any
   //                   algorithm using the same MINDIST bound.
   //   kRange        — all points within spec.radius (closed ball).
-  QueryResult Search(PointView query, const QuerySpec& spec) const;
+  [[nodiscard]] QueryResult Search(PointView query, const QuerySpec& spec) const;
 
   // DEPRECATED: thin wrappers over Search(), kept so the paper benches and
   // the fuzzer migrate incrementally. They drop the per-query stats and

@@ -95,7 +95,10 @@ class BufferPool {
   // Pins the page in its shard, fetching it from the file on a miss (which
   // counts one disk read in the file's stats and in `delta`). A hit costs
   // no disk read.
-  PageGuard Pin(PageId id, int level = -1, IoStatsDelta* delta = nullptr);
+  // [[nodiscard]]: a discarded guard unpins immediately, silently turning
+  // the caller's "pinned" pointer reads into use-after-evict races.
+  [[nodiscard]] PageGuard Pin(PageId id, int level = -1,
+                              IoStatsDelta* delta = nullptr);
 
   // Reads through the pool: Pin() + copy into `out` (page_size bytes).
   // Safe to call concurrently with other Read()/Pin() calls.

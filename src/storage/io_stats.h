@@ -70,10 +70,11 @@ struct IoStats {
     ++reads;
     ++cache_misses;  // RecordCacheHit undoes this for simulated hits
     if (level >= 0) {
-      if (static_cast<size_t>(level) >= reads_by_level.size()) {
-        reads_by_level.resize(level + 1, 0);
+      const size_t slot = static_cast<size_t>(level);
+      if (slot >= reads_by_level.size()) {
+        reads_by_level.resize(slot + 1, 0);
       }
-      ++reads_by_level[level];
+      ++reads_by_level[slot];
     }
   }
 

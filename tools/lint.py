@@ -10,8 +10,12 @@ Checks (all cheap, no compiler needed):
   * No `using namespace` at any scope inside headers.
 
 Also runs tools/srlint.py (the project contract linter: deprecated-API call
-sites, naked std locks, layering, test registration) so the single `lint`
-ctest target gates both.
+sites, naked std locks, layering, test registration) and tools/srcheck.py
+(the AST-grounded contract checker: Status discipline, pin-lifetime
+escapes, storage narrowing, GUARDED_BY completeness) so the single `lint`
+ctest target gates all three. srcheck falls back to its built-in engine
+when python libclang is absent — it prints a loud NOTICE but still runs
+all four rules.
 
 Usage: tools/lint.py [repo_root]    (exit 0 clean, 1 with findings)
 """
@@ -96,10 +100,13 @@ def main() -> int:
         print(p)
     print(f"lint.py: {len(files)} files, {len(problems)} problem(s)")
 
+    here = pathlib.Path(__file__).resolve().parent
     srlint = subprocess.run(
-        [sys.executable, str(pathlib.Path(__file__).resolve().parent /
-                             "srlint.py"), "--root", str(root)])
-    return 1 if problems or srlint.returncode != 0 else 0
+        [sys.executable, str(here / "srlint.py"), "--root", str(root)])
+    srcheck = subprocess.run(
+        [sys.executable, str(here / "srcheck.py"), "--root", str(root)])
+    return 1 if problems or srlint.returncode != 0 or \
+        srcheck.returncode != 0 else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,1313 @@
+#!/usr/bin/env python3
+"""srcheck: AST-grounded contract analysis for the SR-tree codebase.
+
+srlint (tools/srlint.py) checks contracts that are visible to a regex.
+srcheck checks the ones that are not — rules about *expressions, scopes,
+and lifetimes*, which need (at least) a tokenizer with scope tracking and,
+where available, a real clang AST:
+
+  C1  Status discipline: no call that returns Status/StatusOr may discard
+      the result. The compile-time half is the [[nodiscard]] attribute on
+      the Status/StatusOr classes plus -Werror=unused-result (top-level
+      CMakeLists.txt); srcheck closes the gaps the compiler cannot see:
+        * a `(void)`-cast discard without the project's waiver comment
+              (void)index.Insert(p, oid);  // srcheck: allow(C1) <reason>
+          (the comment is what makes every deliberate discard greppable);
+        * a Status/StatusOr class *declared without* [[nodiscard]] — the
+          anchor that keeps the whole rule enforceable;
+        * naked discards in code the build does not compile (fixtures,
+          dead-configured sources).
+
+  C2  Pin lifetime: no raw pointer derived from a BufferPool::PageGuard /
+      BufferPool::ScopedPin (i.e. from its data()) may escape the pin's
+      scope — returned, stored into a member, or captured by a lambda that
+      is not invoked on the spot. Once the guard dies the frame is
+      evictable and the pointer is a use-after-evict race. Moving the
+      *guard itself* (which transfers the pin) is allowed; only the
+      implementation of the pin protocol (src/storage/buffer_pool.{h,cc})
+      is exempt.
+
+  C3  Narrowing-free serialization: src/storage/ compiles with
+      -Wconversion -Wsign-conversion promoted to errors (scoped in
+      src/CMakeLists.txt), so every implicit narrowing or sign change in
+      the image codec / CRC path is a build break. srcheck verifies that
+      wiring (CMakeLists text and, when present, compile_commands.json)
+      and additionally scans storage sources for assignments that narrow
+      a size/64-bit expression into a small integer without a spelled-out
+      static_cast.
+
+  C4  TSA completeness: a member field written while a srtree::MutexLock
+      on some mutex is in scope must be declared GUARDED_BY that mutex.
+      Heuristic by design (the compiler's -Wthread-safety checks the
+      annotations that exist; this rule hunts for the ones that are
+      *missing*). Waivers: the in-line form below, or the static list
+      C4_STATIC_WAIVERS in this file — which must shrink, not grow; a
+      stale entry is itself a finding.
+
+Waivers. A finding is waived in place with a comment naming the rule and a
+non-empty reason:
+
+    cached_ = p;  // srcheck: allow(C4) single-threaded init before spawn
+
+A waiver without a reason does not count. `--list-waivers` prints every
+waiver in the tree so reviews can watch the list shrink.
+
+Engines. With python libclang installed (CI: apt `python3-clang`), C1/C2
+run on the clang AST driven by <build>/compile_commands.json. Without it,
+a built-in tokenizer/scope engine covers all four rules (same fixtures,
+same waiver forms) and a loud notice marks the reduced depth — the local
+build never breaks just because LLVM is absent. C3/C4 are token-grounded
+in both engines; for C3 the *compiler* is the AST authority and srcheck
+verifies the -Werror wiring that keeps it so.
+
+Usage:
+  tools/srcheck.py [--root DIR] [--build-dir DIR] [--engine auto|clang|textual]
+  tools/srcheck.py --self-test          verify every rule against the
+                                        fixture tree in srcheck_testdata/
+  tools/srcheck.py --list-waivers       print all active waivers
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+from typing import Iterable, NamedTuple
+
+FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
+SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
+FIXTURE_DIRS = ("srlint_testdata", "srcheck_testdata")
+
+RULES = ("C1", "C2", "C3", "C4")
+WAIVER_RE = re.compile(r"srcheck:\s*allow\((C[1-4])\)\s+(\S.*)")
+EXPECT_RE = re.compile(r"srcheck-expect\((C[1-4])\)")
+
+# C2: the pin protocol's own implementation hands guards and frame
+# pointers around by construction; everything outside goes through the
+# public ScopedPin/PageGuard surface.
+C2_ALLOWED_FILES = {
+    "src/storage/buffer_pool.h",
+    "src/storage/buffer_pool.cc",
+}
+
+# C4 static waiver list. Policy: this list must SHRINK, not grow — add a
+# new entry only with a PR-reviewed justification here, and remove entries
+# as the fields gain annotations. Entries are "file.cc::member_". A stale
+# entry (no longer demanded) is reported so dead waivers cannot linger.
+C4_STATIC_WAIVERS: dict[str, str] = {
+    # (empty — keep it that way)
+}
+
+PIN_TYPES = ("PageGuard", "ScopedPin")
+
+STATEMENT_KEYWORDS = {
+    "return", "if", "for", "while", "switch", "case", "do", "else", "goto",
+    "delete", "new", "throw", "using", "typedef", "template", "public",
+    "private", "protected", "namespace", "class", "struct", "enum", "union",
+    "extern", "friend", "static_assert", "break", "continue", "default",
+    "co_return", "co_await", "try", "catch", "operator", "static", "const",
+    "constexpr", "inline", "virtual", "explicit", "typename",
+}
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+              ">>="}
+
+MUTATING_METHODS = {
+    "push_back", "pop_back", "emplace_back", "push_front", "pop_front",
+    "insert", "erase", "clear", "resize", "splice", "assign", "swap",
+    "emplace", "reset",
+}
+
+# Small fixed-width integer types a storage-layer expression must not
+# implicitly narrow into (C3 heuristic).
+NARROW_TYPES = {"uint8_t", "uint16_t", "uint32_t", "int8_t", "int16_t",
+                "int32_t", "int", "short", "unsigned"}
+WIDE_TYPES = {"size_t", "uint64_t", "int64_t", "ptrdiff_t", "ssize_t",
+              "long"}
+
+
+class Finding(NamedTuple):
+    rel: str
+    lineno: int
+    rule: str
+    message: str
+
+
+class Token(NamedTuple):
+    text: str
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# Lexing: blank comments/strings (same state machine as srlint), blank
+# preprocessor lines (with continuations), then tokenize with positions.
+
+def strip_comments_and_strings(text: str) -> str:
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    raw_end = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state, i = LINE_COMMENT, i + 2
+                out.append("  ")
+            elif c == "/" and nxt == "*":
+                state, i = BLOCK_COMMENT, i + 2
+                out.append("  ")
+            elif c == '"':
+                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i - 1: i + 18]) \
+                    if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_end = ")" + m.group(1) + '"'
+                    state = STRING
+                    skip = 1 + len(m.group(1)) + 1
+                    out.append(" " * skip)
+                    i += skip
+                else:
+                    raw_end = ""
+                    state = STRING
+                    out.append(" ")
+                    i += 1
+            elif c == "'":
+                state, i = CHAR, i + 1
+                out.append(" ")
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            out.append(c if c == "\n" else " ")
+            if c == "\n":
+                state = NORMAL
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state, i = NORMAL, i + 2
+                out.append("  ")
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if raw_end:
+                if text.startswith(raw_end, i):
+                    state = NORMAL
+                    out.append(" " * len(raw_end))
+                    i += len(raw_end)
+                else:
+                    out.append(c if c == "\n" else " ")
+                    i += 1
+            elif c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state, i = NORMAL, i + 1
+                out.append(" ")
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # CHAR
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state, i = NORMAL, i + 1
+                out.append(" ")
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+def blank_preprocessor(code: str) -> str:
+    """Blank #-directive lines (and their backslash continuations)."""
+    lines = code.split("\n")
+    out = []
+    in_directive = False
+    for line in lines:
+        if in_directive or re.match(r"\s*#", line):
+            in_directive = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            in_directive = False
+            out.append(line)
+    return "\n".join(out)
+
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*|\d[\w.]*|::|->|\+\+|--|<<=|>>=|<=|>=|==|!=|\+=|-=|\*=|"
+    r"/=|%=|&=|\|=|\^=|&&|\|\||<<|>>|[{}()\[\];,.:=<>+\-*/%&|^!~?]")
+
+
+def tokenize(code: str) -> list[Token]:
+    tokens = []
+    for lineno, line in enumerate(code.split("\n"), start=1):
+        for m in TOKEN_RE.finditer(line):
+            tokens.append(Token(m.group(0), lineno))
+    return tokens
+
+
+def statements(tokens: list[Token]) -> Iterable[list[Token]]:
+    """Token runs between statement boundaries ({, }, and top-level ;)."""
+    stmt: list[Token] = []
+    paren = 0
+    for tok in tokens:
+        if tok.text == "(":
+            paren += 1
+        elif tok.text == ")":
+            paren = max(0, paren - 1)
+        if tok.text in "{}" and paren == 0:
+            if stmt:
+                yield stmt
+            stmt = []
+            continue
+        stmt.append(tok)
+        if tok.text == ";" and paren == 0:
+            yield stmt
+            stmt = []
+    if stmt:
+        yield stmt
+
+
+def collect_waivers(raw_lines: list[str]) -> dict[int, dict[str, str]]:
+    waived: dict[int, dict[str, str]] = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        for m in WAIVER_RE.finditer(line):
+            waived.setdefault(lineno, {})[m.group(1)] = m.group(2).strip()
+    return waived
+
+
+# ---------------------------------------------------------------------------
+# C1 — Status discipline (textual engine).
+
+STATUS_FN_RE = re.compile(
+    r"\bStatus(?:Or\s*<[^;{}()]*>)?[&\s]+(?:[A-Za-z_]\w*::)*"
+    r"([A-Za-z_]\w*)\s*\(")
+
+STATUS_CLASS_RE = re.compile(
+    r"^\s*class\s+(?:\[\[\s*nodiscard\s*\]\]\s+)?(Status|StatusOr)\b"
+    r"[^;]*\{")
+NODISCARD_RE = re.compile(r"\[\[\s*nodiscard\s*\]\]")
+
+
+def collect_status_fn_names(stripped_by_rel: dict[str, str]) -> set[str]:
+    names: set[str] = set()
+    for code in stripped_by_rel.values():
+        for m in STATUS_FN_RE.finditer(code):
+            names.add(m.group(1))
+    names.discard("operator")
+    return names
+
+
+def call_name(stmt: list[Token]) -> str | None:
+    """Outermost trailing call of an expression statement, if any."""
+    depth = 0
+    last = None
+    for i, tok in enumerate(stmt):
+        if tok.text == "(":
+            if depth == 0 and i > 0 and re.match(r"[A-Za-z_]\w*$",
+                                                 stmt[i - 1].text):
+                last = stmt[i - 1].text
+            depth += 1
+        elif tok.text == ")":
+            depth -= 1
+    return last
+
+
+def is_declaration(stmt: list[Token]) -> bool:
+    """Two adjacent identifiers before any '(' or '=' suggest a decl."""
+    prev_id = False
+    for tok in stmt:
+        if tok.text in ("(", "="):
+            return False
+        if re.match(r"[A-Za-z_]\w*$", tok.text):
+            if prev_id and tok.text not in STATEMENT_KEYWORDS:
+                return True
+            prev_id = tok.text not in STATEMENT_KEYWORDS or \
+                tok.text in ("const", "static", "constexpr", "auto")
+        elif tok.text in ("::", "<", ">", ",", "*", "&", "[", "]"):
+            pass  # qualifiers/template args keep the decl prefix going
+        else:
+            prev_id = False  # '.', '->', operators: expression context
+    return False
+
+
+def check_c1(rel: str, stripped: str, tokens: list[Token],
+             raw_lines: list[str], status_names: set[str],
+             waivers: dict[int, dict[str, str]]) -> Iterable[Finding]:
+    # Anchor check: a Status/StatusOr class definition must be [[nodiscard]]
+    # — removing the attribute re-opens every discard the compiler catches.
+    for lineno, line in enumerate(stripped.split("\n"), start=1):
+        m = STATUS_CLASS_RE.match(line)
+        if m and not NODISCARD_RE.search(line):
+            yield Finding(
+                rel, lineno, "C1",
+                f"class {m.group(1)} is not [[nodiscard]]; the attribute is "
+                f"what makes every dropped error a compile error")
+
+    for stmt in statements(tokens):
+        if not stmt or stmt[-1].text != ";":
+            continue
+        body = stmt[:-1]
+        if not body:
+            continue
+        void_cast = (len(body) > 3 and body[0].text == "(" and
+                     body[1].text == "void" and body[2].text == ")")
+        if void_cast:
+            body = body[3:]
+        if not body or body[0].text in STATEMENT_KEYWORDS:
+            continue
+        if not void_cast:
+            depth = 0
+            has_assign = False
+            for tok in body:
+                if tok.text == "(":
+                    depth += 1
+                elif tok.text == ")":
+                    depth -= 1
+                elif depth == 0 and tok.text in ASSIGN_OPS | {"++", "--"}:
+                    has_assign = True
+                    break
+            if has_assign or body[-1].text != ")":
+                continue
+            if is_declaration(body):
+                continue
+        name = call_name(body)
+        if name is None or name not in status_names:
+            continue
+        span = range(stmt[0].line, stmt[-1].line + 1)
+        if any("C1" in waivers.get(ln, {}) for ln in span):
+            continue
+        if void_cast:
+            yield Finding(
+                rel, body[0].line, "C1",
+                f"(void)-discarded Status from {name}() without the waiver "
+                f"comment; write `// srcheck: allow(C1) <reason>` on the "
+                f"call line")
+        else:
+            yield Finding(
+                rel, body[0].line, "C1",
+                f"discarded Status from {name}(); handle the error or "
+                f"(void)-waive it with `// srcheck: allow(C1) <reason>`")
+
+
+# ---------------------------------------------------------------------------
+# C2 — pin-lifetime escapes (textual engine).
+
+TYPE_KEYWORDS = {"const", "int", "char", "unsigned", "signed", "long",
+                 "short", "float", "double", "void", "auto", "size_t",
+                 "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int32_t",
+                 "int64_t", "bool", "PageId", "IoStatsDelta"}
+
+
+class _Tracked(NamedTuple):
+    name: str
+    depth: int
+    line: int
+    kind: str  # "pin" or "ptr"
+
+
+def _looks_like_param_list(tokens: list[Token], open_idx: int) -> bool:
+    depth = 0
+    prev_id = None
+    for tok in tokens[open_idx:]:
+        if tok.text == "(":
+            depth += 1
+            continue
+        if tok.text == ")":
+            depth -= 1
+            if depth == 0:
+                return False
+            continue
+        if depth == 1:
+            if tok.text in TYPE_KEYWORDS or tok.text == "&&":
+                return True
+            if tok.text in ("*", "&") and prev_id:
+                return True  # "Type*" / "Type&" reference parameter
+            if re.match(r"[A-Za-z_]\w*$", tok.text):
+                if prev_id:
+                    return True  # "Type name" pair
+                prev_id = tok.text
+            else:
+                prev_id = None
+    return False
+
+
+def check_c2(rel: str, tokens: list[Token],
+             waivers: dict[int, dict[str, str]]) -> Iterable[Finding]:
+    if rel in C2_ALLOWED_FILES:
+        return
+    depth = 0
+    tracked: list[_Tracked] = []
+    i = 0
+    n = len(tokens)
+
+    def live_names() -> dict[str, str]:
+        return {t.name: t.kind for t in tracked}
+
+    def match_brace(start: int) -> int:
+        d = 0
+        for j in range(start, n):
+            if tokens[j].text == "{":
+                d += 1
+            elif tokens[j].text == "}":
+                d -= 1
+                if d == 0:
+                    return j
+        return n - 1
+
+    def match_paren(start: int) -> int:
+        d = 0
+        for j in range(start, n):
+            if tokens[j].text == "(":
+                d += 1
+            elif tokens[j].text == ")":
+                d -= 1
+                if d == 0:
+                    return j
+        return n - 1
+
+    findings: list[Finding] = []
+    while i < n:
+        tok = tokens[i]
+        if tok.text == "{":
+            depth += 1
+        elif tok.text == "}":
+            depth -= 1
+            tracked = [t for t in tracked if t.depth <= depth]
+        elif tok.text in PIN_TYPES:
+            # `ScopedPin pin(...)` / `PageGuard g = ...` declarations; skip
+            # function declarations returning a guard.
+            j = i + 1
+            while j < n and tokens[j].text in ("&", "&&", "*"):
+                j += 1
+            if j < n and re.match(r"[A-Za-z_]\w*$", tokens[j].text) and \
+                    tokens[j].text not in STATEMENT_KEYWORDS:
+                nxt = tokens[j + 1].text if j + 1 < n else ""
+                is_fn = nxt == "(" and _looks_like_param_list(tokens, j + 1)
+                if nxt in ("=", ";", "(", "{") and not is_fn:
+                    tracked.append(_Tracked(tokens[j].text, depth,
+                                            tokens[j].line, "pin"))
+        elif tok.text == "auto":
+            # `auto g = <expr>.Pin(...)` / `= pin.data()` declarations.
+            j = i + 1
+            while j < n and tokens[j].text in ("&", "&&", "*", "const"):
+                j += 1
+            if j + 1 < n and re.match(r"[A-Za-z_]\w*$", tokens[j].text) and \
+                    tokens[j + 1].text == "=":
+                k = j + 2
+                rhs = []
+                while k < n and tokens[k].text != ";":
+                    rhs.append(tokens[k].text)
+                    k += 1
+                rhs_s = " ".join(rhs)
+                if re.search(r"(\.|->) Pin \(", rhs_s):
+                    tracked.append(_Tracked(tokens[j].text, depth,
+                                            tokens[j].line, "pin"))
+                elif any(re.search(rf"\b{t.name} (\.|->) data \(", rhs_s)
+                         for t in tracked):
+                    tracked.append(_Tracked(tokens[j].text, depth,
+                                            tokens[j].line, "ptr"))
+        elif tok.text == "data" and i >= 2 and \
+                tokens[i - 1].text in (".", "->") and \
+                tokens[i - 2].text in live_names():
+            # Pointer derived from a live pin: find what it is bound to by
+            # looking backwards for `name =` on the same statement.
+            j = i - 3
+            while j >= 0 and tokens[j].text not in (";", "{", "}"):
+                if tokens[j].text == "=" and j >= 1 and \
+                        re.match(r"[A-Za-z_]\w*$", tokens[j - 1].text):
+                    target = tokens[j - 1].text
+                    this_member = (j >= 3 and tokens[j - 2].text == "->" and
+                                   tokens[j - 3].text == "this")
+                    member_store = target.endswith("_") or this_member
+                    preceded = (j >= 2 and
+                                tokens[j - 2].text in (".", "->") and
+                                not this_member)
+                    if member_store and not preceded:
+                        if "C2" not in waivers.get(tok.line, {}):
+                            findings.append(Finding(
+                                rel, tok.line, "C2",
+                                f"page pointer from {tokens[i-2].text}."
+                                f"data() stored into member '{target}', "
+                                f"outliving the pin"))
+                    elif not preceded:
+                        tracked.append(_Tracked(target, depth, tok.line,
+                                                "ptr"))
+                    break
+                j -= 1
+        elif tok.text == "return":
+            j = i + 1
+            names = live_names()
+            while j < n and tokens[j].text != ";":
+                t = tokens[j]
+                is_data_on_pin = (
+                    t.text == "data" and j >= 2 and
+                    tokens[j - 1].text in (".", "->") and
+                    names.get(tokens[j - 2].text) == "pin")
+                is_derived = names.get(t.text) == "ptr"
+                if is_data_on_pin or is_derived:
+                    if "C2" not in waivers.get(t.line, {}):
+                        findings.append(Finding(
+                            rel, t.line, "C2",
+                            "returning a page pointer derived from a "
+                            "pinned frame; the pin dies with this scope"))
+                    break
+                j += 1
+            while j < n and tokens[j].text != ";":
+                j += 1
+            i = j
+        elif tok.text == "[" and (
+                i == 0 or tokens[i - 1].text in
+                ("=", "(", ",", "return", "{", ";", "&&", "||", "!", ":")):
+            # Lambda introducer. Flag captures/uses of pin-derived state in
+            # a lambda that is not invoked immediately.
+            close = None
+            d = 0
+            for j in range(i, n):
+                if tokens[j].text == "[":
+                    d += 1
+                elif tokens[j].text == "]":
+                    d -= 1
+                    if d == 0:
+                        close = j
+                        break
+            if close is not None:
+                j = close + 1
+                if j < n and tokens[j].text == "(":
+                    j = match_paren(j) + 1
+                while j < n and tokens[j].text not in ("{", ";", ")", ","):
+                    j += 1
+                if j < n and tokens[j].text == "{":
+                    body_end = match_brace(j)
+                    names = live_names()
+                    used = [tokens[k].text for k in range(i, body_end + 1)
+                            if tokens[k].text in names]
+                    invoked = (body_end + 1 < n and
+                               tokens[body_end + 1].text == "(")
+                    if used and not invoked:
+                        if "C2" not in waivers.get(tok.line, {}):
+                            findings.append(Finding(
+                                rel, tok.line, "C2",
+                                f"lambda captures pin-derived state "
+                                f"('{used[0]}') and may outlive the pin; "
+                                f"invoke it in place or copy the bytes"))
+                    if used:
+                        i = body_end
+        elif tok.text in ASSIGN_OPS and i >= 1:
+            # `member_ = derived;` / `member_ = std::move(guard);`
+            lhs = tokens[i - 1].text
+            this_member = (i >= 3 and tokens[i - 2].text == "->" and
+                           tokens[i - 3].text == "this")
+            preceded = (i >= 2 and tokens[i - 2].text in (".", "->") and
+                        not this_member)
+            if re.match(r"[A-Za-z_]\w*$", lhs) and \
+                    (lhs.endswith("_") or this_member) and not preceded:
+                names = live_names()
+                j = i + 1
+                while j < n and tokens[j].text != ";":
+                    if tokens[j].text in names:
+                        if "C2" not in waivers.get(tokens[j].line, {}):
+                            findings.append(Finding(
+                                rel, tokens[j].line, "C2",
+                                f"pin-derived '{tokens[j].text}' stored "
+                                f"into member '{lhs}', outliving the pin's "
+                                f"scope"))
+                        break
+                    j += 1
+        i += 1
+    yield from findings
+
+
+# ---------------------------------------------------------------------------
+# C3 — narrowing-free serialization.
+
+def storage_sources_from_cmake(cmake_text: str) -> list[str]:
+    return re.findall(r"\bstorage/\w+\.cc\b", cmake_text)
+
+
+def check_c3_wiring(root: pathlib.Path,
+                    build_dir: pathlib.Path | None) -> Iterable[Finding]:
+    cml = root / "src" / "CMakeLists.txt"
+    if not cml.is_file():
+        return
+    text = cml.read_text(encoding="utf-8")
+    sources = set(storage_sources_from_cmake(
+        text.split("set_source_files_properties", 1)[0]))
+    block = ""
+    m = re.search(r"set_source_files_properties\((.*?)\)\s*$", text,
+                  re.DOTALL | re.MULTILINE)
+    if m:
+        block = m.group(0)
+    flagged = set(storage_sources_from_cmake(block))
+    has_flags = ("-Werror=conversion" in block and
+                 "-Werror=sign-conversion" in block)
+    lineno = text[:m.start()].count("\n") + 1 if m else 1
+    for src in sorted(sources - flagged) if has_flags else sorted(sources):
+        yield Finding(
+            "src/CMakeLists.txt", lineno, "C3",
+            f"{src} does not compile with -Werror=conversion "
+            f"-Werror=sign-conversion; the storage codec must reject "
+            f"implicit narrowing (scope it in set_source_files_properties)")
+    # Double-check the configured build agrees (catches a stale cache or a
+    # generator that dropped the per-source options).
+    db = (build_dir or root / "build") / "compile_commands.json"
+    if db.is_file():
+        try:
+            entries = json.loads(db.read_text(encoding="utf-8"))
+        except ValueError:
+            return
+        for entry in entries:
+            f = entry.get("file", "")
+            if "/src/storage/" not in f.replace("\\", "/"):
+                continue
+            cmd = entry.get("command", "") or " ".join(
+                entry.get("arguments", []))
+            if "-Wconversion" not in cmd:
+                rel = "src/storage/" + f.replace("\\", "/").rsplit(
+                    "/src/storage/", 1)[1]
+                yield Finding(
+                    rel, 1, "C3",
+                    "configured build compiles this storage TU without "
+                    "-Wconversion; re-run cmake so the scoped options take "
+                    "effect")
+
+
+def check_c3_file(rel: str, tokens: list[Token],
+                  waivers: dict[int, dict[str, str]]) -> Iterable[Finding]:
+    if "src/storage/" not in ("/" + rel):
+        return
+    wide_locals: set[str] = set()
+    for stmt in statements(tokens):
+        texts = [t.text for t in stmt]
+        # Track locals of wide integer types.
+        for w in WIDE_TYPES:
+            if w in texts:
+                k = texts.index(w)
+                if k + 1 < len(texts) and \
+                        re.match(r"[A-Za-z_]\w*$", texts[k + 1]):
+                    wide_locals.add(texts[k + 1])
+        # `narrow x = <wide expr>;` without a static_cast.
+        if len(texts) < 4 or texts[0] not in NARROW_TYPES:
+            continue
+        if "=" not in texts or "static_cast" in texts:
+            continue
+        eq = texts.index("=")
+        if eq < 1 or not re.match(r"[A-Za-z_]\w*$", texts[eq - 1]):
+            continue
+        # "unsigned long"/"long long"/wide typedefs in the declared type
+        # make the destination wide — not a narrowing.
+        if any(t in WIDE_TYPES or t in ("long", "double", "float")
+               for t in texts[:eq - 1]):
+            continue
+        rhs = texts[eq + 1:]
+        rhs_s = " ".join(rhs)
+        is_wide = (re.search(r"\. size \( \)", rhs_s) or
+                   re.search(r"\. length \( \)", rhs_s) or
+                   "sizeof" in rhs or
+                   any(x in wide_locals for x in rhs))
+        if is_wide:
+            line = stmt[0].line
+            if "C3" not in waivers.get(line, {}):
+                yield Finding(
+                    rel, line, "C3",
+                    f"implicit narrowing of a size/64-bit expression into "
+                    f"{texts[0]}; spell the truncation with "
+                    f"static_cast<{texts[0]}>(...) after a bounds check")
+
+
+# ---------------------------------------------------------------------------
+# C4 — GUARDED_BY completeness.
+
+class _Demand(NamedTuple):
+    rel: str
+    lineno: int
+    member: str
+    mutex: str
+
+
+def c4_demands(rel: str, tokens: list[Token]) -> Iterable[_Demand]:
+    depth = 0
+    locks: list[tuple[str, int]] = []  # (mutex, depth at decl)
+    n = len(tokens)
+    i = 0
+    while i < n:
+        tok = tokens[i]
+        if tok.text == "{":
+            depth += 1
+        elif tok.text == "}":
+            depth -= 1
+            locks = [lk for lk in locks if lk[1] <= depth]
+        elif tok.text == "MutexLock":
+            # Only the canonical `MutexLock <var>(<mu-expr>);` acquires a
+            # region. Ctor declarations (`explicit MutexLock(Mutex& mu)`),
+            # the class definition, and MutexLock-typed parameters all lack
+            # the <identifier>( shape right after the type name.
+            if i + 3 < n and re.match(r"[A-Za-z_]\w*$", tokens[i + 1].text) \
+                    and tokens[i + 1].text not in STATEMENT_KEYWORDS \
+                    and tokens[i + 2].text == "(" \
+                    and tokens[i + 3].text != ")":
+                d = 0
+                mu = None
+                for k in range(i + 2, n):
+                    t = tokens[k].text
+                    if t == "(":
+                        d += 1
+                    elif t == ")":
+                        d -= 1
+                        if d == 0:
+                            break
+                    elif t == "," and d == 1:
+                        break
+                    elif re.match(r"[A-Za-z_]\w*$", t):
+                        mu = t
+                if mu:
+                    locks.append((mu, depth))
+        elif locks and re.match(r"[A-Za-z_]\w*$", tok.text) and \
+                tok.text.endswith("_"):
+            prev = tokens[i - 1].text if i >= 1 else ""
+            this_member = (prev == "->" and i >= 2 and
+                           tokens[i - 2].text == "this")
+            if prev in (".", "->") and not this_member:
+                i += 1
+                continue
+            # Skip subscripts to find the operator applied to the member.
+            j = i + 1
+            while j < n and tokens[j].text == "[":
+                d = 0
+                while j < n:
+                    if tokens[j].text == "[":
+                        d += 1
+                    elif tokens[j].text == "]":
+                        d -= 1
+                        if d == 0:
+                            break
+                    j += 1
+                j += 1
+            nxt = tokens[j].text if j < n else ""
+            is_write = (nxt in ASSIGN_OPS or nxt in ("++", "--") or
+                        prev in ("++", "--"))
+            if not is_write and nxt in (".", "->") and j + 2 < n and \
+                    tokens[j + 1].text in MUTATING_METHODS and \
+                    tokens[j + 2].text == "(":
+                is_write = True
+            if is_write:
+                yield _Demand(rel, tok.line, tok.text, locks[-1][0])
+        i += 1
+
+
+def _norm_mutex(expr: str) -> str:
+    return expr.strip().split(".")[-1].split("->")[-1].strip()
+
+
+def c4_lookup_guard(member: str, decl_texts: list[str]) -> str | None:
+    """Returns the guarding mutex, "" if declared unguarded, None if the
+    declaration is not visible."""
+    guard_re = re.compile(
+        rf"\b{re.escape(member)}\b\s*(?:\[[^\]]*\])?\s+GUARDED_BY\s*"
+        rf"\(([^)]*)\)")
+    decl_re = re.compile(
+        rf"^\s*(?!(?:return|delete|throw|new|else|case|goto|co_return)\b)"
+        rf"(?:mutable\s+)?[A-Za-z_][\w:<>,\s*&\.]*[\s*&]"
+        rf"{re.escape(member)}\s*(?:\[[^\]]*\])?\s*(?:=[^=]|;|\{{)",
+        re.MULTILINE)
+    # An annotated declaration anywhere beats an unannotated decl-looking
+    # line elsewhere (e.g. `stats = member_;` statements in the .cc).
+    for text in decl_texts:
+        m = guard_re.search(text)
+        if m:
+            return _norm_mutex(m.group(1))
+    for text in decl_texts:
+        if decl_re.search(text):
+            return ""
+    return None
+
+
+def check_c4(root: pathlib.Path, files: list[str],
+             stripped_by_rel: dict[str, str],
+             tokens_by_rel: dict[str, list[Token]],
+             waivers_by_rel: dict[str, dict[int, dict[str, str]]],
+             ) -> Iterable[Finding]:
+    used_waivers: set[str] = set()
+    for rel in files:
+        for demand in c4_demands(rel, tokens_by_rel[rel]):
+            if "C4" in waivers_by_rel[rel].get(demand.lineno, {}):
+                continue
+            key = f"{rel}::{demand.member}"
+            if key in C4_STATIC_WAIVERS:
+                used_waivers.add(key)
+                continue
+            # Declaration search: same file, then sibling headers.
+            rel_path = pathlib.PurePosixPath(rel)
+            candidates = [rel]
+            sibling = str(rel_path.with_suffix(".h"))
+            if sibling != rel and sibling in stripped_by_rel:
+                candidates.append(sibling)
+            for other in files:
+                if other not in candidates and \
+                        str(pathlib.PurePosixPath(other).parent) == \
+                        str(rel_path.parent) and other.endswith(".h"):
+                    candidates.append(other)
+            guard = c4_lookup_guard(
+                demand.member, [stripped_by_rel[c] for c in candidates])
+            if guard is None:
+                continue  # declaration not visible — out of heuristic reach
+            if guard == "":
+                yield Finding(
+                    rel, demand.lineno, "C4",
+                    f"'{demand.member}' is written under MutexLock("
+                    f"{demand.mutex}) but its declaration has no "
+                    f"GUARDED_BY({demand.mutex}) annotation")
+            elif guard != _norm_mutex(demand.mutex):
+                yield Finding(
+                    rel, demand.lineno, "C4",
+                    f"'{demand.member}' is written under MutexLock("
+                    f"{demand.mutex}) but is GUARDED_BY({guard})")
+    for key in sorted(set(C4_STATIC_WAIVERS) - used_waivers):
+        yield Finding(
+            "tools/srcheck.py", 1, "C4",
+            f"stale C4 waiver '{key}': the member is no longer written "
+            f"under a lock — delete the entry (the list must shrink)")
+
+
+# ---------------------------------------------------------------------------
+# Clang engine: precise C1/C2 on the real AST. Activated when python
+# libclang is importable; C3/C4 stay token-grounded (see module docstring).
+
+def load_libclang():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:  # library missing or version skew
+        for name in ("libclang.so", "libclang-14.so", "libclang.so.14",
+                     "libclang-15.so"):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(name)
+                cindex.Index.create()
+                return cindex
+            except Exception:
+                continue
+    return None
+
+
+def _canonical_status(type_obj) -> bool:
+    s = type_obj.get_canonical().spelling
+    s = s.replace("const", "").replace("&", "").strip()
+    base = s.split("::")[-1]
+    return base == "Status" or base.startswith("StatusOr<")
+
+
+class ClangEngine:
+    def __init__(self, cindex, root: pathlib.Path,
+                 build_dir: pathlib.Path | None):
+        self.cindex = cindex
+        self.root = root.resolve()
+        self.build_dir = build_dir
+        self.index = cindex.Index.create()
+
+    def _args_for(self, rel: str) -> list[str]:
+        db_path = (self.build_dir or self.root / "build")
+        db_file = db_path / "compile_commands.json"
+        if db_file.is_file():
+            try:
+                db = self.cindex.CompilationDatabase.fromDirectory(
+                    str(db_path))
+                cmds = db.getCompileCommands(str(self.root / rel))
+                if cmds:
+                    args = list(cmds[0].arguments)[1:]
+                    # Strip output/input and options clang rejects here.
+                    cleaned, skip = [], False
+                    for a in args:
+                        if skip:
+                            skip = False
+                            continue
+                        if a in ("-o", "-c"):
+                            skip = a == "-o"
+                            continue
+                        if a == str(self.root / rel) or a.endswith(rel):
+                            continue
+                        cleaned.append(a)
+                    return cleaned
+            except Exception:
+                pass
+        return ["-std=c++20", "-x", "c++",
+                f"-I{self.root}"]
+
+    def parse(self, rel: str):
+        path = str(self.root / rel)
+        try:
+            return self.index.parse(path, args=self._args_for(rel))
+        except Exception:
+            return None
+
+    def check_file(self, rel: str, raw_lines: list[str],
+                   waivers: dict[int, dict[str, str]],
+                   status_names: set[str]) -> list[Finding] | None:
+        del status_names  # the AST carries the real return types
+        tu = self.parse(rel)
+        if tu is None:
+            return None
+        ck = self.cindex.CursorKind
+        findings: list[Finding] = []
+        target = str((self.root / rel).resolve())
+
+        def in_this_file(cursor) -> bool:
+            loc = cursor.location
+            return bool(loc.file) and str(
+                pathlib.Path(loc.file.name).resolve()) == target
+
+        def descendants(cursor):
+            for child in cursor.get_children():
+                yield child
+                yield from descendants(child)
+
+        def refs_any(cursor, names: set[str]) -> str | None:
+            for d in descendants(cursor):
+                if d.kind == ck.DECL_REF_EXPR and d.spelling in names:
+                    return d.spelling
+                if d.kind == ck.MEMBER_REF_EXPR and d.spelling == "data":
+                    for dd in descendants(d):
+                        if dd.kind == ck.DECL_REF_EXPR and \
+                                dd.spelling in names:
+                            return dd.spelling
+            return None
+
+        def add(line: int, rule: str, message: str):
+            if rule in waivers.get(line, {}):
+                return
+            findings.append(Finding(rel, line, rule, message))
+
+        def visit_compound(cursor):
+            for child in cursor.get_children():
+                k = child.kind
+                if k == ck.CALL_EXPR and in_this_file(child) and \
+                        child.type is not None and \
+                        _canonical_status(child.type):
+                    add(child.location.line, "C1",
+                        f"discarded Status from {child.spelling or 'call'}"
+                        f"(); handle the error or (void)-waive it with "
+                        f"`// srcheck: allow(C1) <reason>`")
+                elif k == ck.CSTYLE_CAST_EXPR and in_this_file(child):
+                    for d in descendants(child):
+                        if d.kind == ck.CALL_EXPR and d.type is not None \
+                                and _canonical_status(d.type):
+                            add(child.location.line, "C1",
+                                f"(void)-discarded Status from "
+                                f"{d.spelling or 'call'}() without the "
+                                f"waiver comment; write `// srcheck: "
+                                f"allow(C1) <reason>` on the call line")
+                            break
+
+        def visit_function(cursor):
+            if rel in C2_ALLOWED_FILES:
+                return
+            pins: set[str] = set()
+            derived: set[str] = set()
+            for d in descendants(cursor):
+                if d.kind == ck.VAR_DECL:
+                    t = d.type.get_canonical().spelling
+                    if any(p in t for p in PIN_TYPES):
+                        pins.add(d.spelling)
+                    elif pins and refs_any(d, pins):
+                        if "*" in t or t == "auto":
+                            derived.add(d.spelling)
+            if not pins:
+                return
+            tracked = pins | derived
+            for d in descendants(cursor):
+                if not in_this_file(d):
+                    continue
+                if d.kind == ck.RETURN_STMT:
+                    hit = refs_any(d, derived) or None
+                    if hit is None:
+                        for dd in descendants(d):
+                            if dd.kind == ck.MEMBER_REF_EXPR and \
+                                    dd.spelling == "data" and \
+                                    refs_any(dd, pins):
+                                hit = "data()"
+                                break
+                    if hit:
+                        add(d.location.line, "C2",
+                            "returning a page pointer derived from a "
+                            "pinned frame; the pin dies with this scope")
+                elif d.kind == ck.LAMBDA_EXPR:
+                    hit = refs_any(d, tracked)
+                    if hit:
+                        add(d.location.line, "C2",
+                            f"lambda captures pin-derived state ('{hit}') "
+                            f"and may outlive the pin; invoke it in place "
+                            f"or copy the bytes")
+                elif d.kind == ck.BINARY_OPERATOR:
+                    children = list(d.get_children())
+                    if len(children) == 2 and \
+                            children[0].kind == ck.MEMBER_REF_EXPR:
+                        tokens = [t.spelling for t in d.get_tokens()]
+                        if "=" in tokens:
+                            hit = refs_any(children[1], tracked)
+                            if hit:
+                                add(d.location.line, "C2",
+                                    f"pin-derived '{hit}' stored into "
+                                    f"member '{children[0].spelling}', "
+                                    f"outliving the pin's scope")
+
+        fn_kinds = {ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                    ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE}
+        for cursor in descendants(tu.cursor):
+            if not in_this_file(cursor):
+                continue
+            if cursor.kind == ck.COMPOUND_STMT:
+                visit_compound(cursor)
+            elif cursor.kind in fn_kinds and cursor.is_definition():
+                visit_function(cursor)
+
+        # The nodiscard anchor check stays textual (attributes are awkward
+        # to read back through libclang).
+        stripped = strip_comments_and_strings("\n".join(raw_lines))
+        for lineno, line in enumerate(stripped.split("\n"), start=1):
+            m = STATUS_CLASS_RE.match(line)
+            if m and not NODISCARD_RE.search(line):
+                add(lineno, "C1",
+                    f"class {m.group(1)} is not [[nodiscard]]; the "
+                    f"attribute is what makes every dropped error a "
+                    f"compile error")
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Discovery and driver (same shape as srlint).
+
+def git_tracked(root: pathlib.Path) -> set[str]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--"] + [d for d in FIRST_PARTY_DIRS
+                                         if (root / d).is_dir()],
+            cwd=root, capture_output=True, text=True, check=True)
+        return {line for line in out.stdout.splitlines()
+                if line.endswith(SOURCE_SUFFIXES)}
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return set()
+
+
+def walk_tree(root: pathlib.Path) -> set[str]:
+    found = set()
+    for d in FIRST_PARTY_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in base.rglob("*"):
+            if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                found.add(p.relative_to(root).as_posix())
+    return found
+
+
+def discover(root: pathlib.Path) -> list[str]:
+    files = git_tracked(root) or walk_tree(root)
+    files = {f for f in files
+             if not any(d in f for d in FIXTURE_DIRS)}
+    return sorted(files)
+
+
+class Analysis(NamedTuple):
+    files: list[str]
+    raw_by_rel: dict[str, list[str]]
+    stripped_by_rel: dict[str, str]
+    tokens_by_rel: dict[str, list[Token]]
+    waivers_by_rel: dict[str, dict[int, dict[str, str]]]
+    status_names: set[str]
+
+
+def load_tree(root: pathlib.Path, files: list[str]) -> Analysis:
+    raw_by_rel = {}
+    stripped_by_rel = {}
+    tokens_by_rel = {}
+    waivers_by_rel = {}
+    for rel in files:
+        raw = (root / rel).read_text(encoding="utf-8", errors="replace")
+        raw_by_rel[rel] = raw.splitlines()
+        stripped = blank_preprocessor(strip_comments_and_strings(raw))
+        stripped_by_rel[rel] = stripped
+        tokens_by_rel[rel] = tokenize(stripped)
+        waivers_by_rel[rel] = collect_waivers(raw_by_rel[rel])
+    return Analysis(files, raw_by_rel, stripped_by_rel, tokens_by_rel,
+                    waivers_by_rel, collect_status_fn_names(stripped_by_rel))
+
+
+def run_checks(root: pathlib.Path, build_dir: pathlib.Path | None,
+               analysis: Analysis, clang_engine: ClangEngine | None,
+               wiring: bool = True) -> list[Finding]:
+    findings: list[Finding] = []
+    for rel in analysis.files:
+        waivers = analysis.waivers_by_rel[rel]
+        clang_done = False
+        if clang_engine is not None:
+            got = clang_engine.check_file(rel, analysis.raw_by_rel[rel],
+                                          waivers, analysis.status_names)
+            if got is not None:
+                findings.extend(got)
+                clang_done = True
+        if not clang_done:
+            findings.extend(check_c1(rel, analysis.stripped_by_rel[rel],
+                                     analysis.tokens_by_rel[rel],
+                                     analysis.raw_by_rel[rel],
+                                     analysis.status_names, waivers))
+            findings.extend(check_c2(rel, analysis.tokens_by_rel[rel],
+                                     waivers))
+        findings.extend(check_c3_file(rel, analysis.tokens_by_rel[rel],
+                                      waivers))
+    findings.extend(check_c4(root, analysis.files,
+                             analysis.stripped_by_rel,
+                             analysis.tokens_by_rel,
+                             analysis.waivers_by_rel))
+    if wiring:
+        findings.extend(check_c3_wiring(root, build_dir))
+    return sorted(set(findings))
+
+
+def pick_engine(requested: str) -> tuple[object | None, str]:
+    cindex = load_libclang() if requested in ("auto", "clang") else None
+    if requested == "clang" and cindex is None:
+        print("srcheck.py: ERROR: --engine clang requested but python "
+              "libclang is unavailable (pip install libclang, or apt "
+              "python3-clang + libclang1)", file=sys.stderr)
+        sys.exit(2)
+    if requested == "auto" and cindex is None:
+        print("srcheck.py: NOTICE: python libclang unavailable — C1/C2 run "
+              "on the built-in tokenizer engine (reduced AST depth). CI "
+              "runs the clang engine; install python3-clang + libclang1 "
+              "to match locally.", file=sys.stderr)
+    return cindex, ("clang" if cindex is not None else "textual")
+
+
+def run_lint(root: pathlib.Path, build_dir: pathlib.Path | None,
+             engine: str) -> int:
+    cindex, engine_name = pick_engine(engine)
+    files = discover(root)
+    analysis = load_tree(root, files)
+    clang_engine = ClangEngine(cindex, root, build_dir) if cindex else None
+    findings = run_checks(root, build_dir, analysis, clang_engine)
+    for f in findings:
+        print(f"{f.rel}:{f.lineno}: [{f.rule}] {f.message}")
+    print(f"srcheck.py [{engine_name} engine]: {len(files)} files, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def list_waivers(root: pathlib.Path) -> int:
+    files = discover(root)
+    count = 0
+    for rel in files:
+        raw = (root / rel).read_text(encoding="utf-8", errors="replace")
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            for m in WAIVER_RE.finditer(line):
+                print(f"{rel}:{lineno}: allow({m.group(1)}) — "
+                      f"{m.group(2).strip()}")
+                count += 1
+    for key, reason in sorted(C4_STATIC_WAIVERS.items()):
+        print(f"tools/srcheck.py: static C4 waiver {key} — {reason}")
+        count += 1
+    print(f"srcheck.py: {count} active waiver(s)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: run the fixture tree, require findings == `srcheck-expect(Cn)`
+# markers exactly (textual engine), and — when libclang is available — the
+# clang engine must reproduce the same per-file rule coverage.
+
+def run_self_test(engine: str) -> int:
+    fixture_root = pathlib.Path(__file__).resolve().parent / \
+        "srcheck_testdata"
+    if not fixture_root.is_dir():
+        print(f"srcheck.py: missing fixture tree {fixture_root}",
+              file=sys.stderr)
+        return 2
+    files = sorted(walk_tree(fixture_root))
+    analysis = load_tree(fixture_root, files)
+
+    want: set[tuple[str, int, str]] = set()
+    for rel in files:
+        for lineno, line in enumerate(analysis.raw_by_rel[rel], start=1):
+            for m in EXPECT_RE.finditer(line):
+                want.add((rel, lineno, m.group(1)))
+
+    got = {(f.rel, f.lineno, f.rule)
+           for f in run_checks(fixture_root, None, analysis, None,
+                               wiring=False)}
+    ok = True
+    for rel, lineno, rule in sorted(want - got):
+        ok = False
+        print(f"self-test: MISSED expected finding {rule} at "
+              f"{rel}:{lineno}")
+    for rel, lineno, rule in sorted(got - want):
+        ok = False
+        print(f"self-test: SPURIOUS finding {rule} at {rel}:{lineno}")
+    for rule in RULES:
+        if rule not in {r for _, _, r in want}:
+            ok = False
+            print(f"self-test: fixture tree seeds no {rule} violation")
+
+    clang_note = "libclang not available, clang engine untested"
+    if engine != "textual":
+        cindex = load_libclang()
+        if cindex is not None:
+            clang_engine = ClangEngine(cindex, fixture_root, None)
+            got_clang = {
+                (f.rel, f.rule)
+                for f in run_checks(fixture_root, None, analysis,
+                                    clang_engine, wiring=False)}
+            want_pairs = {(rel, rule) for rel, _, rule in want}
+            for rel, rule in sorted(want_pairs - got_clang):
+                ok = False
+                print(f"self-test[clang]: MISSED {rule} in {rel}")
+            for rel, rule in sorted(got_clang - want_pairs):
+                ok = False
+                print(f"self-test[clang]: SPURIOUS {rule} in {rel}")
+            clang_note = "clang engine verified"
+        elif engine == "clang":
+            print("srcheck.py: ERROR: --engine clang but libclang "
+                  "unavailable", file=sys.stderr)
+            return 2
+    print(f"srcheck.py --self-test: {len(files)} fixture files, "
+          f"{len(want)} expected findings ({clang_note}), "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent
+                        .parent)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=None,
+                        help="build tree holding compile_commands.json "
+                             "(default: <root>/build if present)")
+    parser.add_argument("--engine", choices=("auto", "clang", "textual"),
+                        default="auto",
+                        help="auto: clang AST when python libclang is "
+                             "importable, else the built-in tokenizer")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check every rule against srcheck_testdata/")
+    parser.add_argument("--list-waivers", action="store_true",
+                        help="print all active waivers and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test(args.engine)
+    if args.list_waivers:
+        return list_waivers(args.root)
+    return run_lint(args.root, args.build_dir, args.engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

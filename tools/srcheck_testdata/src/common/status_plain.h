@@ -1,0 +1,17 @@
+// C1 anchor fixture: a Status class that forgot its [[nodiscard]].
+//
+// The real src/common/status.h declares `class [[nodiscard]] Status` so
+// that *every* function returning one is covered without per-function
+// annotations. If someone removes the attribute, the compiler silently
+// stops enforcing the discipline — this fixture proves srcheck catches
+// exactly that regression.
+
+#ifndef SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_COMMON_STATUS_PLAIN_H_
+#define SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_COMMON_STATUS_PLAIN_H_
+
+class Status {  // srcheck-expect(C1)
+ public:
+  bool ok() const { return true; }
+};
+
+#endif  // SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_COMMON_STATUS_PLAIN_H_

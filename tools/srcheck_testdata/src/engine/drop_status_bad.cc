@@ -1,0 +1,21 @@
+// C1 negative fixture: every way of dropping a Status on the floor.
+// Each marked line must be flagged by srcheck's C1 rule.
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+Status Cleanup();
+
+struct Writer {
+  Status Save(int image);
+};
+
+int Caller(Writer& writer) {
+  DoWork();  // srcheck-expect(C1)
+  (void)Cleanup();  // srcheck-expect(C1)
+  writer.Save(42);  // srcheck-expect(C1)
+  return 0;
+}

@@ -1,0 +1,23 @@
+// C1 positive fixture: every sanctioned way of consuming a Status.
+// srcheck must report zero findings for this file.
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+Status Cleanup();
+
+int Caller() {
+  const Status status = DoWork();  // bound to a variable: handled
+  if (!status.ok()) {
+    return 1;
+  }
+  if (!DoWork().ok()) {  // consumed inline
+    return 2;
+  }
+  // Deliberate discard in the project's greppable waiver form.
+  (void)Cleanup();  // srcheck: allow(C1) best-effort cleanup on shutdown
+  return 0;
+}

@@ -1,0 +1,19 @@
+// C3 negative fixture: implicit narrowing initializations in storage
+// code. Each marked line must be flagged. (In the real tree these are
+// hard compile errors — the storage TUs build with
+// -Werror=conversion -Werror=sign-conversion; srcheck's C3 rule is the
+// backstop that verifies the wiring and catches new files.)
+
+struct ByteBuffer {
+  unsigned long size() const;
+};
+
+unsigned int CountBytes(const ByteBuffer& buffer) {
+  unsigned int n = buffer.size();  // srcheck-expect(C3)
+  return n;
+}
+
+int TruncateOffset(unsigned long total) {
+  int offset = total;  // srcheck-expect(C3)
+  return offset;
+}

@@ -1,0 +1,22 @@
+// C3 positive fixture: the same conversions spelled out explicitly.
+// srcheck must report zero findings — a static_cast documents that the
+// narrowing is intentional and bounds-checked by the author.
+
+struct ByteBuffer {
+  unsigned long size() const;
+};
+
+unsigned int CountBytes(const ByteBuffer& buffer) {
+  unsigned int n = static_cast<unsigned int>(buffer.size());
+  return n;
+}
+
+int TruncateOffset(unsigned long total) {
+  int offset = static_cast<int>(total);
+  return offset;
+}
+
+unsigned long KeepWide(const ByteBuffer& buffer) {
+  unsigned long n = buffer.size();  // no narrowing: types match
+  return n;
+}

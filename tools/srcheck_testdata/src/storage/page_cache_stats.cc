@@ -1,0 +1,23 @@
+// C4 fixture: writes to members under a held MutexLock.
+//
+//  - hits_   is written under mu_ but not GUARDED_BY anything -> finding
+//  - misses_ is GUARDED_BY(mu_) in the header                 -> clean
+//  - resets_ is unguarded but the write carries an in-line
+//    waiver with a reason                                     -> clean
+
+#include "tools/srcheck_testdata/src/storage/page_cache_stats.h"
+
+void PageCacheStats::RecordHit() {
+  MutexLock lock(mu_);
+  hits_ += 1;  // srcheck-expect(C4)
+}
+
+void PageCacheStats::RecordMiss() {
+  MutexLock lock(mu_);
+  misses_ += 1;
+}
+
+void PageCacheStats::ResetForTest() {
+  MutexLock lock(mu_);
+  resets_ = 0;  // srcheck: allow(C4) test-only reset before workers spawn
+}

@@ -1,0 +1,30 @@
+// C4 fixture declarations: a stats class with one member correctly
+// GUARDED_BY its mutex, one missing the annotation, and one covered by
+// an in-line waiver at the write site (see page_cache_stats.cc).
+
+#ifndef SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_STORAGE_PAGE_CACHE_STATS_H_
+#define SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_STORAGE_PAGE_CACHE_STATS_H_
+
+#define GUARDED_BY(x)
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class PageCacheStats {
+ public:
+  void RecordHit();
+  void RecordMiss();
+  void ResetForTest();
+
+ private:
+  Mutex mu_;
+  unsigned long hits_ = 0;
+  unsigned long misses_ GUARDED_BY(mu_) = 0;
+  unsigned long resets_ = 0;
+};
+
+#endif  // SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_STORAGE_PAGE_CACHE_STATS_H_

@@ -320,8 +320,10 @@ def discover(root: pathlib.Path,
              build_dir: pathlib.Path | None) -> list[str]:
     files = git_tracked(root) or walk_tree(root)
     files |= compile_commands_files(root, build_dir)
-    # The fixture tree is linted only by --self-test, never as repo code.
-    files = {f for f in files if "srlint_testdata" not in f}
+    # Fixture trees (ours and srcheck's) are linted only by their own
+    # --self-test harnesses, never as repo code.
+    files = {f for f in files
+             if "srlint_testdata" not in f and "srcheck_testdata" not in f}
     return sorted(files)
 
 
