@@ -44,11 +44,15 @@ SRTree::SRTree(const Options& options) : options_(options), file_(options.page_s
   node_min_ = std::max<size_t>(
       1, static_cast<size_t>(options_.min_utilization * node_cap_));
 
+  // No other thread can hold a reference yet, but the analysis (correctly)
+  // demands the lock for the guarded members and the REQUIRES helpers.
+  MutexLock lock(writer_mu_);
   Node root;
   root.id = file_.Allocate();
   root.level = 0;
   WriteNode(root);
   root_id_ = root.id;
+  CommitState();  // publish the empty tree as the first real version
 }
 
 
@@ -114,6 +118,7 @@ bool PlausibleOptions(const SRTree::Options& o) {
 }  // namespace
 
 Status SRTree::Save(const std::string& path) const {
+  MutexLock lock(writer_mu_);
   SrImageHeader header = {};
   header.dim = options_.dim;
   header.page_size = options_.page_size;
@@ -135,6 +140,7 @@ Status SRTree::Save(const std::string& path) const {
 Status SRTree::SaveLegacyV1ForTest(const std::string& path) const {
   // Emits the exact pre-v2 byte layout so the compatibility tests can
   // generate v1 fixtures without checking in binaries.
+  MutexLock lock(writer_mu_);
   std::ofstream out(  // srlint: allow(R5) legacy-fixture writer, not prod
       path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
@@ -201,10 +207,16 @@ StatusOr<std::unique_ptr<SRTree>> SRTree::Open(const std::string& path) {
   if (!tree->file_.is_live(header.root_id)) {
     return Status::Corruption("SR-tree root page is not live in the image");
   }
-  tree->root_id_ = header.root_id;
-  tree->root_level_ = header.root_level;
-  tree->size_ = header.size;
-  tree->maintenance_ = MaintenanceStats{};
+  {
+    // LoadFrom leaves the restored contents unpublished; commit them under
+    // the restored metadata so snapshots serve the reopened tree.
+    MutexLock lock(tree->writer_mu_);
+    tree->root_id_ = header.root_id;
+    tree->root_level_ = header.root_level;
+    tree->size_ = header.size;
+    tree->maintenance_ = MaintenanceStats{};
+    tree->CommitState();
+  }
   RETURN_IF_ERROR(tree->CheckInvariants());
   return tree;
 }
@@ -275,11 +287,11 @@ SRTree::Node SRTree::DeserializeNode(const char* buf, PageId id) const {
 
 SRTree::Node SRTree::ReadNode(PageId id, int level, IoStatsDelta* io) const {
   std::vector<char> buf(options_.page_size);
-  if (pool_ != nullptr) {
-    pool_->Read(id, buf.data(), level, io);
-  } else {
-    file_.Read(id, buf.data(), level, io);
-  }
+  // Writer-side reads bypass the pool: WriteNode stages to the file without
+  // touching pool frames, so the pool's legacy stamp-0 namespace would go
+  // stale here. Queries still read pooled through the snapshot-stamped
+  // ReadNodeSnapshot path below.
+  file_.Read(id, buf.data(), level, io);
   Node node = DeserializeNode(buf.data(), id);
   DCHECK_EQ(node.level, level);
   return node;
@@ -292,8 +304,28 @@ SRTree::Node SRTree::PeekNode(PageId id) const {
 void SRTree::WriteNode(const Node& node) {
   std::vector<char> buf(options_.page_size);
   SerializeNode(node, buf.data());
-  if (pool_ != nullptr) pool_->Discard(node.id);  // invalidate stale frame
-  file_.Write(node.id, buf.data());
+  // Copy-on-write staging: snapshots keep reading the committed buffer, and
+  // the buffer pool needs no invalidation — its frames are keyed by stamp,
+  // and staging a shared page moves this id to a fresh one.
+  file_.StageWrite(node.id, buf.data());
+}
+
+SRTree::Node SRTree::ReadNodeSnapshot(const PageFile::Snapshot& snap,
+                                      PageId id, int level,
+                                      IoStatsDelta* io) const {
+  std::vector<char> buf(options_.page_size);
+  if (pool_ != nullptr) {
+    pool_->ReadSnapshot(snap, id, buf.data(), level, io);
+  } else {
+    snap.Read(id, buf.data(), level, io);
+  }
+  Node node = DeserializeNode(buf.data(), id);
+  DCHECK_EQ(node.level, level);
+  return node;
+}
+
+void SRTree::CommitState() {
+  file_.Commit({root_id_, static_cast<uint64_t>(root_level_), size_, 0});
 }
 
 // --------------------------------------------------------------------------
@@ -377,6 +409,7 @@ Status SRTree::Insert(PointView point, uint32_t oid) {
   if (static_cast<int>(point.size()) != options_.dim) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
+  MutexLock lock(writer_mu_);
   reinserted_nodes_.clear();
   std::deque<Pending> pending;
   Pending item;
@@ -385,6 +418,9 @@ Status SRTree::Insert(PointView point, uint32_t oid) {
   pending.push_back(std::move(item));
   ProcessPending(pending);
   ++size_;
+  // One atomic publish per insert: concurrent snapshots see the whole
+  // mutation (splits, reinserts, root growth included) or none of it.
+  CommitState();
   return Status::OK();
 }
 
@@ -613,10 +649,13 @@ Status SRTree::Delete(PointView point, uint32_t oid) {
   if (static_cast<int>(point.size()) != options_.dim) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
+  MutexLock lock(writer_mu_);
   std::vector<Node> path;
   std::vector<int> idx;
   Node root = ReadNode(root_id_, root_level_);
   if (!FindLeafPath(root, point, oid, path, idx)) {
+    // Nothing staged, nothing committed: the version number advances only
+    // on successful mutations.
     return Status::NotFound("point not present");
   }
   Node& leaf = path.back();
@@ -634,6 +673,7 @@ Status SRTree::Delete(PointView point, uint32_t oid) {
   CondenseTree(path, idx);
   ShrinkRoot();
   --size_;
+  CommitState();
   return Status::OK();
 }
 
@@ -726,17 +766,35 @@ void SRTree::ShrinkRoot() {
 // Search
 // --------------------------------------------------------------------------
 
+// Each entry point pins the committed version for the duration of one
+// query: the guard announces an epoch, the snapshot captures the version,
+// and every page the traversal reads comes from that version — a writer
+// committing mid-query changes nothing the traversal can see. The *Snapshot
+// forms exist separately so SRTreeSnapshot (below) can run many queries
+// against one pinned version.
+
 std::vector<Neighbor> SRTree::KnnDfsImpl(PointView query, int k,
                                          IoStatsDelta* io) const {
+  const EpochGuard guard(file_.epochs());
+  return KnnDfsSnapshot(file_.AcquireSnapshot(guard), query, k, io);
+}
+
+std::vector<Neighbor> SRTree::KnnDfsSnapshot(const PageFile::Snapshot& snap,
+                                             PointView query, int k,
+                                             IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
+  if (snap.meta(2) > 0) {
+    SearchKnn(snap, static_cast<PageId>(snap.meta(0)),
+              static_cast<int>(snap.meta(1)), query, candidates, io);
+  }
   return candidates.TakeSorted();
 }
 
-void SRTree::SearchKnn(PageId id, int level, PointView query,
-                       KnnCandidates& cand, IoStatsDelta* io) const {
-  Node node = ReadNode(id, level, io);
+void SRTree::SearchKnn(const PageFile::Snapshot& snap, PageId id, int level,
+                       PointView query, KnnCandidates& cand,
+                       IoStatsDelta* io) const {
+  Node node = ReadNodeSnapshot(snap, id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       cand.Offer(Distance(e.point, query), e.oid);
@@ -750,16 +808,22 @@ void SRTree::SearchKnn(PageId id, int level, PointView query,
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand, io);
+    SearchKnn(snap, node.children[i].child, level - 1, query, cand, io);
   }
 }
 
-
 std::vector<Neighbor> SRTree::KnnBestFirstImpl(PointView query, int k,
                                                IoStatsDelta* io) const {
+  const EpochGuard guard(file_.epochs());
+  return KnnBestFirstSnapshot(file_.AcquireSnapshot(guard), query, k, io);
+}
+
+std::vector<Neighbor> SRTree::KnnBestFirstSnapshot(
+    const PageFile::Snapshot& snap, PointView query, int k,
+    IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ == 0) return candidates.TakeSorted();
+  if (snap.meta(2) == 0) return candidates.TakeSorted();
 
   // Global best-first traversal: always expand the pending subtree with the
   // smallest MINDIST. Stops once that bound exceeds the k-th candidate.
@@ -773,12 +837,13 @@ std::vector<Neighbor> SRTree::KnnBestFirstImpl(PointView query, int k,
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       frontier;
-  frontier.push(Pending{0.0, root_id_, root_level_});
+  frontier.push(Pending{0.0, static_cast<PageId>(snap.meta(0)),
+                        static_cast<int>(snap.meta(1))});
   while (!frontier.empty()) {
     const Pending next = frontier.top();
     frontier.pop();
     if (next.mindist > candidates.PruneDistance()) break;
-    Node node = ReadNode(next.id, next.level, io);
+    Node node = ReadNodeSnapshot(snap, next.id, next.level, io);
     if (node.is_leaf()) {
       for (const LeafEntry& e : node.points) {
         candidates.Offer(Distance(e.point, query), e.oid);
@@ -797,16 +862,27 @@ std::vector<Neighbor> SRTree::KnnBestFirstImpl(PointView query, int k,
 
 std::vector<Neighbor> SRTree::RangeImpl(PointView query, double radius,
                                         IoStatsDelta* io) const {
+  const EpochGuard guard(file_.epochs());
+  return RangeSnapshot(file_.AcquireSnapshot(guard), query, radius, io);
+}
+
+std::vector<Neighbor> SRTree::RangeSnapshot(const PageFile::Snapshot& snap,
+                                            PointView query, double radius,
+                                            IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
+  if (snap.meta(2) > 0) {
+    SearchRange(snap, static_cast<PageId>(snap.meta(0)),
+                static_cast<int>(snap.meta(1)), query, radius, result, io);
+  }
   std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 
-void SRTree::SearchRange(PageId id, int level, PointView query, double radius,
+void SRTree::SearchRange(const PageFile::Snapshot& snap, PageId id, int level,
+                         PointView query, double radius,
                          std::vector<Neighbor>& out, IoStatsDelta* io) const {
-  Node node = ReadNode(id, level, io);
+  Node node = ReadNodeSnapshot(snap, id, level, io);
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       const double d = Distance(e.point, query);
@@ -816,9 +892,59 @@ void SRTree::SearchRange(PageId id, int level, PointView query, double radius,
   }
   for (const NodeEntry& e : node.children) {
     if (EntryMinDist(e, query) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out, io);
+      SearchRange(snap, e.child, level - 1, query, radius, out, io);
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Snapshots
+// --------------------------------------------------------------------------
+
+// A pinned committed version of an SRTree, queryable many times. Holds the
+// epoch guard for its whole lifetime, so the version's pages cannot be
+// reclaimed under it; implements SearchDispatch so the queries share the
+// exact validation shell with PointIndex::Search.
+class SRTreeSnapshot final : public IndexSnapshot, public SearchDispatch {
+ public:
+  explicit SRTreeSnapshot(const SRTree* tree)
+      : IndexSnapshot(tree),
+        tree_(tree),
+        guard_(tree->file_.epochs()),
+        snap_(tree->file_.AcquireSnapshot(guard_)) {}
+
+  QueryResult Search(PointView query, const QuerySpec& spec) const override {
+    return RunValidatedSearch(*this, tree_->options_.dim, query, spec);
+  }
+  uint64_t version() const override { return snap_.version(); }
+  size_t size() const override { return static_cast<size_t>(snap_.meta(2)); }
+
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override {
+    return tree_->KnnDfsSnapshot(snap_, query, k, io);
+  }
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override {
+    return tree_->KnnBestFirstSnapshot(snap_, query, k, io);
+  }
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override {
+    return tree_->RangeSnapshot(snap_, query, radius, io);
+  }
+
+ private:
+  const SRTree* tree_;
+  EpochGuard guard_;  // declared before snap_: the announce precedes the pin
+  PageFile::Snapshot snap_;
+};
+
+std::unique_ptr<IndexSnapshot> SRTree::AcquireSnapshot() const {
+  return std::make_unique<SRTreeSnapshot>(this);
+}
+
+size_t SRTree::size() const {
+  const EpochGuard guard(file_.epochs());
+  return static_cast<size_t>(file_.AcquireSnapshot(guard).meta(2));
 }
 
 // --------------------------------------------------------------------------
@@ -826,6 +952,7 @@ void SRTree::SearchRange(PageId id, int level, PointView query, double radius,
 // --------------------------------------------------------------------------
 
 TreeStats SRTree::GetTreeStats() const {
+  MutexLock lock(writer_mu_);
   TreeStats stats;
   stats.height = root_level_ + 1;
   CollectStats(PeekNode(root_id_), stats);
@@ -845,6 +972,7 @@ void SRTree::CollectStats(const Node& node, TreeStats& stats) const {
 }
 
 RegionSummary SRTree::LeafRegionSummary() const {
+  MutexLock lock(writer_mu_);
   RegionStatsCollector collector;
   CollectRegions(PeekNode(root_id_), collector);
   return collector.Finish();
@@ -868,6 +996,7 @@ void SRTree::CollectRegions(const Node& node,
 Status SRTree::CheckInvariants() const { return debug::AuditIndex(*this); }
 
 void SRTree::VisitNodes(const NodeVisitor& visitor) const {
+  MutexLock lock(writer_mu_);
   std::vector<int> path;
   VisitSubtree(PeekNode(root_id_), path, visitor);
 }

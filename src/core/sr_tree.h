@@ -14,6 +14,19 @@
 // The node entry stores both shapes, so its fanout is one third of the
 // SS-tree's and two thirds of the R*-tree's — the Section 5.3 trade-off the
 // experiments quantify.
+//
+// Concurrency (single writer / many readers, snapshot isolation): unlike
+// the other structures in this library, the SR-tree serves queries while it
+// mutates. Insert/Delete run under writer_mu_, stage every page update
+// through PageFile::StageWrite (copy-on-write), and finish by committing a
+// new page-table version whose metadata words carry (root id, root level,
+// size). Every query — Search() or a pinned IndexSnapshot — reads one
+// committed version under an EpochGuard, so it observes an atomic tree
+// state: either entirely before or entirely after any concurrent commit,
+// never a half-applied mutation. Retired versions are reclaimed by the
+// epoch scheme (src/storage/epoch.h). Structural accessors that walk
+// working state (GetTreeStats, VisitNodes, Save, ...) take writer_mu_ and
+// therefore exclude the writer, not queries.
 
 #ifndef SRTREE_CORE_SR_TREE_H_
 #define SRTREE_CORE_SR_TREE_H_
@@ -24,11 +37,14 @@
 #include <string>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/geometry/rect.h"
 #include "src/geometry/sphere.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
 #include "src/storage/buffer_pool.h"
+#include "src/storage/epoch.h"
 #include "src/storage/page_file.h"
 
 namespace srtree {
@@ -58,8 +74,9 @@ class SRTree : public PointIndex {
 
   // Persists the index — options, tree metadata, and the full page file —
   // as one checksummed image at `path`, written atomically (see
-  // PointIndex::Save).
-  Status Save(const std::string& path) const override;
+  // PointIndex::Save). Takes writer_mu_, so it saves a committed-quiesced
+  // state, never a half-applied mutation.
+  Status Save(const std::string& path) const override EXCLUDES(writer_mu_);
 
   // Opens an index previously written by Save(); the options are restored
   // from the file. Accepts both the current v2 image and the pre-v2 legacy
@@ -68,25 +85,38 @@ class SRTree : public PointIndex {
 
   // Writes the pre-v2 (unchecksummed, non-atomic) format so compatibility
   // tests can generate v1 fixtures. Never a production path.
-  Status SaveLegacyV1ForTest(const std::string& path) const;
+  Status SaveLegacyV1ForTest(const std::string& path) const
+      EXCLUDES(writer_mu_);
 
   int dim() const override { return options_.dim; }
-  size_t size() const override { return size_; }
+  // Size of the most recently committed version (safe against the writer:
+  // reads the committed metadata, not working state).
+  size_t size() const override;
   std::string name() const override { return "SR-tree"; }
 
-  Status Insert(PointView point, uint32_t oid) override;
-  Status Delete(PointView point, uint32_t oid) override;
+  Status Insert(PointView point, uint32_t oid) override
+      EXCLUDES(writer_mu_);
+  Status Delete(PointView point, uint32_t oid) override
+      EXCLUDES(writer_mu_);
 
-  TreeStats GetTreeStats() const override;
+  // Pins the current committed version: queries against the returned
+  // snapshot are unaffected by concurrent Insert/Delete commits, and
+  // version() reports the pinned PageFile version.
+  [[nodiscard]] std::unique_ptr<IndexSnapshot> AcquireSnapshot()
+      const override;
+
+  TreeStats GetTreeStats() const override EXCLUDES(writer_mu_);
   Status CheckInvariants() const override;
-  void VisitNodes(const NodeVisitor& visitor) const override;
+  void VisitNodes(const NodeVisitor& visitor) const override
+      EXCLUDES(writer_mu_);
   AuditSpec GetAuditSpec() const override;
 
   // Reports both shapes of the leaf regions; the true region (their
   // intersection) is bounded above by each (Section 5.2).
-  RegionSummary LeafRegionSummary() const override;
+  RegionSummary LeafRegionSummary() const override EXCLUDES(writer_mu_);
 
-  MaintenanceStats GetMaintenanceStats() const override {
+  MaintenanceStats GetMaintenanceStats() const override EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
     return maintenance_;
   }
 
@@ -108,9 +138,18 @@ class SRTree : public PointIndex {
 
   size_t leaf_capacity() const override { return leaf_cap_; }
   size_t node_capacity() const override { return node_cap_; }
-  int height() const { return root_level_ + 1; }
+  int height() const EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return root_level_ + 1;
+  }
+
+  // The reclamation domain backing this tree's snapshots; tests assert its
+  // retired_count() drains to zero once readers quiesce.
+  EpochManager& epochs_for_test() const { return file_.epochs(); }
 
  protected:
+  // Each acquires its own epoch guard + snapshot: a plain Search() against
+  // the live index pins the committed version for exactly one query.
   std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
                                    IoStatsDelta* io) const override;
   std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
@@ -119,6 +158,9 @@ class SRTree : public PointIndex {
                                   IoStatsDelta* io) const override;
 
  private:
+  // Snapshot objects traverse the pinned version through the *Snapshot
+  // methods below; the class lives in sr_tree.cc.
+  friend class SRTreeSnapshot;
   // Test-only backdoor (tests/structural_auditor_test.cc): lets the
   // auditor's negative tests corrupt pages directly to prove each violation
   // class is detected and located.
@@ -152,14 +194,24 @@ class SRTree : public PointIndex {
   };
 
   // --- page I/O ---
-  // Const and re-entrant: reads go through the attached BufferPool when one
-  // is present, else straight to the (internally synchronized) page file;
-  // `io` collects the per-query delta on the search path.
-  Node ReadNode(PageId id, int level, IoStatsDelta* io = nullptr) const;
-  Node PeekNode(PageId id) const;
-  void WriteNode(const Node& node);
+  // ReadNode/PeekNode/WriteNode operate on *working state* and belong to
+  // the writer (or a locked structural accessor). The query path reads
+  // committed versions through ReadNodeSnapshot instead: via the attached
+  // BufferPool keyed by (page id, stamp) when one is present, else straight
+  // from the snapshot; `io` collects the per-query delta.
+  Node ReadNode(PageId id, int level, IoStatsDelta* io = nullptr) const
+      REQUIRES(writer_mu_);
+  Node PeekNode(PageId id) const REQUIRES(writer_mu_);
+  void WriteNode(const Node& node) REQUIRES(writer_mu_);
+  Node ReadNodeSnapshot(const PageFile::Snapshot& snap, PageId id, int level,
+                        IoStatsDelta* io) const;
   void SerializeNode(const Node& node, char* buf) const;
   Node DeserializeNode(const char* buf, PageId id) const;
+
+  // Publishes the working state as the next committed version, carrying
+  // (root id, root level, size) in the metadata words. Exactly one commit
+  // ends every successful mutation.
+  void CommitState() REQUIRES(writer_mu_);
 
   size_t Capacity(const Node& node) const {
     return node.is_leaf() ? leaf_cap_ : node_cap_;
@@ -176,35 +228,52 @@ class SRTree : public PointIndex {
   // MINDIST from a query point to an entry's region (Section 4.4).
   double EntryMinDist(const NodeEntry& entry, PointView query) const;
 
-  // --- insertion machinery ---
-  void ProcessPending(std::deque<Pending>& pending);
-  void InsertPending(const Pending& item, std::deque<Pending>& pending);
+  // --- insertion machinery (writer only) ---
+  void ProcessPending(std::deque<Pending>& pending) REQUIRES(writer_mu_);
+  void InsertPending(const Pending& item, std::deque<Pending>& pending)
+      REQUIRES(writer_mu_);
   int ChooseSubtree(const Node& node, PointView centroid) const;
   void ResolvePath(std::vector<Node>& path, std::vector<int>& idx,
-                   std::deque<Pending>& pending);
+                   std::deque<Pending>& pending) REQUIRES(writer_mu_);
   void WritePathRefreshingEntries(std::vector<Node>& path,
-                                  const std::vector<int>& idx, int from);
-  std::vector<Pending> RemoveForReinsert(Node& node);
-  Node SplitNode(Node& node);
-  void GrowRoot(Node& left, Node& right);
+                                  const std::vector<int>& idx, int from)
+      REQUIRES(writer_mu_);
+  std::vector<Pending> RemoveForReinsert(Node& node) REQUIRES(writer_mu_);
+  Node SplitNode(Node& node) REQUIRES(writer_mu_);
+  void GrowRoot(Node& left, Node& right) REQUIRES(writer_mu_);
 
-  // --- deletion machinery ---
+  // --- deletion machinery (writer only) ---
   bool FindLeafPath(const Node& node, PointView point, uint32_t oid,
-                    std::vector<Node>& path, std::vector<int>& idx);
-  void CondenseTree(std::vector<Node>& path, std::vector<int>& idx);
-  void ShrinkRoot();
+                    std::vector<Node>& path, std::vector<int>& idx)
+      REQUIRES(writer_mu_);
+  void CondenseTree(std::vector<Node>& path, std::vector<int>& idx)
+      REQUIRES(writer_mu_);
+  void ShrinkRoot() REQUIRES(writer_mu_);
 
-  // --- search (const + re-entrant; all traversal state is per query) ---
-  void SearchKnn(PageId id, int level, PointView query, KnnCandidates& cand,
-                 IoStatsDelta* io) const;
-  void SearchRange(PageId id, int level, PointView query, double radius,
-                   std::vector<Neighbor>& out, IoStatsDelta* io) const;
+  // --- search (const + re-entrant; all traversal state is per query and
+  //     every page read comes from the pinned committed version) ---
+  std::vector<Neighbor> KnnDfsSnapshot(const PageFile::Snapshot& snap,
+                                       PointView query, int k,
+                                       IoStatsDelta* io) const;
+  std::vector<Neighbor> KnnBestFirstSnapshot(const PageFile::Snapshot& snap,
+                                             PointView query, int k,
+                                             IoStatsDelta* io) const;
+  std::vector<Neighbor> RangeSnapshot(const PageFile::Snapshot& snap,
+                                      PointView query, double radius,
+                                      IoStatsDelta* io) const;
+  void SearchKnn(const PageFile::Snapshot& snap, PageId id, int level,
+                 PointView query, KnnCandidates& cand, IoStatsDelta* io) const;
+  void SearchRange(const PageFile::Snapshot& snap, PageId id, int level,
+                   PointView query, double radius, std::vector<Neighbor>& out,
+                   IoStatsDelta* io) const;
 
-  // --- validation / stats ---
+  // --- validation / stats (walk working state; callers hold writer_mu_) ---
   void VisitSubtree(const Node& node, std::vector<int>& path,
-                    const NodeVisitor& visitor) const;
-  void CollectStats(const Node& node, TreeStats& stats) const;
-  void CollectRegions(const Node& node, RegionStatsCollector& collector) const;
+                    const NodeVisitor& visitor) const REQUIRES(writer_mu_);
+  void CollectStats(const Node& node, TreeStats& stats) const
+      REQUIRES(writer_mu_);
+  void CollectRegions(const Node& node, RegionStatsCollector& collector) const
+      REQUIRES(writer_mu_);
 
   Options options_;
   size_t leaf_cap_;
@@ -213,16 +282,23 @@ class SRTree : public PointIndex {
   size_t node_min_;
 
   mutable PageFile file_;
-  // Optional warm cache on the query path (UseBufferPool); WriteNode
-  // invalidates its frames so single-writer mutation stays coherent.
+  // Optional warm cache on the query path (UseBufferPool); frames are keyed
+  // by (page id, buffer stamp), so copy-on-write makes stale hits
+  // impossible and the writer never invalidates. Swapping the pool itself
+  // is still not thread-safe against in-flight queries.
   std::unique_ptr<BufferPool> pool_;
-  PageId root_id_;
-  int root_level_ = 0;
-  size_t size_ = 0;
-  MaintenanceStats maintenance_;
+
+  // writer_mu_ serializes mutations and guards the working tree metadata.
+  // Queries never take it: they read the committed copies of these values
+  // from the pinned version's metadata words.
+  mutable Mutex writer_mu_;
+  PageId root_id_ GUARDED_BY(writer_mu_);
+  int root_level_ GUARDED_BY(writer_mu_) = 0;
+  size_t size_ GUARDED_BY(writer_mu_) = 0;
+  MaintenanceStats maintenance_ GUARDED_BY(writer_mu_);
 
   // Per-node forced-reinsertion bookkeeping, inherited from the SS-tree.
-  std::set<PageId> reinserted_nodes_;
+  std::set<PageId> reinserted_nodes_ GUARDED_BY(writer_mu_);
 };
 
 }  // namespace srtree

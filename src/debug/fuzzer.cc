@@ -1,6 +1,7 @@
 #include "src/debug/fuzzer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -216,6 +217,269 @@ Status RunConcurrentQueryFuzz(PointIndex& index,
                 "} vs global {reads=" + std::to_string(after_probe.reads) +
                 " cache_misses=" + std::to_string(after_probe.cache_misses) +
                 "}");
+  }
+  return Status::OK();
+}
+
+Status RunMixedReadWriteFuzz(PointIndex& index,
+                             const MixedFuzzOptions& options) {
+  if (index.size() != 0) {
+    return Status::InvalidArgument(
+        "RunMixedReadWriteFuzz needs an empty index to load");
+  }
+  const int dim = index.dim();
+  CHECK_GT(options.num_reader_threads, 0);
+  CHECK_GT(options.initial_points, 0u);
+  CHECK_GT(options.num_mutations, 0u);
+  CHECK_GT(options.queries_per_snapshot, 0);
+
+  Xoshiro256 rng(options.seed);
+  const auto random_point = [&](Xoshiro256& r) {
+    Point p(static_cast<size_t>(dim));
+    for (double& c : p) c = r.Uniform(options.coord_lo, options.coord_hi);
+    return p;
+  };
+
+  std::vector<Point> initial_points;
+  std::vector<uint32_t> initial_oids;
+  initial_points.reserve(options.initial_points);
+  for (size_t i = 0; i < options.initial_points; ++i) {
+    initial_points.push_back(random_point(rng));
+    initial_oids.push_back(static_cast<uint32_t>(i));
+  }
+  RETURN_IF_ERROR(index.BulkLoad(initial_points, initial_oids));
+
+  // The whole test hinges on version() advancing by one per committed
+  // mutation; a pass-through snapshot (version 0) has nothing to verify.
+  const uint64_t v0 = index.AcquireSnapshot()->version();
+  if (v0 == 0) {
+    return Status::InvalidArgument(
+        "RunMixedReadWriteFuzz requires snapshot isolation (" + index.name() +
+        " reports version 0)");
+  }
+
+  // Pre-generate the writer's schedule against a simulated live set, so
+  // every delete targets a pair that is live at its point in writer order
+  // and every op is guaranteed to succeed. A snapshot at version v0 + k
+  // then corresponds to exactly ops[0..k).
+  struct MutationOp {
+    bool is_delete = false;
+    Point point;
+    uint32_t oid = 0;
+  };
+  std::vector<MutationOp> ops;
+  ops.reserve(options.num_mutations);
+  {
+    std::vector<std::pair<Point, uint32_t>> sim_live;
+    sim_live.reserve(options.initial_points + options.num_mutations);
+    for (size_t i = 0; i < options.initial_points; ++i) {
+      sim_live.emplace_back(initial_points[i], initial_oids[i]);
+    }
+    uint32_t next_oid = static_cast<uint32_t>(options.initial_points);
+    for (size_t i = 0; i < options.num_mutations; ++i) {
+      MutationOp mop;
+      if (!sim_live.empty() && rng.NextDouble() < options.delete_fraction) {
+        const size_t pick = rng.NextBounded(sim_live.size());
+        mop.is_delete = true;
+        mop.point = sim_live[pick].first;
+        mop.oid = sim_live[pick].second;
+        sim_live[pick] = std::move(sim_live.back());
+        sim_live.pop_back();
+      } else {
+        mop.point = random_point(rng);
+        mop.oid = next_oid++;
+        sim_live.emplace_back(mop.point, mop.oid);
+      }
+      ops.push_back(std::move(mop));
+    }
+  }
+
+  if (options.buffer_pool_pages > 0) {
+    index.UseBufferPool(options.buffer_pool_pages);
+  }
+
+  Mutex fail_mu;
+  std::vector<std::string> failures;
+  const auto report = [&](std::string what) {
+    MutexLock lock(fail_mu);
+    failures.push_back(std::move(what));
+  };
+  std::atomic<bool> writer_done{false};
+
+  const auto writer = [&]() {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const MutationOp& mop = ops[i];
+      const Status st = mop.is_delete ? index.Delete(mop.point, mop.oid)
+                                      : index.Insert(mop.point, mop.oid);
+      if (!st.ok()) {
+        report("writer op=" + std::to_string(i) + " (" +
+               (mop.is_delete ? "delete" : "insert") + " oid=" +
+               std::to_string(mop.oid) + ") failed: " + st.ToString());
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_seq_cst);
+  };
+
+  const auto reader = [&](int t) {
+    // Thread-local oracle tracking the committed prefix this reader has
+    // replayed so far. Snapshot versions are monotone within one reader, so
+    // the replay only ever moves forward.
+    BruteForceIndex::Options oracle_options;
+    oracle_options.dim = dim;
+    BruteForceIndex oracle(oracle_options);
+    if (Status st = oracle.BulkLoad(initial_points, initial_oids); !st.ok()) {
+      report("reader=" + std::to_string(t) +
+             " oracle bulk load failed: " + st.ToString());
+      return;
+    }
+    size_t applied = 0;
+    Xoshiro256 trng(options.seed + 0x9e3779b9u * (t + 1));
+    uint64_t iter = 0;
+    uint64_t query_counter = 0;
+    // One extra pass after the writer finishes so the fully-committed state
+    // is always verified at least once per reader.
+    bool final_pass_done = false;
+    while (!final_pass_done) {
+      if (writer_done.load(std::memory_order_seq_cst)) final_pass_done = true;
+      const std::unique_ptr<IndexSnapshot> snap = index.AcquireSnapshot();
+      const uint64_t version = snap->version();
+      const auto fail = [&](const std::string& what) {
+        report("reader=" + std::to_string(t) + " iter=" +
+               std::to_string(iter) + " version=" + std::to_string(version) +
+               " " + what);
+      };
+      if (version < v0 + applied) {
+        fail("version went backwards (already replayed " +
+             std::to_string(applied) + " ops past v0=" + std::to_string(v0) +
+             ")");
+        return;
+      }
+      const size_t k = static_cast<size_t>(version - v0);
+      if (k > ops.size()) {
+        fail("version beyond the schedule (" + std::to_string(k) + " > " +
+             std::to_string(ops.size()) + " ops)");
+        return;
+      }
+      // Replay the committed prefix the snapshot claims to pin.
+      for (; applied < k; ++applied) {
+        const MutationOp& mop = ops[applied];
+        const Status st = mop.is_delete ? oracle.Delete(mop.point, mop.oid)
+                                        : oracle.Insert(mop.point, mop.oid);
+        if (!st.ok()) {
+          fail("oracle replay of op=" + std::to_string(applied) +
+               " failed: " + st.ToString());
+          return;
+        }
+      }
+      if (snap->size() != oracle.size()) {
+        fail("snapshot size " + std::to_string(snap->size()) +
+             " != oracle size " + std::to_string(oracle.size()));
+        return;
+      }
+      for (int q = 0; q < options.queries_per_snapshot; ++q) {
+        Point point;
+        if (trng.NextDouble() < 0.5) {
+          point = initial_points[trng.NextBounded(initial_points.size())];
+          const double scale = 0.01 * (options.coord_hi - options.coord_lo);
+          for (double& c : point) c += trng.Gaussian() * scale;
+        } else {
+          point = random_point(trng);
+        }
+        QuerySpec spec;
+        switch (query_counter++ % 3) {
+          case 0:
+            spec = QuerySpec::Knn(
+                1 + static_cast<int>(trng.NextBounded(
+                        static_cast<uint64_t>(options.max_k))));
+            break;
+          case 1:
+            spec = QuerySpec::KnnBestFirst(
+                1 + static_cast<int>(trng.NextBounded(
+                        static_cast<uint64_t>(options.max_k))));
+            break;
+          default: {
+            const Point& anchor =
+                initial_points[trng.NextBounded(initial_points.size())];
+            spec = QuerySpec::Range(Distance(point, anchor) *
+                                    trng.Uniform(0.8, 1.2));
+            break;
+          }
+        }
+        const QueryResult got = snap->Search(point, spec);
+        const QueryResult want = oracle.Search(point, spec);
+        std::string error;
+        if (!got.status.ok()) {
+          error = "status not OK: " + got.status.ToString();
+        } else if (got.neighbors.size() != want.neighbors.size()) {
+          error = "size mismatch: snapshot returned " +
+                  std::to_string(got.neighbors.size()) + ", oracle " +
+                  std::to_string(want.neighbors.size());
+        } else {
+          for (size_t r = 0; r < got.neighbors.size(); ++r) {
+            if (got.neighbors[r].oid != want.neighbors[r].oid ||
+                std::abs(got.neighbors[r].distance -
+                         want.neighbors[r].distance) > kDistEps) {
+              error = "rank " + std::to_string(r) + " mismatch: snapshot=" +
+                      FormatNeighbors(got.neighbors) +
+                      " oracle=" + FormatNeighbors(want.neighbors);
+              break;
+            }
+          }
+        }
+        if (!error.empty()) {
+          fail("query=" + std::to_string(q) + " " + error);
+          return;
+        }
+      }
+      ++iter;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.num_reader_threads) + 1);
+  for (int t = 0; t < options.num_reader_threads; ++t) {
+    threads.emplace_back(reader, t);
+  }
+  threads.emplace_back(writer);
+  for (std::thread& t : threads) t.join();
+
+  if (options.buffer_pool_pages > 0) index.UseBufferPool(0);
+
+  const auto fail = [&](const std::string& what) {
+    return Status::Corruption("mixed-fuzz[" + index.name() +
+                              " seed=" + std::to_string(options.seed) + "] " +
+                              what);
+  };
+  if (!failures.empty()) return fail(failures[0]);
+
+  // Quiesced epilogue: the final committed version must account for every
+  // scheduled mutation, the tree must still audit clean, and the live state
+  // must match a full oracle replay.
+  const std::unique_ptr<IndexSnapshot> final_snap = index.AcquireSnapshot();
+  if (final_snap->version() != v0 + ops.size()) {
+    return fail("final version " + std::to_string(final_snap->version()) +
+                " != v0 + mutations = " + std::to_string(v0 + ops.size()));
+  }
+  if (Status st = index.CheckInvariants(); !st.ok()) {
+    return fail("final invariant check failed: " + st.ToString());
+  }
+  BruteForceIndex::Options oracle_options;
+  oracle_options.dim = dim;
+  BruteForceIndex oracle(oracle_options);
+  RETURN_IF_ERROR(oracle.BulkLoad(initial_points, initial_oids));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Status st = ops[i].is_delete
+                          ? oracle.Delete(ops[i].point, ops[i].oid)
+                          : oracle.Insert(ops[i].point, ops[i].oid);
+    if (!st.ok()) {
+      return fail("final oracle replay of op=" + std::to_string(i) +
+                  " failed: " + st.ToString());
+    }
+  }
+  if (index.size() != oracle.size()) {
+    return fail("final size " + std::to_string(index.size()) +
+                " != oracle size " + std::to_string(oracle.size()));
   }
   return Status::OK();
 }

@@ -2,9 +2,9 @@
 // PointIndex implementation.
 //
 // The fuzzer drives an index through a seeded interleaving of Insert,
-// Delete (present and absent keys, duplicate points), NearestNeighbors,
-// NearestNeighborsBestFirst, and RangeSearch, mirroring every mutation
-// into a BruteForceIndex oracle. After every batch it cross-checks query
+// Delete (present and absent keys, duplicate points), and Search() in all
+// three query kinds (depth-first kNN, best-first kNN, range), mirroring
+// every mutation into a BruteForceIndex oracle. After every batch it cross-checks query
 // results against the oracle, verifies the size bookkeeping, runs the
 // debug::StructuralAuditor, and (optionally) round-trips the index through
 // a caller-supplied Save/Open hook. Every failure message carries the seed
@@ -87,6 +87,40 @@ struct ConcurrentFuzzOptions {
 
 Status RunConcurrentQueryFuzz(PointIndex& index,
                               const ConcurrentFuzzOptions& options);
+
+// Mixed reader+writer fuzz: the snapshot-isolation differential test. Bulk-
+// loads `index` (which must be empty and must provide real snapshot
+// isolation — AcquireSnapshot()->version() != 0), then runs one writer
+// thread applying a pre-generated deterministic schedule of Insert/Delete
+// mutations while `num_reader_threads` readers concurrently pin snapshots.
+//
+// The contract under test: the committed version advances by exactly one
+// per successful mutation, so a snapshot at version v0 + k must observe
+// precisely the first k scheduled mutations — no more, no fewer, no torn
+// state. Each reader replays that committed prefix into a thread-local
+// BruteForceIndex oracle and cross-checks seeded kNN (depth-first and
+// best-first) and range queries through IndexSnapshot::Search, plus the
+// snapshot's size(), against it. Run it under TSan to surface write-path /
+// read-path races, and under ASan/LSan to catch leaked retired pages.
+struct MixedFuzzOptions {
+  uint64_t seed = 1;
+  size_t initial_points = 1200;
+  size_t num_mutations = 1200;  // committed writer ops, each must succeed
+  int num_reader_threads = 4;
+  // Queries each reader cross-checks per pinned snapshot before releasing
+  // it and pinning a fresh one.
+  int queries_per_snapshot = 3;
+  int max_k = 10;
+  double delete_fraction = 0.35;
+  double coord_lo = 0.0;
+  double coord_hi = 1.0;
+  // When > 0, attaches a sharded BufferPool for the run so the pooled
+  // snapshot read path gets the same concurrent coverage.
+  size_t buffer_pool_pages = 0;
+};
+
+Status RunMixedReadWriteFuzz(PointIndex& index,
+                             const MixedFuzzOptions& options);
 
 class MutationFuzzer {
  public:

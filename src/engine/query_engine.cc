@@ -45,6 +45,12 @@ std::vector<QueryResult> QueryEngine::RunBatch(
   std::vector<QueryResult> results(queries.size());
   size_t total_chunks = 0;
   if (!queries.empty()) {
+    // One pinned view for the whole batch: every chunk — owned or stolen,
+    // on any worker — queries the same committed version, so the results
+    // are byte-identical to a sequential loop over this snapshot even if a
+    // writer commits while the batch drains. Destroyed at end of scope,
+    // after the drain wait below, so workers never outlive it.
+    const std::unique_ptr<IndexSnapshot> snapshot = index_->AcquireSnapshot();
     // Deal contiguous chunks round-robin across the worker deques.
     const size_t grain = options_.steal_grain;
     {
@@ -52,6 +58,7 @@ std::vector<QueryResult> QueryEngine::RunBatch(
       ++epoch_;
       batch_queries_ = queries;
       batch_results_ = &results;
+      batch_snapshot_ = snapshot.get();
       steals_ = 0;
       int next_worker = 0;
       for (size_t begin = 0; begin < queries.size(); begin += grain) {
@@ -74,6 +81,7 @@ std::vector<QueryResult> QueryEngine::RunBatch(
       while (chunks_remaining_ != 0) done_cv_.Wait(mu_);
       batch_results_ = nullptr;
       batch_queries_ = {};
+      batch_snapshot_ = nullptr;
     }
   }
 
@@ -118,6 +126,7 @@ void QueryEngine::WorkerLoop(int worker_id) {
     // re-snapshot before executing it.
     std::span<const Query> queries;
     std::vector<QueryResult>* results = nullptr;
+    const IndexSnapshot* snapshot = nullptr;
     {
       // Explicit wait loop (not a predicate lambda) so the analysis sees
       // the guarded reads of shutdown_/epoch_ under mu_.
@@ -127,6 +136,7 @@ void QueryEngine::WorkerLoop(int worker_id) {
       seen_epoch = epoch_;
       queries = batch_queries_;
       results = batch_results_;
+      snapshot = batch_snapshot_;
     }
     // Drain: own deque first, then steal. When both are dry *for this
     // epoch* the batch has no work left for this worker (chunks in flight
@@ -135,7 +145,7 @@ void QueryEngine::WorkerLoop(int worker_id) {
     Chunk chunk;
     while (PopLocal(worker_id, seen_epoch, chunk) ||
            StealFrom(worker_id, seen_epoch, chunk)) {
-      RunChunk(chunk, queries, *results);
+      RunChunk(chunk, queries, *snapshot, *results);
       size_t remaining;
       {
         MutexLock lock(mu_);
@@ -177,10 +187,11 @@ bool QueryEngine::StealFrom(int worker_id, uint64_t epoch, Chunk& out) {
 }
 
 void QueryEngine::RunChunk(const Chunk& chunk, std::span<const Query> queries,
+                           const IndexSnapshot& snapshot,
                            std::vector<QueryResult>& results) {
   for (size_t i = chunk.begin; i < chunk.end; ++i) {
     const Query& q = queries[i];
-    results[i] = index_->Search(q.point, q.spec);
+    results[i] = snapshot.Search(q.point, q.spec);
   }
 }
 

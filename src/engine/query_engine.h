@@ -1,18 +1,22 @@
 // Concurrent batch-query engine.
 //
-// A QueryEngine owns a PointIndex (frozen while the engine drives it) plus a
-// fixed pool of worker threads, and executes batches of queries through the
-// thread-safe Search() read path. Scheduling is work-stealing: a batch is cut
-// into contiguous chunks of `steal_grain` queries, dealt round-robin to
-// per-worker deques; an owner pops from the front of its own deque and a
-// thief steals from the back of a victim's, so contention concentrates on
-// opposite ends. Results are written by query position, which makes RunBatch
-// deterministic: the output is byte-identical to a sequential loop no matter
-// how chunks are scheduled or stolen.
+// A QueryEngine owns a PointIndex plus a fixed pool of worker threads, and
+// executes batches of queries through the thread-safe snapshot read path.
+// Scheduling is work-stealing: a batch is cut into contiguous chunks of
+// `steal_grain` queries, dealt round-robin to per-worker deques; an owner
+// pops from the front of its own deque and a thief steals from the back of
+// a victim's, so contention concentrates on opposite ends. Results are
+// written by query position, which makes RunBatch deterministic: the output
+// is byte-identical to a sequential loop no matter how chunks are scheduled
+// or stolen.
 //
-// Thread-safety contract: the engine never mutates the index, and RunBatch
-// serializes callers, so the only concurrent accesses are const Search()
-// traversals — re-entrant by the PointIndex contract.
+// Snapshot isolation: RunBatch acquires ONE IndexSnapshot for the whole
+// batch and every worker queries through it, so all results are evaluated
+// against the same pinned version — byte-identical to a sequential loop
+// over that snapshot even while a writer commits mid-batch (SR-tree; for
+// the frozen-tree structures the snapshot is a pass-through and the old
+// no-mutation contract still applies). The engine itself never mutates the
+// index, and RunBatch serializes callers.
 
 #ifndef SRTREE_ENGINE_QUERY_ENGINE_H_
 #define SRTREE_ENGINE_QUERY_ENGINE_H_
@@ -114,11 +118,13 @@ class QueryEngine {
   // filter as PopLocal.
   bool StealFrom(int worker_id, uint64_t epoch, Chunk& out);
   // Executes one chunk against snapshots of the batch state: the worker
-  // copies `batch_queries_`/`batch_results_` out under mu_ when it observes
-  // the new epoch, so the per-query loop runs without touching guarded
-  // members (and without the lock). The snapshots are only ever applied to
-  // chunks carrying the same epoch tag (enforced by PopLocal/StealFrom).
+  // copies `batch_queries_`/`batch_results_`/`batch_snapshot_` out under
+  // mu_ when it observes the new epoch, so the per-query loop runs without
+  // touching guarded members (and without the lock). The snapshots are only
+  // ever applied to chunks carrying the same epoch tag (enforced by
+  // PopLocal/StealFrom).
   void RunChunk(const Chunk& chunk, std::span<const Query> queries,
+                const IndexSnapshot& snapshot,
                 std::vector<QueryResult>& results);
 
   // Written in the constructor and by ReleaseIndex() only; workers read it
@@ -143,6 +149,10 @@ class QueryEngine {
   bool shutdown_ GUARDED_BY(mu_) = false;
   std::span<const Query> batch_queries_ GUARDED_BY(mu_);
   std::vector<QueryResult>* batch_results_ GUARDED_BY(mu_) = nullptr;
+  // The one pinned view every chunk of the current batch queries. Owned by
+  // the RunBatch frame (which outlives the drain); published here so
+  // workers can snapshot it alongside the queries/results.
+  const IndexSnapshot* batch_snapshot_ GUARDED_BY(mu_) = nullptr;
   size_t chunks_remaining_ GUARDED_BY(mu_) = 0;
   size_t steals_ GUARDED_BY(mu_) = 0;
 

@@ -6,10 +6,11 @@
 
 namespace srtree {
 
-QueryResult PointIndex::Search(PointView query, const QuerySpec& spec) const {
+QueryResult RunValidatedSearch(const SearchDispatch& dispatch, int dim,
+                               PointView query, const QuerySpec& spec) {
   QueryResult result;
   const WallTimer timer;
-  if (static_cast<int>(query.size()) != dim()) {
+  if (static_cast<int>(query.size()) != dim) {
     result.status = Status::InvalidArgument(
         "query dimensionality does not match the index");
     result.elapsed_seconds = timer.ElapsedSeconds();
@@ -22,9 +23,10 @@ QueryResult PointIndex::Search(PointView query, const QuerySpec& spec) const {
         result.status = Status::InvalidArgument("k must be >= 1");
         break;
       }
-      result.neighbors = (spec.kind == QueryKind::kKnn)
-                             ? KnnDfsImpl(query, spec.k, &result.io)
-                             : KnnBestFirstImpl(query, spec.k, &result.io);
+      result.neighbors =
+          (spec.kind == QueryKind::kKnn)
+              ? dispatch.KnnDfsImpl(query, spec.k, &result.io)
+              : dispatch.KnnBestFirstImpl(query, spec.k, &result.io);
       break;
     case QueryKind::kRange:
       if (!(spec.radius >= 0.0) || std::isinf(spec.radius)) {
@@ -32,12 +34,29 @@ QueryResult PointIndex::Search(PointView query, const QuerySpec& spec) const {
             Status::InvalidArgument("radius must be finite and >= 0");
         break;
       }
-      result.neighbors = RangeImpl(query, spec.radius, &result.io);
+      result.neighbors = dispatch.RangeImpl(query, spec.radius, &result.io);
       break;
   }
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
+
+QueryResult PointIndex::Search(PointView query, const QuerySpec& spec) const {
+  return RunValidatedSearch(*this, dim(), query, spec);
+}
+
+std::unique_ptr<IndexSnapshot> PointIndex::AcquireSnapshot() const {
+  return std::make_unique<IndexSnapshot>(this);
+}
+
+QueryResult IndexSnapshot::Search(PointView query,
+                                  const QuerySpec& spec) const {
+  // Frozen-tree pass-through: with no concurrent writer (that structure's
+  // contract), the live index IS the pinned view.
+  return index_->Search(query, spec);
+}
+
+size_t IndexSnapshot::size() const { return index_->size(); }
 
 Status PointIndex::BulkLoad(const std::vector<Point>& points,
                             const std::vector<uint32_t>& oids) {

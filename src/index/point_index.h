@@ -9,6 +9,7 @@
 #define SRTREE_INDEX_POINT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,74 @@
 #include "src/storage/io_stats.h"
 
 namespace srtree {
+
+class PointIndex;
+
+// The three traversal hooks every query entry point dispatches to, split
+// out of PointIndex so snapshot objects (IndexSnapshot implementations that
+// traverse a pinned version) can share the exact validation shell —
+// RunValidatedSearch below — with the live index. Implementations are
+// called only with a validated spec and a query of the right
+// dimensionality; they record every page read into `io` (never null) and
+// must be const + re-entrant, carrying all traversal state on the stack.
+class SearchDispatch {
+ public:
+  virtual std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                           IoStatsDelta* io) const = 0;
+  virtual std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                                 IoStatsDelta* io) const = 0;
+  virtual std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                          IoStatsDelta* io) const = 0;
+
+ protected:
+  ~SearchDispatch() = default;  // deleted only through concrete owners
+};
+
+// The single validation + dispatch + timing shell behind every Search():
+// checks the spec (k >= 1 for the k-NN kinds, radius finite and >= 0 for
+// range, query dimensionality == `dim`), returns InvalidArgument with an
+// empty neighbor list when malformed (no traversal runs), and otherwise
+// routes to the matching SearchDispatch hook, stamping elapsed time either
+// way.
+[[nodiscard]] QueryResult RunValidatedSearch(const SearchDispatch& dispatch,
+                                             int dim, PointView query,
+                                             const QuerySpec& spec);
+
+// A read view of an index pinned at acquisition time. What "pinned" means
+// is the implementation's contract:
+//
+//   * This base class is a pass-through for the frozen-tree structures
+//     (everything except the SR-tree): no writer may run concurrently by
+//     contract, so forwarding to the live index IS a stable snapshot, and
+//     version() reports 0.
+//   * The SR-tree returns a snapshot-isolated view (see SRTree): queries
+//     against it observe exactly the committed version that was current at
+//     AcquireSnapshot() time, unaffected by concurrent Insert/Delete
+//     commits, and version() reports that committed version.
+//
+// The snapshot must not outlive the index it was acquired from.
+class IndexSnapshot {
+ public:
+  explicit IndexSnapshot(const PointIndex* index) : index_(index) {}
+  virtual ~IndexSnapshot() = default;
+
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
+
+  // Same contract as PointIndex::Search, evaluated against the pinned view.
+  [[nodiscard]] virtual QueryResult Search(PointView query,
+                                           const QuerySpec& spec) const;
+
+  // The committed version this snapshot pins, or 0 when the structure has
+  // no versioning (frozen-tree pass-through).
+  virtual uint64_t version() const { return 0; }
+
+  // Number of points in the pinned view.
+  virtual size_t size() const;
+
+ protected:
+  const PointIndex* index_;
+};
 
 // Structural statistics gathered by walking the tree (no I/O accounting).
 struct TreeStats {
@@ -39,7 +108,7 @@ struct MaintenanceStats {
   uint64_t forced_splits = 0;  // K-D-B downward forced splits
 };
 
-class PointIndex {
+class PointIndex : private SearchDispatch {
  public:
   virtual ~PointIndex() = default;
 
@@ -79,8 +148,12 @@ class PointIndex {
   // kinds, radius >= 0 and finite for range, query dimensionality matching
   // dim()) and returns InvalidArgument with an empty neighbor list when it
   // is malformed — no traversal runs. The read path is const and
-  // re-entrant: any number of Search() calls may run concurrently as long
-  // as no mutation (Insert/Delete/BulkLoad/ResetIoStats/...) is in flight.
+  // re-entrant: any number of Search() calls may run concurrently. Whether
+  // they may also run concurrently with mutations is per-structure: the
+  // SR-tree serves every Search() from a pinned committed snapshot and is
+  // safe against its (single) writer; the other structures keep the legacy
+  // frozen-tree contract — no mutation
+  // (Insert/Delete/BulkLoad/ResetIoStats/...) while queries are in flight.
   //
   // Neighbors come back closest first, ties broken by oid:
   //   kKnn          — the paper's depth-first branch-and-bound
@@ -91,19 +164,11 @@ class PointIndex {
   //   kRange        — all points within spec.radius (closed ball).
   [[nodiscard]] QueryResult Search(PointView query, const QuerySpec& spec) const;
 
-  // DEPRECATED: thin wrappers over Search(), kept so the paper benches and
-  // the fuzzer migrate incrementally. They drop the per-query stats and
-  // return only the neighbors (empty on an invalid k/radius/query).
-  std::vector<Neighbor> NearestNeighbors(PointView query, int k) const {
-    return Search(query, QuerySpec::Knn(k)).neighbors;
-  }
-  std::vector<Neighbor> NearestNeighborsBestFirst(PointView query,
-                                                  int k) const {
-    return Search(query, QuerySpec::KnnBestFirst(k)).neighbors;
-  }
-  std::vector<Neighbor> RangeSearch(PointView query, double radius) const {
-    return Search(query, QuerySpec::Range(radius)).neighbors;
-  }
+  // Pins a read view of the index (see IndexSnapshot for what that means
+  // per structure). The default is the frozen-tree pass-through; the
+  // SR-tree overrides it with real snapshot isolation.
+  [[nodiscard]] virtual std::unique_ptr<IndexSnapshot> AcquireSnapshot()
+      const;
 
   // Fanout limits implied by the serialized page layout (the paper's
   // Table 1). node_capacity() is 0 for flat structures without nodes.
@@ -169,16 +234,16 @@ class PointIndex {
   virtual void UseBufferPool(size_t capacity) { (void)capacity; }
 
  protected:
-  // Traversal hooks behind Search(). Called only with a validated spec and
-  // a query of the right dimensionality; implementations record every page
-  // read into `io` (never null) and must be const + re-entrant, carrying
-  // all traversal state on the stack.
-  virtual std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
-                                           IoStatsDelta* io) const = 0;
-  virtual std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
-                                                 IoStatsDelta* io) const = 0;
-  virtual std::vector<Neighbor> RangeImpl(PointView query, double radius,
-                                          IoStatsDelta* io) const = 0;
+  // Traversal hooks behind Search(), inherited from SearchDispatch (see its
+  // contract comment). Redeclared here — still pure — so they are protected
+  // members of every index: the base is a private one, and implementations
+  // override these, not callers.
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override = 0;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override = 0;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override = 0;
 };
 
 }  // namespace srtree

@@ -10,9 +10,21 @@
 // readers contend only when they touch the same shard. A frame being copied
 // out is *pinned* first — eviction skips pinned frames — which lets the
 // copy run outside the shard lock without another thread tearing the frame
-// under it. Read()/Pin() are safe from any number of threads; Write(),
-// Discard(), and FlushAll() require external exclusion against all other
-// calls (single-writer, like the PageFile underneath).
+// under it. Read()/Pin() are safe from any number of threads. Write() and
+// Discard() are single-writer among themselves (like the PageFile
+// underneath) but safe against concurrent Pin()/Read() of the same page:
+// instead of mutating or freeing a pinned frame they detach it to a
+// "zombie" side list, where in-flight pins keep reading the superseded
+// bytes; the last unpin frees it. FlushAll() still requires full external
+// exclusion.
+//
+// Snapshot reads: frames are keyed by (page id, buffer stamp). Legacy
+// direct reads use stamp 0 and are invalidated by Write()/Discard() as
+// before. PinSnapshot()/ReadSnapshot() cache a PageFile::Snapshot's pages
+// under the snapshot's own stamps — copy-on-write gives a changed page a
+// fresh stamp, so a stale hit is impossible by construction and retired
+// versions need no invalidation protocol at all: their frames simply age
+// out of the LRU.
 
 #ifndef SRTREE_STORAGE_BUFFER_POOL_H_
 #define SRTREE_STORAGE_BUFFER_POOL_H_
@@ -63,12 +75,16 @@ class BufferPool {
 
    private:
     friend class BufferPool;
-    PageGuard(BufferPool* pool, size_t shard, PageId id, const char* data)
-        : pool_(pool), shard_(shard), id_(id), data_(data) {}
+    PageGuard(BufferPool* pool, size_t shard, void* frame, const char* data)
+        : pool_(pool), shard_(shard), frame_(frame), data_(data) {}
 
     BufferPool* pool_ = nullptr;
     size_t shard_ = 0;
-    PageId id_ = 0;
+    // The pinned Frame (opaque here to keep Frame private). Held by address
+    // — stable across LRU splices and zombie detachment — so Unpin releases
+    // exactly the frame that was pinned, even after the (id, stamp) key has
+    // been superseded in the map.
+    void* frame_ = nullptr;
     const char* data_ = nullptr;
   };
 
@@ -81,6 +97,10 @@ class BufferPool {
     ScopedPin(BufferPool& pool, PageId id, int level = -1,
               IoStatsDelta* delta = nullptr) ACQUIRE_SHARED(pool.pin_cap_)
         : guard_(pool.Pin(id, level, delta)) {}
+    ScopedPin(BufferPool& pool, const PageFile::Snapshot& snap, PageId id,
+              int level = -1, IoStatsDelta* delta = nullptr)
+        ACQUIRE_SHARED(pool.pin_cap_)
+        : guard_(pool.PinSnapshot(snap, id, level, delta)) {}
     ~ScopedPin() RELEASE() {}
 
     ScopedPin(const ScopedPin&) = delete;
@@ -100,18 +120,36 @@ class BufferPool {
   [[nodiscard]] PageGuard Pin(PageId id, int level = -1,
                               IoStatsDelta* delta = nullptr);
 
+  // Pins the page *as of the given snapshot*, fetching through
+  // Snapshot::Read on a miss. The frame is keyed by the snapshot's buffer
+  // stamp for the page, so versions never alias: a page rewritten since the
+  // snapshot lives in the pool under a different stamp. The snapshot (and
+  // its EpochGuard) must outlive the returned guard.
+  [[nodiscard]] PageGuard PinSnapshot(const PageFile::Snapshot& snap,
+                                      PageId id, int level = -1,
+                                      IoStatsDelta* delta = nullptr);
+
   // Reads through the pool: Pin() + copy into `out` (page_size bytes).
   // Safe to call concurrently with other Read()/Pin() calls.
   void Read(PageId id, char* out, int level = -1,
             IoStatsDelta* delta = nullptr);
 
+  // Snapshot-keyed variant of Read(); see PinSnapshot.
+  void ReadSnapshot(const PageFile::Snapshot& snap, PageId id, char* out,
+                    int level = -1, IoStatsDelta* delta = nullptr);
+
   // Writes into the pool; the page is flushed to the file on eviction or
   // FlushAll(), so back-to-back updates of a hot node cost one disk write.
+  // Safe against concurrent Pin()/Read() of the same page: a pinned frame
+  // is detached (in-flight pins keep the old bytes) and a fresh frame takes
+  // the key.
   void Write(PageId id, const char* data);
 
-  // Drops the page from the pool without writeback; pair with
-  // PageFile::Free when a node is deleted, or call before a direct
-  // PageFile::Write to invalidate the stale frame.
+  // Drops the page's direct-read frame from the pool without writeback;
+  // pair with PageFile::Free when a node is deleted, or call before a
+  // direct PageFile::Write to invalidate the stale frame. A pinned frame is
+  // detached rather than freed (its dirty contents are dropped either way).
+  // Snapshot-stamped frames are untouched — they can never go stale.
   void Discard(PageId id);
 
   // Writes every dirty frame back to the file.
@@ -123,35 +161,67 @@ class BufferPool {
   size_t shard_count() const { return shards_.size(); }
 
  private:
+  // Frames are keyed by (page id, buffer stamp). Stamp 0 is the legacy
+  // direct-read namespace (invalidated by Write/Discard); nonzero stamps
+  // come from PageFile snapshots and name immutable bytes.
+  struct FrameKey {
+    PageId id = 0;
+    uint64_t stamp = 0;
+    bool operator==(const FrameKey& other) const {
+      return id == other.id && stamp == other.stamp;
+    }
+  };
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& key) const {
+      // Splitmix-style scramble of the 96 key bits folded to one word.
+      uint64_t h = (static_cast<uint64_t>(key.id) << 1) ^ key.stamp;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+
   struct Frame {
-    PageId id;
+    FrameKey key;
     std::unique_ptr<char[]> data;
     bool dirty = false;
     int pins = 0;
+    // A zombie has been superseded (Write) or dropped (Discard) while
+    // pinned: it lives on the shard's zombie list, unreachable from the
+    // frame map, until its last pin releases it.
+    bool zombie = false;
   };
 
-  // std::list keeps Frame addresses stable across LRU splices, which is
-  // what allows a PageGuard to hold the data pointer without the lock.
+  // std::list keeps Frame addresses stable across LRU/zombie splices, which
+  // is what allows a PageGuard to hold Frame and data pointers without the
+  // lock.
   using LruList = std::list<Frame>;
 
   // Capability map: shard.mu guards the shard's LRU order, its frame map,
-  // and (through them) every Frame's dirty/pins fields. Frame *bytes* are
-  // readable without the lock only under a pin.
+  // its zombie list, and (through them) every Frame's dirty/pins/zombie
+  // fields. Frame *bytes* are readable without the lock only under a pin.
   struct Shard {
     Mutex mu;
     LruList lru GUARDED_BY(mu);  // front = most recently used
-    std::unordered_map<PageId, LruList::iterator> frames GUARDED_BY(mu);
+    std::unordered_map<FrameKey, LruList::iterator, FrameKeyHash> frames
+        GUARDED_BY(mu);
+    LruList zombies GUARDED_BY(mu);  // superseded frames with live pins
     size_t capacity = 0;  // set once at construction, then read-only
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
 
   Frame& Touch(Shard& shard, LruList::iterator it) REQUIRES(shard.mu);
-  Frame& InsertFrame(Shard& shard, PageId id) REQUIRES(shard.mu);
+  Frame& InsertFrame(Shard& shard, FrameKey key) REQUIRES(shard.mu);
   void EvictIfFull(Shard& shard) REQUIRES(shard.mu);
   void WriteBack(Shard& shard, Frame& frame) REQUIRES(shard.mu);
+  // Moves the frame at `it` (must be in shard.lru and mapped) onto the
+  // zombie list; its pins keep the old bytes readable until the last one
+  // releases.
+  void DetachFrame(Shard& shard, LruList::iterator it) REQUIRES(shard.mu);
 
-  void Unpin(size_t shard_index, PageId id);
+  void Unpin(size_t shard_index, void* frame);
 
   PageFile* file_;
   size_t capacity_;

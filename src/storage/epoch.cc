@@ -1,0 +1,112 @@
+#include "src/storage/epoch.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace srtree {
+namespace {
+
+// Hung-reader heuristic: warn only when a reader's announce is this many
+// epochs behind the global counter AND this many retirees are waiting on
+// it. A healthy reader holds a snapshot for a handful of commits; a gap of
+// hundreds with a growing backlog means someone forgot to release a guard.
+constexpr uint64_t kStuckEpochGap = 512;
+constexpr size_t kStuckBacklog = 4096;
+// Rate limit: one line per this many suppressed detections.
+constexpr uint64_t kWarnEvery = 256;
+
+}  // namespace
+
+EpochManager::~EpochManager() {
+  for (size_t i = 0; i < kMaxReaders; ++i) {
+    CHECK_EQ(slots_[i].epoch.load(std::memory_order_seq_cst), 0u);
+  }
+  MutexLock lock(retired_mu_);
+  retired_.clear();  // no readers left; dropping the references frees all
+}
+
+size_t EpochManager::ClaimSlot() {
+  for (;;) {
+    // The announce value is read before the CAS publishes it. A value that
+    // goes stale while scanning is only ever *older* than the true current
+    // epoch, which delays reclamation but never makes it unsafe.
+    const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (size_t i = 0; i < kMaxReaders; ++i) {
+      uint64_t expected = 0;
+      if (slots_[i].epoch.compare_exchange_strong(expected, e,
+                                                  std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+    std::this_thread::yield();  // every slot taken: wait for a reader to exit
+  }
+}
+
+void EpochManager::Retire(std::shared_ptr<const void> obj) {
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  MutexLock lock(retired_mu_);
+  retired_.push_back(Retiree{std::move(obj), e});
+}
+
+void EpochManager::AdvanceAndReclaim() {
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  ReclaimExpired();
+}
+
+size_t EpochManager::ReclaimExpired() {
+  uint64_t min_active = std::numeric_limits<uint64_t>::max();
+  size_t oldest_slot = kMaxReaders;
+  for (size_t i = 0; i < kMaxReaders; ++i) {
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_active) {
+      min_active = e;
+      oldest_slot = i;
+    }
+  }
+
+  MutexLock lock(retired_mu_);
+  size_t freed = 0;
+  size_t kept = 0;
+  for (Retiree& r : retired_) {
+    if (r.epoch < min_active) {
+      ++freed;  // dropping the reference is the free
+    } else {
+      retired_[kept++] = std::move(r);
+    }
+  }
+  retired_.resize(kept);
+
+  if (oldest_slot != kMaxReaders && kept >= kStuckBacklog) {
+    const uint64_t global = global_epoch_.load(std::memory_order_seq_cst);
+    if (global - min_active >= kStuckEpochGap) {
+      if (stuck_warnings_++ % kWarnEvery == 0) {
+        std::fprintf(stderr,
+                     "[srtree/epoch] reader slot %zu pinned at epoch %" PRIu64
+                     " while the global epoch is %" PRIu64 "; %zu retired "
+                     "object(s) are waiting on it (possible hung reader — "
+                     "memory is held, not leaked)\n",
+                     oldest_slot, min_active, global, kept);
+      }
+    }
+  }
+  return freed;
+}
+
+size_t EpochManager::retired_count() const {
+  MutexLock lock(retired_mu_);
+  return retired_.size();
+}
+
+size_t EpochManager::active_readers() const {
+  size_t n = 0;
+  for (size_t i = 0; i < kMaxReaders; ++i) {
+    if (slots_[i].epoch.load(std::memory_order_seq_cst) != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace srtree

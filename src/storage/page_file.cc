@@ -103,33 +103,57 @@ uint32_t HeaderCrc(uint64_t page_size, uint64_t page_count,
 
 PageFile::PageFile(size_t page_size) : page_size_(page_size) {
   CHECK_GT(page_size_, 0u);
+  // Publish the empty version 1 so AcquireSnapshot never observes null and
+  // committed_version() is meaningful from birth.
+  Commit({});
+}
+
+PageFile::~PageFile() {
+  // EpochManager's destructor (which runs after this body, epochs_ being the
+  // last member) CHECKs that no reader guard is still alive, so deleting the
+  // published version here cannot race a Snapshot::Read.
+  delete committed_.exchange(nullptr, std::memory_order_seq_cst);
 }
 
 PageId PageFile::Allocate() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
-    // Dead pages restored by LoadFrom carry no buffer (a forged image must
-    // not be able to force one allocation per claimed page); materialize on
-    // first reuse.
+    // A recycled slot may hold no buffer: dead pages restored by LoadFrom
+    // stage none (a forged image must not be able to force one allocation
+    // per claimed page), and Free() detaches buffers the published version
+    // still references. Materialize on reuse.
+    CHECK(!shared_with_committed_[id]);
     if (pages_[id] == nullptr) pages_[id] = std::make_unique<char[]>(page_size_);
     std::memset(pages_[id].get(), 0, page_size_);
     live_[id] = true;
     ++live_pages_;
+    page_stamp_[id] = next_stamp_++;
     return id;
   }
   const PageId id = static_cast<PageId>(pages_.size());
   pages_.push_back(std::make_unique<char[]>(page_size_));
   live_.push_back(true);
+  shared_with_committed_.push_back(false);
+  page_stamp_.push_back(next_stamp_++);
   ++live_pages_;
   return id;
 }
 
 void PageFile::Free(PageId id) {
   CHECK(IsLive(id));
+  // The published version's table still points at a shared buffer; hand it
+  // to the next Commit()'s retire batch instead of letting Allocate() zero
+  // it under a live snapshot.
+  if (shared_with_committed_[id]) DetachSharedBuffer(id);
   live_[id] = false;
   --live_pages_;
   free_list_.push_back(id);
+}
+
+void PageFile::DetachSharedBuffer(PageId id) {
+  pending_retire_.push_back(std::move(pages_[id]));
+  shared_with_committed_[id] = false;
 }
 
 bool PageFile::IsLive(PageId id) const {
@@ -179,9 +203,124 @@ bool PageFile::TouchCache(PageId id) const {
 
 void PageFile::Write(PageId id, const char* data) {
   CHECK(IsLive(id));
+  // A page the published version can see must go through StageWrite: an
+  // in-place write here would mutate bytes a live snapshot is reading.
+  // Legacy frozen-tree indexes never Commit() past the initial empty
+  // version, so none of their pages is ever shared and this never fires
+  // for them.
+  CHECK(!shared_with_committed_[id]);
   std::memcpy(pages_[id].get(), data, page_size_);
   MutexLock lock(stats_mu_);
   stats_.RecordWrite();
+}
+
+void PageFile::StageWrite(PageId id, const char* data) {
+  CHECK(IsLive(id));
+  if (shared_with_committed_[id]) {
+    // Copy-on-write: the published version keeps the old buffer (retired at
+    // the next Commit); the working state moves to a fresh one under a
+    // fresh stamp so (id, stamp) keeps naming immutable bytes.
+    auto fresh = std::make_unique<char[]>(page_size_);
+    std::memcpy(fresh.get(), data, page_size_);
+    pending_retire_.push_back(std::move(pages_[id]));
+    pages_[id] = std::move(fresh);
+    shared_with_committed_[id] = false;
+    page_stamp_[id] = next_stamp_++;
+  } else {
+    // The buffer was created after the last commit; no snapshot can see it.
+    std::memcpy(pages_[id].get(), data, page_size_);
+  }
+  MutexLock lock(stats_mu_);
+  stats_.RecordWrite();
+}
+
+void PageFile::Commit(const std::array<uint64_t, kCommitMetaWords>& meta) {
+  auto next = std::make_unique<VersionState>();
+  const VersionState* prev = committed_.load(std::memory_order_seq_cst);
+  next->version = (prev != nullptr) ? prev->version + 1 : 1;
+  next->meta = meta;
+  next->table.resize(pages_.size());
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    if (live_[i]) {
+      next->table[i] = PageRef{pages_[i].get(), page_stamp_[i]};
+      shared_with_committed_[i] = true;
+    }
+  }
+  const VersionState* old =
+      committed_.exchange(next.release(), std::memory_order_seq_cst);
+  // Unlink-before-retire: from here on neither `old` nor the displaced
+  // buffers are reachable from the published state, so a reader announcing
+  // after this point can never acquire them (src/storage/epoch.h).
+  if (old != nullptr) {
+    epochs_.Retire(std::shared_ptr<const VersionState>(old));
+  }
+  if (!pending_retire_.empty()) {
+    epochs_.Retire(std::make_shared<std::vector<std::unique_ptr<char[]>>>(
+        std::move(pending_retire_)));
+    pending_retire_.clear();
+  }
+  epochs_.AdvanceAndReclaim();
+}
+
+PageFile::Snapshot PageFile::AcquireSnapshot(const EpochGuard& guard) const {
+  // The guard parameter is the contract: a snapshot cannot be acquired
+  // without an epoch announce already in place, and the announce preceding
+  // this load is what keeps the version (and every buffer it references)
+  // alive for the snapshot's lifetime.
+  (void)guard;
+  return Snapshot(this, committed_.load(std::memory_order_seq_cst));
+}
+
+uint64_t PageFile::committed_version() const {
+  return committed_.load(std::memory_order_seq_cst)->version;
+}
+
+uint64_t PageFile::page_stamp(PageId id) const {
+  CHECK(IsLive(id));
+  return page_stamp_[id];
+}
+
+void PageFile::Snapshot::Read(PageId id, char* out, int level,
+                              IoStatsDelta* delta) const {
+  const auto* state = static_cast<const VersionState*>(state_);
+  CHECK_LT(static_cast<size_t>(id), state->table.size());
+  const PageRef& ref = state->table[id];
+  CHECK(ref.data != nullptr);
+  // The buffer is immutable for this version's lifetime (copy-on-write),
+  // so the copy needs no lock; only the shared counters do.
+  std::memcpy(out, ref.data, file_->page_size_);
+  bool cache_hit = false;
+  {
+    MutexLock lock(file_->stats_mu_);
+    file_->stats_.RecordRead(level);
+    if (file_->cache_capacity_ > 0) cache_hit = file_->TouchCache(id);
+  }
+  if (delta != nullptr) {
+    delta->RecordRead(level);
+    if (cache_hit) delta->RecordCacheHit();
+  }
+}
+
+uint64_t PageFile::Snapshot::version() const {
+  return static_cast<const VersionState*>(state_)->version;
+}
+
+uint64_t PageFile::Snapshot::meta(size_t i) const {
+  CHECK_LT(i, kCommitMetaWords);
+  return static_cast<const VersionState*>(state_)->meta[i];
+}
+
+bool PageFile::Snapshot::is_live(PageId id) const {
+  const auto* state = static_cast<const VersionState*>(state_);
+  return static_cast<size_t>(id) < state->table.size() &&
+         state->table[id].data != nullptr;
+}
+
+uint64_t PageFile::Snapshot::page_stamp(PageId id) const {
+  const auto* state = static_cast<const VersionState*>(state_);
+  CHECK_LT(static_cast<size_t>(id), state->table.size());
+  CHECK(state->table[id].data != nullptr);
+  return state->table[id].stamp;
 }
 
 IoStats PageFile::GetIoStats() const {
@@ -407,11 +546,25 @@ Status PageFile::LoadFrom(std::istream& in) {
   // The image is fully validated; swap it in. The simulated-cache LRU and
   // the counters refer to the replaced pages, so both reset with the
   // contents (the configured cache capacity is kept).
+  //
+  // Commit-protocol interaction: buffers the published version references
+  // are moved into the pending-retire batch, NOT destroyed — a concurrent
+  // snapshot keeps reading the pre-load version until the caller's next
+  // Commit() retires it. The new contents are deliberately left unpublished
+  // and unshared: a committing caller (SRTree::Open) follows up with a
+  // Commit() carrying its real metadata, while legacy frozen-tree callers
+  // never commit and keep mutating the fresh buffers through Write().
+  for (auto& page : pages_) {
+    if (page != nullptr) pending_retire_.push_back(std::move(page));
+  }
   pages_ = std::move(pages);
   live_ = std::move(live);
   free_list_ = std::move(free_list);
   live_pages_ = live_pages;
   loaded_legacy_image_ = legacy;
+  shared_with_committed_.assign(pages_.size(), false);
+  page_stamp_.resize(pages_.size());
+  for (size_t i = 0; i < pages_.size(); ++i) page_stamp_[i] = next_stamp_++;
   {
     MutexLock lock(stats_mu_);
     cache_lru_.clear();

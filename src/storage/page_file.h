@@ -10,16 +10,30 @@
 // and enforcing that each node physically fits one block, not about actual
 // persistence.
 //
-// Thread safety: Read() is safe to call from any number of threads at once
-// (the shared counters and the simulated-cache LRU are guarded by a mutex);
-// that is what makes the concurrent query engine's read path sound. All
-// mutating operations — Allocate/Free/Write/SimulateCache/Load* and the
-// stats() reference accessors — require external exclusion against every
-// other call, i.e. the index must be frozen while queries are in flight.
+// Thread safety — two coexisting contracts:
+//
+//   * Legacy (frozen-tree) contract: Read() is safe from any number of
+//     threads at once (the shared counters and the simulated-cache LRU are
+//     guarded by a mutex). All mutating operations — Allocate/Free/Write/
+//     SimulateCache/Load* and the stats() reference accessors — require
+//     external exclusion against every other call. The six non-SR trees
+//     still run under this contract.
+//
+//   * Commit protocol (single writer / many readers): the writer mutates
+//     *working state* through StageWrite() — which copy-on-writes any page
+//     a published version can see — and atomically publishes the result
+//     with Commit(). Readers pin an immutable published version via
+//     AcquireSnapshot() under an EpochGuard and read through the returned
+//     Snapshot; retired versions and displaced page buffers are reclaimed
+//     by the epoch scheme (src/storage/epoch.h) once no reader can reach
+//     them. Snapshot::Read is safe against a concurrently staging and
+//     committing writer; the writer itself must still be a single thread.
 
 #ifndef SRTREE_STORAGE_PAGE_FILE_H_
 #define SRTREE_STORAGE_PAGE_FILE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <list>
@@ -31,6 +45,7 @@
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/common/status.h"
+#include "src/storage/epoch.h"
 #include "src/storage/io_stats.h"
 #include "src/storage/page.h"
 
@@ -41,12 +56,55 @@ inline constexpr PageId kInvalidPageId = 0xffffffffu;
 
 class PageFile {
  public:
+  // Metadata words carried by every committed version (the SR-tree packs
+  // root id, root level, and size; other users are free to repurpose them).
+  static constexpr size_t kCommitMetaWords = 4;
+
   explicit PageFile(size_t page_size = kDefaultPageSize);
 
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
+  ~PageFile();
+
   size_t page_size() const { return page_size_; }
+
+  // An immutable view of one committed version: the page table published by
+  // the Commit() that created it, plus its metadata words. Light value type
+  // (two pointers); valid only while the EpochGuard passed to
+  // AcquireSnapshot() is alive. Read() performs the same I/O accounting as
+  // PageFile::Read and is safe against the concurrently mutating writer.
+  class Snapshot {
+   public:
+    // Copies the page as of this version into `out` (page_size bytes) and
+    // counts one disk read (see PageFile::Read for `level` / `delta`).
+    void Read(PageId id, char* out, int level = -1,
+              IoStatsDelta* delta = nullptr) const;
+
+    // Monotonic version number (the constructor publishes version 1; every
+    // Commit() increments it by exactly one).
+    uint64_t version() const;
+    uint64_t meta(size_t i) const;
+
+    // True when `id` was live in this version.
+    bool is_live(PageId id) const;
+
+    // Identity of the page *buffer* backing `id` in this version. A
+    // (page id, stamp) pair names immutable bytes — copy-on-write assigns a
+    // fresh stamp — which is what lets BufferPool cache snapshot reads
+    // without any invalidation protocol.
+    uint64_t page_stamp(PageId id) const;
+
+    size_t page_size() const { return file_->page_size(); }
+
+   private:
+    friend class PageFile;
+    Snapshot(const PageFile* file, const void* state)
+        : file_(file), state_(state) {}
+
+    const PageFile* file_;
+    const void* state_;  // const VersionState*, opaque to keep it private
+  };
 
   // Allocates a zeroed page and returns its id (free pages are recycled).
   PageId Allocate();
@@ -62,8 +120,46 @@ class PageFile {
   void Read(PageId id, char* out, int level = -1,
             IoStatsDelta* delta = nullptr) const;
 
-  // Copies `data` (page_size bytes) into the page and counts one write.
+  // Copies `data` (page_size bytes) into the page in place and counts one
+  // write. LEGACY frozen-tree path only: writing a page a committed version
+  // can see would corrupt live snapshots, so this CHECKs that the page is
+  // not shared with the published version. Indexes that commit (the
+  // SR-tree) must use StageWrite(); srlint rule R6 enforces this outside
+  // src/storage/.
   void Write(PageId id, const char* data);
+
+  // --- commit protocol (single writer) -----------------------------------
+
+  // Writer-side page update: when the page's current buffer is visible to
+  // the published version, allocates a fresh buffer (copy-on-write) and
+  // retires the old one at the next Commit(); otherwise updates in place
+  // (the buffer was created after the last commit, so no reader can see
+  // it). Counts one write.
+  void StageWrite(PageId id, const char* data);
+
+  // Atomically publishes the current working state (live pages + buffers +
+  // `meta`) as the next version. Readers acquiring a snapshot from this
+  // point observe the new version; snapshots acquired earlier keep reading
+  // their own. Superseded state is retired through the epoch manager and
+  // freed once no reader can reference it.
+  void Commit(const std::array<uint64_t, kCommitMetaWords>& meta);
+
+  // Pins the most recently committed version. The guard must outlive the
+  // snapshot (requiring it here is what makes an unguarded snapshot
+  // impossible to acquire). Safe to call concurrently with the writer.
+  Snapshot AcquireSnapshot(const EpochGuard& guard) const;
+
+  // Version number of the most recently committed version.
+  uint64_t committed_version() const;
+
+  // Stamp of the *working* buffer currently backing `id` (see
+  // Snapshot::page_stamp). The id must be live.
+  uint64_t page_stamp(PageId id) const;
+
+  // The reclamation domain for this file's retired versions and buffers.
+  // Readers construct EpochGuards against it; tests assert retired_count()
+  // drains to zero.
+  EpochManager& epochs() const { return epochs_; }
 
   // Enables a simulated LRU cache of `capacity` pages: subsequent Read()s
   // still count in IoStats::reads, but IoStats::cache_misses only counts
@@ -131,9 +227,29 @@ class PageFile {
  private:
   bool IsLive(PageId id) const;
 
+  // One entry of a committed version's page table: the immutable buffer
+  // bytes (nullptr = dead in that version) and the buffer's stamp.
+  struct PageRef {
+    const char* data = nullptr;
+    uint64_t stamp = 0;
+  };
+
+  // An immutable committed version. Built by Commit(), published through
+  // `committed_`, torn down by the epoch manager once unreachable.
+  struct VersionState {
+    std::vector<PageRef> table;
+    std::array<uint64_t, kCommitMetaWords> meta{};
+    uint64_t version = 0;
+  };
+
   // Returns true when the simulated cache already held the page (the hit is
   // recorded in stats_, the caller mirrors it into the per-query delta).
   bool TouchCache(PageId id) const REQUIRES(stats_mu_);
+
+  // Moves the page's buffer out of the working state and into the batch
+  // retired at the next Commit() (the published version still references
+  // it). The slot is left null for Allocate() to rematerialize.
+  void DetachSharedBuffer(PageId id);
 
   size_t page_size_;
   // stats_mu_ guards stats_ and the simulated-cache LRU — the only state a
@@ -153,6 +269,24 @@ class PageFile {
   size_t live_pages_ = 0;
   bool loaded_legacy_image_ = false;
   mutable IoStats stats_ GUARDED_BY(stats_mu_);
+
+  // --- commit-protocol state (owned by the single writer, except
+  //     `committed_`, which readers load through AcquireSnapshot) ----------
+
+  // shared_with_committed_[id]: the working buffer for `id` is referenced
+  // by the published version's table, so StageWrite must copy-on-write and
+  // Free must detach instead of recycling it.
+  std::vector<bool> shared_with_committed_;
+  // Stamp of the working buffer per page (see Snapshot::page_stamp).
+  std::vector<uint64_t> page_stamp_;
+  uint64_t next_stamp_ = 1;
+  // Buffers displaced by StageWrite/Free since the last Commit(): still
+  // referenced by the published version, retired with it at the next one.
+  std::vector<std::unique_ptr<char[]>> pending_retire_;
+  // The published version; never null after construction. seq_cst on both
+  // sides pairs with the epoch announce protocol (src/storage/epoch.h).
+  std::atomic<const VersionState*> committed_{nullptr};
+  mutable EpochManager epochs_;
 };
 
 }  // namespace srtree

@@ -1,9 +1,10 @@
 // Concurrent read-path fuzz: N reader threads issue mixed kNN / best-first /
-// range batches through Search() against a frozen tree, cross-checked
-// against the brute-force oracle, with the accounting-parity invariant
-// verified at the end (see debug::RunConcurrentQueryFuzz). The CI thread-
-// sanitizer job builds this file with -fsanitize=thread to surface read-path
-// races; sizes are kept modest so the TSan run stays fast.
+// range batches through Search() against a quiescent tree (no writer runs
+// here — the mixed reader+writer schedules live in mixed_fuzz_test.cc),
+// cross-checked against the brute-force oracle, with the accounting-parity
+// invariant verified at the end (see debug::RunConcurrentQueryFuzz). The CI
+// thread-sanitizer job builds this file with -fsanitize=thread to surface
+// read-path races; sizes are kept modest so the TSan run stays fast.
 
 #include <gtest/gtest.h>
 

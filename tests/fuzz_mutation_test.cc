@@ -1,6 +1,6 @@
 // Mutation-fuzz harness run: every tree variant is driven through seeded
-// randomized interleavings of Insert / Delete / NearestNeighbors /
-// BestFirst / RangeSearch (plus Save/OpenIndex round-trips for every
+// randomized interleavings of Insert / Delete / Search() in all three
+// query kinds (plus Save/OpenIndex round-trips for every
 // dynamic tree), cross-checked against the brute-force oracle, with the
 // structural auditor run after every batch. Seeds are fixed, so a failure
 // reproduces from the log.

@@ -8,15 +8,19 @@
 //   * per-query IoStatsDelta / elapsed-time fields and the accounting-parity
 //     contract against the legacy global counters;
 //   * RunBatch() determinism: 8 workers return byte-identical neighbors to a
-//     sequential loop, with and without a shared buffer pool.
+//     sequential loop, with and without a shared buffer pool;
+//   * snapshot pinning: one batch observes one committed version even while
+//     a writer commits mutations mid-batch (SR-tree).
 
 #include "src/engine/query_engine.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/benchlib/experiment.h"
@@ -88,17 +92,6 @@ TEST_P(SearchApiTest, MatchesOracleForEveryQueryKind) {
   }
 }
 
-TEST_P(SearchApiTest, LegacyWrappersDelegateToSearch) {
-  const auto index = BuildIndex();
-  const Point& q = queries_.front();
-  EXPECT_EQ(index->NearestNeighbors(q, 5),  // srlint: allow(R1) wrapper regression test
-            index->Search(q, QuerySpec::Knn(5)).neighbors);
-  EXPECT_EQ(index->NearestNeighborsBestFirst(q, 5),  // srlint: allow(R1) wrapper regression test
-            index->Search(q, QuerySpec::KnnBestFirst(5)).neighbors);
-  EXPECT_EQ(index->RangeSearch(q, 0.3),  // srlint: allow(R1) wrapper regression test
-            index->Search(q, QuerySpec::Range(0.3)).neighbors);
-}
-
 // Regression: k <= 0 used to CHECK-crash inside KnnCandidates, and a
 // negative radius ran a pointless traversal; both are now rejected before
 // any page is touched.
@@ -116,11 +109,6 @@ TEST_P(SearchApiTest, InvalidSpecsAreRejected) {
     EXPECT_TRUE(result.neighbors.empty());
     EXPECT_EQ(result.io.reads, 0u);  // rejected before any traversal
   }
-
-  // Legacy wrappers return empty instead of crashing.
-  EXPECT_TRUE(index->NearestNeighbors(q, 0).empty());  // srlint: allow(R1) wrapper regression test
-  EXPECT_TRUE(index->NearestNeighborsBestFirst(q, -2).empty());  // srlint: allow(R1) wrapper regression test
-  EXPECT_TRUE(index->RangeSearch(q, -1.0).empty());  // srlint: allow(R1) wrapper regression test
 
   const Point wrong_dim(kDim + 1, 0.5);
   const QueryResult result = index->Search(wrong_dim, QuerySpec::Knn(3));
@@ -287,6 +275,56 @@ TEST_F(QueryEngineTest, EmptyAndTinyBatches) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].status.ok());
   EXPECT_FALSE(results[0].neighbors.empty());
+}
+
+// Snapshot pinning: every query of one batch is answered from the same
+// committed version. A batch of IDENTICAL queries therefore returns
+// identical results even while a single writer commits inserts and deletes
+// mid-batch — without the pinned snapshot, chunks running before and after
+// a commit would disagree.
+TEST_F(QueryEngineTest, RunBatchPinsOneSnapshotAcrossWriterCommits) {
+  auto owned = BuildTree(900);
+  PointIndex* const raw = owned.get();  // the SR-tree's single writer handle
+
+  EngineOptions options;
+  options.num_workers = 4;
+  options.steal_grain = 2;  // many chunks => commits land between chunks
+  QueryEngine engine(std::move(owned), options);
+
+  const std::vector<Query> probe = MakeBatch(1);
+  std::vector<Query> batch(96, Query{probe[0].point, QuerySpec::Knn(8)});
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    const Dataset extra = MakeUniformDataset(400, kDim, /*seed=*/733);
+    const std::vector<Point> points = extra.ToPoints();
+    uint32_t oid = 1'000'000;
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Point& p = points[i % points.size()];
+      ASSERT_TRUE(raw->Insert(p, oid).ok());
+      if (i % 2 == 1) {
+        ASSERT_TRUE(raw->Delete(p, oid).ok());
+      }
+      ++oid;
+      ++i;
+    }
+  });
+
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<QueryResult> results = engine.RunBatch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+      EXPECT_EQ(results[i].neighbors, results[0].neighbors)
+          << "round " << round << " query " << i
+          << " diverged from its batch snapshot";
+    }
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_TRUE(engine.index().CheckInvariants().ok());
 }
 
 TEST_F(QueryEngineTest, InvalidQueriesSurfacePerResultStatus) {

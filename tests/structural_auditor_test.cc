@@ -24,7 +24,12 @@ namespace srtree {
 struct SRTreeTestAccess {
   using Node = SRTree::Node;
 
+  // Each helper takes the tree's writer lock: the page accessors require it
+  // (REQUIRES(writer_mu_)), and the corruption below is exactly a writer-
+  // side mutation. Staged writes are visible to the auditor, which walks
+  // the live pages under the same lock.
   static Node ReadByPath(const SRTree& tree, const std::vector<int>& path) {
+    MutexLock lock(tree.writer_mu_);
     Node node = tree.PeekNode(tree.root_id_);
     for (const int i : path) {
       node = tree.PeekNode(node.children[static_cast<size_t>(i)].child);
@@ -32,9 +37,15 @@ struct SRTreeTestAccess {
     return node;
   }
 
-  static void Write(SRTree& tree, const Node& node) { tree.WriteNode(node); }
+  static void Write(SRTree& tree, const Node& node) {
+    MutexLock lock(tree.writer_mu_);
+    tree.WriteNode(node);
+  }
 
-  static int RootLevel(const SRTree& tree) { return tree.root_level_; }
+  static int RootLevel(const SRTree& tree) {
+    MutexLock lock(tree.writer_mu_);
+    return tree.root_level_;
+  }
 };
 
 namespace {

@@ -4,12 +4,12 @@
 tools/lint.py checks file *shape* (guards, include style); srlint checks
 *contracts* that a plain compiler accepts but the project forbids:
 
-  R1  deprecated-API calls: no member calls to ResetIoStats(), the legacy
-      NearestNeighbors()/NearestNeighborsBestFirst() wrappers, or
-      RangeSearch() anywhere outside their definitions. The wrappers live on
-      in src/index/point_index.h (allowlisted) for compatibility; new code
+  R1  deprecated-API calls: no member calls to ResetIoStats() or the
+      removed NearestNeighbors()/NearestNeighborsBestFirst()/RangeSearch()
+      wrappers, anywhere. The wrappers are gone from PointIndex; new code
       uses Search() and per-query QueryResult::io deltas, or GetIoStats()
-      snapshots.
+      snapshots. There is no allowlist — a legitimate exception (e.g. the
+      quiesced-reset contract check) carries an explicit waiver.
   R2  naked standard locks: no std::lock_guard / std::unique_lock /
       std::scoped_lock under src/ outside src/base/mutex.h. First-party
       state is locked through the annotated srtree::Mutex/MutexLock so
@@ -28,6 +28,13 @@ tools/lint.py checks file *shape* (guards, include style); srlint checks
       storage::AtomicWriteFile / IndexImageFile / ReadFileToString so every
       byte on disk is covered by the durability contract — a raw stream
       silently opts out of checksums, atomic rename, and fault injection.
+  R6  direct page writes: no PageFile Write() member calls (receivers named
+      *file*) under src/ outside src/storage/, where the copy-on-write
+      commit protocol lives. Snapshot-isolated structures stage mutations
+      with StageWrite() and publish them with Commit(); a direct Write()
+      mutates a page in place, tearing any committed version that still
+      references its buffer. The frozen-tree structures (no snapshot
+      readers) waive their writer line explicitly.
 
 A finding on one line can be waived in place with a comment naming the rule
 and a reason, e.g.
@@ -59,8 +66,8 @@ from typing import NamedTuple
 FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
 
-WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-5])\)")
-EXPECT_RE = re.compile(r"srlint-expect\((R[1-5])\)")  # self-test fixtures
+WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-6])\)")
+EXPECT_RE = re.compile(r"srlint-expect\((R[1-6])\)")  # self-test fixtures
 
 
 class Finding(NamedTuple):
@@ -174,7 +181,9 @@ R1_CALL_RE = re.compile(
     r"(?:\.|->)\s*(ResetIoStats|NearestNeighborsBestFirst|NearestNeighbors|"
     r"RangeSearch)\s*\("
 )
-R1_ALLOWED_FILES = {"src/index/point_index.h"}
+# No allowlist: the wrappers were removed from PointIndex, so every R1 hit
+# is either dead-API resurrection or needs an explicit waiver.
+R1_ALLOWED_FILES: set[str] = set()
 
 R2_LOCK_RE = re.compile(r"\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock)\b")
 R2_ALLOWED_FILES = {"src/base/mutex.h"}
@@ -195,6 +204,12 @@ R4_TEST_RE = re.compile(r"^\s*(TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(")
 
 R5_STREAM_RE = re.compile(r"\bstd\s*::\s*(ifstream|ofstream|fstream)\b")
 R5_ALLOWED_DIRS = ("src/storage/", "src/workload/")
+
+# Member Write() calls on a receiver whose name contains "file" — the
+# PageFile idiom throughout the codebase (file_, file, image_file, ...).
+# StageWrite()/WriteBack() and non-file receivers do not match.
+R6_WRITE_RE = re.compile(r"\b\w*[Ff]ile\w*\s*(?:\.|->)\s*Write\s*\(")
+R6_ALLOWED_DIRS = ("src/storage/",)
 
 
 def check_r1(rel: str, lines: list[str]):
@@ -264,6 +279,20 @@ def check_r5(rel: str, lines: list[str]):
                 f"storage::AtomicWriteFile / IndexImageFile / "
                 f"ReadFileToString (src/storage/image_io.h) so images keep "
                 f"checksums and atomic-rename durability")
+
+
+def check_r6(rel: str, lines: list[str]):
+    if not rel.startswith("src/") or rel.startswith(R6_ALLOWED_DIRS):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        m = R6_WRITE_RE.search(line)
+        if m:
+            yield Finding(
+                rel, lineno, "R6",
+                "direct PageFile Write() outside src/storage/; stage "
+                "mutations with StageWrite() and publish with Commit() so "
+                "committed snapshots stay immutable (frozen-tree writers "
+                "carry an explicit waiver)")
 
 
 # --------------------------------------------------------------------------
@@ -344,7 +373,7 @@ def lint_files(root: pathlib.Path, files: list[str]) -> list[Finding]:
         for f in (*check_r1(rel, code_lines), *check_r2(rel, code_lines),
                   *check_r3(rel, code_lines, raw_lines),
                   *check_r4(rel, code_lines, registered),
-                  *check_r5(rel, code_lines)):
+                  *check_r5(rel, code_lines), *check_r6(rel, code_lines)):
             if f.rule not in waived.get(f.lineno, set()):
                 findings.append(f)
     return sorted(findings)
@@ -393,7 +422,7 @@ def run_self_test() -> int:
         ok = False
         print(f"self-test: SPURIOUS finding {rule} at {rel}:{lineno}")
     rules_seen = {rule for _, _, rule in want}
-    for rule in ("R1", "R2", "R3", "R4", "R5"):
+    for rule in ("R1", "R2", "R3", "R4", "R5", "R6"):
         if rule not in rules_seen:
             ok = False
             print(f"self-test: fixture tree seeds no {rule} violation")

@@ -1,0 +1,13 @@
+// R6 fixture: direct PageFile Write() calls outside src/storage/. A
+// snapshot-isolated tree must stage mutations (StageWrite + Commit); the
+// waived line models a frozen-tree writer, and the StageWrite call is the
+// compliant counter-example that must never match.
+#include "src/storage/page_file.h"
+
+void Mutate(srtree::PageFile& file, srtree::PageFile* file_ptr,
+            srtree::PageId id, const char* buf) {
+  file.Write(id, buf);       // srlint-expect(R6)
+  file_ptr->Write(id, buf);  // srlint-expect(R6)
+  file.Write(id, buf);  // srlint: allow(R6) frozen-tree write path (no snapshot readers)
+  file.StageWrite(id, buf);  // compliant: staged, published by Commit()
+}

@@ -1,11 +1,16 @@
-// R1 allowlist fixture: this path hosts the deprecated wrappers, so even a
-// member call to one is accepted here without a waiver.
+// R1 no-allowlist fixture: this path used to host the deprecated wrappers
+// and was allowlisted; the wrappers are gone, so a member call to the
+// deprecated API is now flagged here like anywhere else. The waiver line
+// shows the only remaining escape hatch.
 #ifndef SRTREE_TOOLS_SRLINT_TESTDATA_SRC_INDEX_POINT_INDEX_H_
 #define SRTREE_TOOLS_SRLINT_TESTDATA_SRC_INDEX_POINT_INDEX_H_
 
 struct Compat {
   void Forward(Compat& other) {
-    other.ResetIoStats();  // allowlisted: no srlint-expect marker
+    other.ResetIoStats();  // srlint-expect(R1)
+  }
+  void Quiesced(Compat& other) {
+    other.ResetIoStats();  // srlint: allow(R1) quiesced-reset fixture
   }
   void ResetIoStats() {}
 };

@@ -1,0 +1,9 @@
+// R6 allowlist counter-example: src/storage/ is where the commit protocol
+// itself lives (PageFile staging, BufferPool write-back), so direct page
+// writes are legitimate here. No marker — the self-test fails if R6 starts
+// flagging this.
+#include "src/storage/page_file.h"
+
+void WriteBack(srtree::PageFile* file, srtree::PageId id, const char* buf) {
+  file->Write(id, buf);
+}
