@@ -1,116 +1,191 @@
-// Google Benchmark micro-benchmarks for the geometry and storage
-// primitives on every index structure's hot path: distances, MINDIST /
-// MAXDIST, node (de)serialization, and paged I/O.
+// Micro-benchmarks for the DistanceKernel batched primitives — ns per
+// element for every implementation compiled in and supported by this CPU
+// (scalar / AVX2 / AVX-512), across the dimensionalities the paper's
+// experiments span — plus the storage primitives on the node hot path.
+//
+// `--json` writes the same tables as a machine-readable report; the checked
+// in baseline lives at bench/snapshots/BENCH_micro_geometry.json.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/random.h"
-#include "src/geometry/point.h"
-#include "src/geometry/rect.h"
-#include "src/geometry/sphere.h"
-#include "src/geometry/volume.h"
+#include "src/common/timer.h"
+#include "src/geometry/kernel.h"
 #include "src/storage/page.h"
 #include "src/storage/page_file.h"
 
-namespace srtree {
+namespace srtree::bench {
 namespace {
 
+// Keeps the timed calls from being optimized away.
+volatile double g_sink = 0.0;
+
 Point RandomPoint(Xoshiro256& rng, int dim) {
-  Point p(dim);
+  Point p(static_cast<size_t>(dim));
   for (double& c : p) c = rng.NextDouble();
   return p;
 }
 
-void BM_SquaredDistance(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  Xoshiro256 rng(1);
-  const Point a = RandomPoint(rng, dim);
-  const Point b = RandomPoint(rng, dim);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SquaredDistance(a, b));
+// Runs `fn` until it has consumed ~20ms of CPU and reports ns per call.
+template <typename Fn>
+double NsPerCall(Fn&& fn) {
+  fn();  // warm-up / first touch
+  for (size_t iters = 1;; iters *= 4) {
+    CpuTimer timer;
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed >= 0.02) return elapsed * 1e9 / static_cast<double>(iters);
   }
 }
-BENCHMARK(BM_SquaredDistance)->Arg(2)->Arg(16)->Arg(64);
 
-void BM_RectMinDist(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  Xoshiro256 rng(2);
-  Rect rect = Rect::FromPoint(RandomPoint(rng, dim));
-  for (int i = 0; i < 10; ++i) rect.Expand(RandomPoint(rng, dim));
-  const Point q = RandomPoint(rng, dim);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rect.MinDistSq(q));
+// One SoA block of `count` random points/rects/spheres of dimension `dim`,
+// shared by every kernel op so the implementations race on identical data.
+struct KernelFixture {
+  Point query;
+  SoaBuffer points;        // points / sphere centers / rect lows
+  SoaBuffer highs;         // rect highs
+  std::vector<double> radii;
+  std::vector<double> out;
+  double bound_sq = 0.0;   // median squared distance: ~half the block prunes
+};
+
+KernelFixture MakeFixture(int dim, size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  KernelFixture f;
+  f.query = RandomPoint(rng, dim);
+  f.points.Reset(dim, count);
+  f.highs.Reset(dim, count);
+  f.radii.resize(count);
+  f.out.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Point lo = RandomPoint(rng, dim);
+    Point hi = lo;
+    for (double& c : hi) c += 0.25 * rng.NextDouble();
+    f.points.SetElement(i, lo);
+    f.highs.SetElement(i, hi);
+    f.radii[i] = 0.3 * rng.NextDouble();
   }
+  std::vector<double> d2(count);
+  GetDistanceKernel().SquaredL2ToMany(f.query, f.points.block(), d2.data());
+  std::nth_element(d2.begin(), d2.begin() + static_cast<long>(count / 2),
+                   d2.end());
+  f.bound_sq = d2[count / 2];
+  return f;
 }
-BENCHMARK(BM_RectMinDist)->Arg(2)->Arg(16)->Arg(64);
 
-void BM_RectMaxDist(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  Xoshiro256 rng(3);
-  Rect rect = Rect::FromPoint(RandomPoint(rng, dim));
-  for (int i = 0; i < 10; ++i) rect.Expand(RandomPoint(rng, dim));
-  const Point q = RandomPoint(rng, dim);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rect.MaxDistSq(q));
-  }
-}
-BENCHMARK(BM_RectMaxDist)->Arg(2)->Arg(16)->Arg(64);
+struct KernelOpCase {
+  const char* name;
+  std::function<void(const DistanceKernel&, KernelFixture&)> run;
+};
 
-void BM_SphereMinDist(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  Xoshiro256 rng(4);
-  const Sphere sphere(RandomPoint(rng, dim), 0.3);
-  const Point q = RandomPoint(rng, dim);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sphere.MinDist(q));
-  }
-}
-BENCHMARK(BM_SphereMinDist)->Arg(2)->Arg(16)->Arg(64);
+int Run(const BenchOptions& options) {
+  constexpr size_t kCount = 256;
+  const std::vector<int> dims = {2, 16, 64, 256};
+  const std::vector<KernelImpl> all_impls = {
+      KernelImpl::kScalar, KernelImpl::kAvx2, KernelImpl::kAvx512};
 
-void BM_BallVolume(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BallVolume(dim, 0.75));
-  }
-}
-BENCHMARK(BM_BallVolume)->Arg(16)->Arg(64);
+  const std::vector<KernelOpCase> ops = {
+      {"squared_l2",
+       [](const DistanceKernel& k, KernelFixture& f) {
+         k.SquaredL2ToMany(f.query, f.points.block(), f.out.data());
+       }},
+      {"squared_l2_bounded",
+       [](const DistanceKernel& k, KernelFixture& f) {
+         k.SquaredL2ToManyBounded(f.query, f.points.block(), f.bound_sq,
+                                  f.out.data());
+       }},
+      {"rect_mindist_sq",
+       [](const DistanceKernel& k, KernelFixture& f) {
+         k.MinDistRectToMany(f.query, f.points.block(), f.highs.block(),
+                             f.out.data());
+       }},
+      {"sphere_mindist",
+       [](const DistanceKernel& k, KernelFixture& f) {
+         k.SphereMinDistToMany(f.query, f.points.block(), f.radii.data(),
+                               f.out.data());
+       }},
+  };
 
-void BM_PageSerializeLeaf(benchmark::State& state) {
-  // Serializing a 12-entry, 16-d leaf — the paper's node layout.
-  const int dim = 16;
-  Xoshiro256 rng(5);
-  std::vector<Point> points;
-  for (int i = 0; i < 12; ++i) points.push_back(RandomPoint(rng, dim));
-  std::vector<char> buf(kDefaultPageSize);
-  for (auto _ : state) {
-    PageWriter w(buf.data(), buf.size());
-    w.PutU8(0);
-    w.PutU8(0);
-    w.PutU16(12);
-    w.PutU32(0);
-    for (const Point& p : points) {
-      w.PutDoubles(p);
-      w.PutU32(7);
-      w.Skip(512);
+  std::printf("active kernel: %s\n", GetDistanceKernel().name());
+
+  Table kernel_table(
+      "micro geometry: kernel ns per element (block=256)",
+      {"op", "dim", "scalar", "avx2", "avx512"});
+  for (const KernelOpCase& op : ops) {
+    for (const int dim : dims) {
+      KernelFixture fixture =
+          MakeFixture(dim, kCount, options.seed + static_cast<uint64_t>(dim));
+      std::vector<std::string> row = {op.name, std::to_string(dim)};
+      for (const KernelImpl impl : all_impls) {
+        const DistanceKernel* kernel = GetDistanceKernelFor(impl);
+        if (kernel == nullptr) {
+          row.emplace_back("n/a");
+          continue;
+        }
+        const double ns = NsPerCall([&] {
+          op.run(*kernel, fixture);
+          g_sink = g_sink + fixture.out[0] + fixture.out[kCount - 1];
+        });
+        row.push_back(FormatNum(ns / static_cast<double>(kCount)));
+      }
+      kernel_table.AddRow(std::move(row));
     }
-    benchmark::DoNotOptimize(buf.data());
   }
-}
-BENCHMARK(BM_PageSerializeLeaf);
+  kernel_table.Print();
 
-void BM_PageFileReadWrite(benchmark::State& state) {
-  PageFile file(kDefaultPageSize);
-  const PageId id = file.Allocate();
-  std::vector<char> buf(kDefaultPageSize, 'x');
-  for (auto _ : state) {
-    file.Write(id, buf.data());
-    file.Read(id, buf.data(), 0);
-    benchmark::DoNotOptimize(buf.data());
+  Table storage_table("micro geometry: storage ns per op", {"op", "ns"});
+  {
+    // Serializing a 12-entry, 16-d leaf — the paper's node layout.
+    Xoshiro256 rng(options.seed + 5);
+    std::vector<Point> points;
+    for (int i = 0; i < 12; ++i) points.push_back(RandomPoint(rng, 16));
+    std::vector<char> buf(kDefaultPageSize);
+    const double ns = NsPerCall([&] {
+      PageWriter w(buf.data(), buf.size());
+      w.PutU8(0);
+      w.PutU8(0);
+      w.PutU16(12);
+      w.PutU32(0);
+      for (const Point& p : points) {
+        w.PutDoubles(p);
+        w.PutU32(7);
+        w.Skip(512);
+      }
+      g_sink = g_sink + static_cast<double>(buf[0]);
+    });
+    storage_table.AddRow({"page_serialize_leaf", FormatNum(ns)});
   }
+  {
+    PageFile file(kDefaultPageSize);
+    const PageId id = file.Allocate();
+    std::vector<char> buf(kDefaultPageSize, 'x');
+    const double ns = NsPerCall([&] {
+      file.Write(id, buf.data());
+      file.Read(id, buf.data(), 0);
+      g_sink = g_sink + static_cast<double>(buf[0]);
+    });
+    storage_table.AddRow({"pagefile_read_write", FormatNum(ns)});
+  }
+  storage_table.Print();
+
+  return EmitJsonReport(options, {kernel_table, storage_table});
 }
-BENCHMARK(BM_PageFileReadWrite);
 
 }  // namespace
-}  // namespace srtree
+}  // namespace srtree::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options =
+      srtree::bench::ParseOrExit(parser, argc, argv, &exit_code);
+  if (!options.has_value()) return exit_code;
+  return srtree::bench::Run(*options);
+}

@@ -9,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/geometry/kernel.h"
 #include "src/storage/image_io.h"
 
 namespace srtree {
@@ -365,14 +366,14 @@ SRTree::NodeEntry SRTree::ComputeEntry(const Node& node) const {
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
       bound.Expand(e.point);
-      d_s = std::max(d_s, Distance(center, e.point));
+      d_s = std::max(d_s, GetDistanceKernel().L2(center, e.point));
     }
     d_r = d_s;  // a point is its own rectangle
   } else {
     for (const NodeEntry& e : node.children) {
       bound.Expand(e.rect);
-      d_s = std::max(d_s,
-                     Distance(center, e.sphere.center()) + e.sphere.radius());
+      d_s = std::max(d_s, GetDistanceKernel().L2(center, e.sphere.center()) +
+                              e.sphere.radius());
       d_r = std::max(d_r, std::sqrt(e.rect.MaxDistSq(center)));
     }
   }
@@ -399,6 +400,27 @@ double SRTree::EntryMinDist(const NodeEntry& entry, PointView query) const {
   // Section 4.4: the true region is the intersection of both shapes, so the
   // larger of the two lower bounds is still a lower bound — and sharper.
   return std::max(d_s, d_r);
+}
+
+// Batched EntryMinDist over every child of `node`, into scratch.dist2.
+// (scratch.dist and the SoA buffers are clobbered by the two batch calls.)
+const std::vector<double>& SRTree::EntryMinDists(const Node& node,
+                                                 PointView query,
+                                                 KernelScratch& scratch) const {
+  const size_t n = node.children.size();
+  BatchSphereMinDist(scratch, query, n, [&](size_t i) -> const Sphere& {
+    return node.children[i].sphere;
+  });
+  scratch.dist2 = scratch.dist;
+  if (options_.use_rect_in_mindist) {
+    const std::vector<double>& m2 = BatchRectMinDistSq(
+        scratch, query, n,
+        [&](size_t i) -> const Rect& { return node.children[i].rect; });
+    for (size_t i = 0; i < n; ++i) {
+      scratch.dist2[i] = std::max(scratch.dist2[i], std::sqrt(m2[i]));
+    }
+  }
+  return scratch.dist2;
 }
 
 // --------------------------------------------------------------------------
@@ -464,7 +486,8 @@ int SRTree::ChooseSubtree(const Node& node, PointView centroid) const {
   double best_dist = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < node.children.size(); ++i) {
     const double d =
-        SquaredDistance(node.children[i].sphere.center(), centroid);
+        GetDistanceKernel().SquaredL2(node.children[i].sphere.center(),
+                                      centroid);
     if (d < best_dist) {
       best_dist = d;
       best = static_cast<int>(i);
@@ -522,7 +545,8 @@ std::vector<SRTree::Pending> SRTree::RemoveForReinsert(Node& node) {
   const Point centroid = NodeCentroid(node, weight);
   std::vector<std::pair<double, size_t>> by_distance(total);
   for (size_t i = 0; i < total; ++i) {
-    by_distance[i] = {SquaredDistance(EntryCentroid(node, i), centroid), i};
+    by_distance[i] = {
+        GetDistanceKernel().SquaredL2(EntryCentroid(node, i), centroid), i};
   }
   std::sort(by_distance.begin(), by_distance.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -693,7 +717,7 @@ bool SRTree::FindLeafPath(const Node& node, PointView point, uint32_t oid,
   for (size_t i = 0; i < node.children.size(); ++i) {
     const NodeEntry& e = node.children[i];
     if (!e.rect.Contains(point)) continue;
-    if (Distance(e.sphere.center(), point) >
+    if (GetDistanceKernel().L2(e.sphere.center(), point) >
         e.sphere.radius() * (1.0 + kEps) + kEps) {
       continue;
     }
@@ -784,31 +808,37 @@ std::vector<Neighbor> SRTree::KnnDfsSnapshot(const PageFile::Snapshot& snap,
                                              IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
+  KernelScratch scratch;
   if (snap.meta(2) > 0) {
     SearchKnn(snap, static_cast<PageId>(snap.meta(0)),
-              static_cast<int>(snap.meta(1)), query, candidates, io);
+              static_cast<int>(snap.meta(1)), query, candidates, scratch, io);
   }
   return candidates.TakeSorted();
 }
 
 void SRTree::SearchKnn(const PageFile::Snapshot& snap, PageId id, int level,
                        PointView query, KnnCandidates& cand,
-                       IoStatsDelta* io) const {
+                       KernelScratch& scratch, IoStatsDelta* io) const {
   Node node = ReadNodeSnapshot(snap, id, level, io);
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      cand.Offer(Distance(e.point, query), e.oid);
+    const double bound_sq = cand.PruneDistanceSquared();
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= bound_sq) cand.OfferSquared(d2[i], node.points[i].oid);
     }
     return;
   }
+  const std::vector<double>& md = EntryMinDists(node, query, scratch);
+  // Copy out of the scratch before recursing — the callee reuses it.
   std::vector<std::pair<double, size_t>> order(node.children.size());
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    order[i] = {EntryMinDist(node.children[i], query), i};
-  }
+  for (size_t i = 0; i < node.children.size(); ++i) order[i] = {md[i], i};
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(snap, node.children[i].child, level - 1, query, cand, io);
+    SearchKnn(snap, node.children[i].child, level - 1, query, cand, scratch,
+              io);
   }
 }
 
@@ -837,6 +867,7 @@ std::vector<Neighbor> SRTree::KnnBestFirstSnapshot(
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       frontier;
+  KernelScratch scratch;
   frontier.push(Pending{0.0, static_cast<PageId>(snap.meta(0)),
                         static_cast<int>(snap.meta(1))});
   while (!frontier.empty()) {
@@ -845,15 +876,21 @@ std::vector<Neighbor> SRTree::KnnBestFirstSnapshot(
     if (next.mindist > candidates.PruneDistance()) break;
     Node node = ReadNodeSnapshot(snap, next.id, next.level, io);
     if (node.is_leaf()) {
-      for (const LeafEntry& e : node.points) {
-        candidates.Offer(Distance(e.point, query), e.oid);
+      const double bound_sq = candidates.PruneDistanceSquared();
+      const std::vector<double>& d2 = BatchSquaredL2(
+          scratch, query, node.points.size(),
+          [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+      for (size_t i = 0; i < node.points.size(); ++i) {
+        if (d2[i] <= bound_sq) {
+          candidates.OfferSquared(d2[i], node.points[i].oid);
+        }
       }
       continue;
     }
+    const std::vector<double>& md = EntryMinDists(node, query, scratch);
     for (size_t i = 0; i < node.children.size(); ++i) {
-      const double d = EntryMinDist(node.children[i], query);
-      if (d <= candidates.PruneDistance()) {
-        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      if (md[i] <= candidates.PruneDistance()) {
+        frontier.push(Pending{md[i], node.children[i].child, node.level - 1});
       }
     }
   }
@@ -871,9 +908,11 @@ std::vector<Neighbor> SRTree::RangeSnapshot(const PageFile::Snapshot& snap,
                                             IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
+  KernelScratch scratch;
   if (snap.meta(2) > 0) {
     SearchRange(snap, static_cast<PageId>(snap.meta(0)),
-                static_cast<int>(snap.meta(1)), query, radius, result, io);
+                static_cast<int>(snap.meta(1)), query, radius, result, scratch,
+                io);
   }
   std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
@@ -881,19 +920,29 @@ std::vector<Neighbor> SRTree::RangeSnapshot(const PageFile::Snapshot& snap,
 
 void SRTree::SearchRange(const PageFile::Snapshot& snap, PageId id, int level,
                          PointView query, double radius,
-                         std::vector<Neighbor>& out, IoStatsDelta* io) const {
+                         std::vector<Neighbor>& out, KernelScratch& scratch,
+                         IoStatsDelta* io) const {
   Node node = ReadNodeSnapshot(snap, id, level, io);
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      const double d = Distance(e.point, query);
-      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    const double radius_sq = radius * radius;
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, radius_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= radius_sq) {
+        out.push_back(Neighbor{std::sqrt(d2[i]), node.points[i].oid});
+      }
     }
     return;
   }
-  for (const NodeEntry& e : node.children) {
-    if (EntryMinDist(e, query) <= radius) {
-      SearchRange(snap, e.child, level - 1, query, radius, out, io);
-    }
+  const std::vector<double>& md = EntryMinDists(node, query, scratch);
+  // Copy out of the scratch before recursing — the callee reuses it.
+  std::vector<PageId> hits;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (md[i] <= radius) hits.push_back(node.children[i].child);
+  }
+  for (const PageId child : hits) {
+    SearchRange(snap, child, level - 1, query, radius, out, scratch, io);
   }
 }
 

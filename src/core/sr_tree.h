@@ -39,6 +39,7 @@
 
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
+#include "src/geometry/kernel.h"
 #include "src/geometry/rect.h"
 #include "src/geometry/sphere.h"
 #include "src/index/knn.h"
@@ -227,6 +228,8 @@ class SRTree : public PointIndex {
   PointView EntryCentroid(const Node& node, size_t i) const;
   // MINDIST from a query point to an entry's region (Section 4.4).
   double EntryMinDist(const NodeEntry& entry, PointView query) const;
+  const std::vector<double>& EntryMinDists(const Node& node, PointView query,
+                                           KernelScratch& scratch) const;
 
   // --- insertion machinery (writer only) ---
   void ProcessPending(std::deque<Pending>& pending) REQUIRES(writer_mu_);
@@ -262,10 +265,11 @@ class SRTree : public PointIndex {
                                       PointView query, double radius,
                                       IoStatsDelta* io) const;
   void SearchKnn(const PageFile::Snapshot& snap, PageId id, int level,
-                 PointView query, KnnCandidates& cand, IoStatsDelta* io) const;
+                 PointView query, KnnCandidates& cand, KernelScratch& scratch,
+                 IoStatsDelta* io) const;
   void SearchRange(const PageFile::Snapshot& snap, PageId id, int level,
                    PointView query, double radius, std::vector<Neighbor>& out,
-                   IoStatsDelta* io) const;
+                   KernelScratch& scratch, IoStatsDelta* io) const;
 
   // --- validation / stats (walk working state; callers hold writer_mu_) ---
   void VisitSubtree(const Node& node, std::vector<int>& path,

@@ -12,12 +12,13 @@
 #include "src/common/check.h"
 #include "src/common/random.h"
 #include "src/debug/structural_auditor.h"
+#include "src/geometry/kernel.h"
 #include "src/index/brute_force.h"
 
 namespace srtree::debug {
 namespace {
 
-// Distances are computed by the same Distance() on the same doubles in the
+// Distances are computed by the same kernel on the same doubles in the
 // index and the oracle, so in practice they agree bitwise; the tolerance
 // only guards against benign summation-order differences.
 constexpr double kDistEps = 1e-9;
@@ -105,7 +106,7 @@ Status RunConcurrentQueryFuzz(PointIndex& index,
           break;
         default: {
           const Point& anchor = points[trng.NextBounded(points.size())];
-          fq.spec = QuerySpec::Range(Distance(fq.point, anchor) *
+          fq.spec = QuerySpec::Range(GetDistanceKernel().L2(fq.point, anchor) *
                                      trng.Uniform(0.8, 1.2));
           break;
         }
@@ -401,7 +402,7 @@ Status RunMixedReadWriteFuzz(PointIndex& index,
           default: {
             const Point& anchor =
                 initial_points[trng.NextBounded(initial_points.size())];
-            spec = QuerySpec::Range(Distance(point, anchor) *
+            spec = QuerySpec::Range(GetDistanceKernel().L2(point, anchor) *
                                     trng.Uniform(0.8, 1.2));
             break;
           }
@@ -594,7 +595,7 @@ Status MutationFuzzer::Run(std::unique_ptr<PointIndex>& index,
       double radius;
       if (!live.empty()) {
         const Point& anchor = live[rng.NextBounded(live.size())].first;
-        radius = Distance(q, anchor) * rng.Uniform(0.8, 1.2);
+        radius = GetDistanceKernel().L2(q, anchor) * rng.Uniform(0.8, 1.2);
       } else {
         radius = rng.Uniform(0.0, options_.coord_hi - options_.coord_lo);
       }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/geometry/kernel.h"
 #include "src/geometry/point.h"
 #include "src/geometry/rect.h"
 #include "src/geometry/sphere.h"
@@ -241,7 +242,7 @@ class AuditRun {
     if (spec_.has_spheres && claimed.sphere.has_value()) {
       const Sphere& sphere = *claimed.sphere;
       for (const Point& p : subtree_points) {
-        const double dist = Distance(sphere.center(), p);
+        const double dist = GetDistanceKernel().L2(sphere.center(), p);
         if (dist > sphere.radius() * (1.0 + kEps) + kEps) {
           Report(ViolationKind::kSphereContainment, path,
                  "point " + FormatPoint(p) + " at distance " +

@@ -1,0 +1,224 @@
+#include "src/geometry/kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+#include "src/geometry/kernel_detail.h"
+
+namespace srtree {
+namespace {
+
+// --------------------------------------------------------------------------
+// Scalar implementation. The column sweep keeps per-element accumulation in
+// ascending dimension order (one accumulator per element), matching the
+// SIMD lane semantics exactly while still letting the compiler vectorize
+// the inner loop with baseline SSE2.
+
+void ScalarSquaredL2ToMany(const double* q, const SoaBlock& block,
+                           double* out) {
+  for (size_t i = 0; i < block.count; ++i) out[i] = 0.0;
+  for (int d = 0; d < block.dim; ++d) {
+    const double qd = q[d];
+    const double* col = block.coords + static_cast<size_t>(d) * block.count;
+    for (size_t i = 0; i < block.count; ++i) {
+      const double diff = col[i] - qd;
+      out[i] += diff * diff;
+    }
+  }
+}
+
+void ScalarSquaredL2ToManyBounded(const double* q, const SoaBlock& block,
+                                  double bound_sq, double* out) {
+  for (size_t i = 0; i < block.count; ++i) {
+    out[i] = kernel_detail::ScalarSquaredL2BoundedStrided(
+        q, block.coords + i, block.count, static_cast<size_t>(block.dim),
+        bound_sq);
+  }
+}
+
+void ScalarMinDistRectToMany(const double* q, const SoaBlock& lo,
+                             const SoaBlock& hi, double* out) {
+  for (size_t i = 0; i < lo.count; ++i) out[i] = 0.0;
+  for (int d = 0; d < lo.dim; ++d) {
+    const double qd = q[d];
+    const double* lo_col = lo.coords + static_cast<size_t>(d) * lo.count;
+    const double* hi_col = hi.coords + static_cast<size_t>(d) * hi.count;
+    for (size_t i = 0; i < lo.count; ++i) {
+      const double diff =
+          std::max(std::max(lo_col[i] - qd, qd - hi_col[i]), 0.0);
+      out[i] += diff * diff;
+    }
+  }
+}
+
+void ScalarSphereMinDistToMany(const double* q, const SoaBlock& centers,
+                               const double* radii, double* out) {
+  ScalarSquaredL2ToMany(q, centers, out);
+  for (size_t i = 0; i < centers.count; ++i) {
+    out[i] = std::max(0.0, std::sqrt(out[i]) - radii[i]);
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    &ScalarSquaredL2ToMany,
+    &ScalarSquaredL2ToManyBounded,
+    &ScalarMinDistRectToMany,
+    &ScalarSphereMinDistToMany,
+};
+
+// --------------------------------------------------------------------------
+// Dispatch.
+
+std::atomic<bool> g_partial_pruning{true};
+
+const DistanceKernel& ScalarKernel() {
+  static const DistanceKernel kernel(KernelImpl::kScalar, kScalarOps);
+  return kernel;
+}
+
+bool CpuSupports(KernelImpl impl) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (impl) {
+    case KernelImpl::kScalar:
+      return true;
+    case KernelImpl::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case KernelImpl::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+#else
+  return impl == KernelImpl::kScalar;
+#endif
+}
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("SRTREE_FORCE_SCALAR_KERNEL");
+  if (value == nullptr || value[0] == '\0') return false;
+  return !(value[0] == '0' && value[1] == '\0');
+}
+
+const DistanceKernel* SelectKernel() {
+  if (ForceScalarFromEnv()) return &ScalarKernel();
+  if (const DistanceKernel* k = GetDistanceKernelFor(KernelImpl::kAvx512)) {
+    return k;
+  }
+  if (const DistanceKernel* k = GetDistanceKernelFor(KernelImpl::kAvx2)) {
+    return k;
+  }
+  return &ScalarKernel();
+}
+
+}  // namespace
+
+namespace kernel_internal {
+// Defined in kernel_avx2.cc / kernel_avx512.cc; nullptr when that
+// implementation is compiled out (SRTREE_SIMD=OFF, non-x86, old compiler).
+const KernelOps* GetAvx2Ops();
+const KernelOps* GetAvx512Ops();
+}  // namespace kernel_internal
+
+const char* KernelImplName(KernelImpl impl) {
+  switch (impl) {
+    case KernelImpl::kScalar:
+      return "scalar";
+    case KernelImpl::kAvx2:
+      return "avx2";
+    case KernelImpl::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+void DistanceKernel::SquaredL2ToManyBounded(PointView query,
+                                            const SoaBlock& block,
+                                            double bound_sq,
+                                            double* out) const {
+  DCHECK_EQ(static_cast<int>(query.size()), block.dim);
+  if (bound_sq == std::numeric_limits<double>::infinity() ||
+      !PartialDistancePruningEnabled()) {
+    ops_.squared_l2_to_many(query.data(), block, out);
+    return;
+  }
+  ops_.squared_l2_to_many_bounded(query.data(), block, bound_sq, out);
+}
+
+double DistanceKernel::SquaredL2(PointView a, PointView b) const {
+  DCHECK_EQ(a.size(), b.size());
+  return kernel_detail::ScalarSquaredL2(a.data(), b.data(), a.size());
+}
+
+double DistanceKernel::L2(PointView a, PointView b) const {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+double DistanceKernel::MinDistSqToRect(PointView q, const Rect& rect) const {
+  DCHECK_EQ(static_cast<int>(q.size()), rect.dim());
+  return kernel_detail::ScalarMinDistSqRect(q.data(), rect.lo().data(),
+                                            rect.hi().data(), q.size());
+}
+
+double DistanceKernel::MaxDistSqToRect(PointView q, const Rect& rect) const {
+  DCHECK_EQ(static_cast<int>(q.size()), rect.dim());
+  return kernel_detail::ScalarMaxDistSqRect(q.data(), rect.lo().data(),
+                                            rect.hi().data(), q.size());
+}
+
+double DistanceKernel::MinDistToSphere(PointView q,
+                                       const Sphere& sphere) const {
+  DCHECK_EQ(static_cast<int>(q.size()), sphere.dim());
+  return kernel_detail::ScalarSphereMinDist(q.data(), sphere.center().data(),
+                                            q.size(), sphere.radius());
+}
+
+double DistanceKernel::MaxDistToSphere(PointView q,
+                                       const Sphere& sphere) const {
+  DCHECK_EQ(static_cast<int>(q.size()), sphere.dim());
+  return kernel_detail::ScalarSphereMaxDist(q.data(), sphere.center().data(),
+                                            q.size(), sphere.radius());
+}
+
+const DistanceKernel& GetDistanceKernel() {
+  static const DistanceKernel* kernel = SelectKernel();
+  return *kernel;
+}
+
+const DistanceKernel* GetDistanceKernelFor(KernelImpl impl) {
+  switch (impl) {
+    case KernelImpl::kScalar:
+      return &ScalarKernel();
+    case KernelImpl::kAvx2: {
+      const KernelOps* ops = kernel_internal::GetAvx2Ops();
+      if (ops == nullptr || !CpuSupports(impl)) return nullptr;
+      static const DistanceKernel kernel(KernelImpl::kAvx2, *ops);
+      return &kernel;
+    }
+    case KernelImpl::kAvx512: {
+      const KernelOps* ops = kernel_internal::GetAvx512Ops();
+      if (ops == nullptr || !CpuSupports(impl)) return nullptr;
+      static const DistanceKernel kernel(KernelImpl::kAvx512, *ops);
+      return &kernel;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<KernelImpl> AvailableKernelImpls() {
+  std::vector<KernelImpl> impls;
+  for (const KernelImpl impl :
+       {KernelImpl::kScalar, KernelImpl::kAvx2, KernelImpl::kAvx512}) {
+    if (GetDistanceKernelFor(impl) != nullptr) impls.push_back(impl);
+  }
+  return impls;
+}
+
+bool SetPartialDistancePruning(bool enabled) {
+  return g_partial_pruning.exchange(enabled);
+}
+
+bool PartialDistancePruningEnabled() {
+  return g_partial_pruning.load(std::memory_order_relaxed);
+}
+
+}  // namespace srtree

@@ -1,0 +1,140 @@
+// AVX2 DistanceKernel implementation: 4 doubles per vector, one lane per
+// block element, dimensions walked sequentially — so each lane performs
+// exactly the scalar accumulation sequence and results are bit-identical to
+// the scalar kernel (see kernel_detail.h). This TU is compiled with -mavx2
+// -ffp-contract=off only when SRTREE_SIMD is on and the compiler supports
+// it; otherwise it degrades to the nullptr registration below. The runtime
+// CPUID check lives in kernel.cc, so merely building this code never
+// executes it on unsupported hardware.
+
+#include "src/geometry/kernel.h"
+#include "src/geometry/kernel_detail.h"
+
+#if defined(SRTREE_KERNEL_BUILD_AVX2)
+
+#include <immintrin.h>
+
+namespace srtree::kernel_internal {
+namespace {
+
+constexpr size_t kLanes = 4;
+
+void Avx2SquaredL2ToMany(const double* q, const SoaBlock& block,
+                         double* out) {
+  const size_t n = block.count;
+  const size_t dim = static_cast<size_t>(block.dim);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d x = _mm256_loadu_pd(block.coords + d * n + i);
+      const __m256d diff = _mm256_sub_pd(x, _mm256_set1_pd(q[d]));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    out[i] = kernel_detail::ScalarSquaredL2Strided(q, block.coords + i, n, dim);
+  }
+}
+
+void Avx2SquaredL2ToManyBounded(const double* q, const SoaBlock& block,
+                                double bound_sq, double* out) {
+  const size_t n = block.count;
+  const size_t dim = static_cast<size_t>(block.dim);
+  const __m256d bound = _mm256_set1_pd(bound_sq);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256d acc = _mm256_setzero_pd();
+    size_t d = 0;
+    while (d < dim) {
+      const size_t end =
+          std::min(d + kernel_detail::kBoundedCheckChunk, dim);
+      for (; d < end; ++d) {
+        const __m256d x = _mm256_loadu_pd(block.coords + d * n + i);
+        const __m256d diff = _mm256_sub_pd(x, _mm256_set1_pd(q[d]));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+      }
+      // Stop only once every lane's partial sum exceeds the bound: lanes
+      // still under it keep accumulating their exact values.
+      if (_mm256_movemask_pd(_mm256_cmp_pd(acc, bound, _CMP_GT_OQ)) == 0xF) {
+        break;
+      }
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    out[i] = kernel_detail::ScalarSquaredL2BoundedStrided(q, block.coords + i,
+                                                          n, dim, bound_sq);
+  }
+}
+
+void Avx2MinDistRectToMany(const double* q, const SoaBlock& lo,
+                           const SoaBlock& hi, double* out) {
+  const size_t n = lo.count;
+  const size_t dim = static_cast<size_t>(lo.dim);
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const __m256d below = _mm256_sub_pd(_mm256_loadu_pd(lo.coords + d * n + i), qd);
+      const __m256d above = _mm256_sub_pd(qd, _mm256_loadu_pd(hi.coords + d * n + i));
+      const __m256d diff = _mm256_max_pd(_mm256_max_pd(below, above), zero);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    out[i] = kernel_detail::ScalarMinDistSqRectStrided(q, lo.coords + i,
+                                                       hi.coords + i, n, dim);
+  }
+}
+
+void Avx2SphereMinDistToMany(const double* q, const SoaBlock& centers,
+                             const double* radii, double* out) {
+  const size_t n = centers.count;
+  const size_t dim = static_cast<size_t>(centers.dim);
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d x = _mm256_loadu_pd(centers.coords + d * n + i);
+      const __m256d diff = _mm256_sub_pd(x, _mm256_set1_pd(q[d]));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    // IEEE sqrt is correctly rounded, so this stays bit-identical to the
+    // scalar max(0, sqrt(sq) - r).
+    const __m256d dist =
+        _mm256_sub_pd(_mm256_sqrt_pd(acc), _mm256_loadu_pd(radii + i));
+    _mm256_storeu_pd(out + i, _mm256_max_pd(dist, zero));
+  }
+  for (; i < n; ++i) {
+    const double sq =
+        kernel_detail::ScalarSquaredL2Strided(q, centers.coords + i, n, dim);
+    out[i] = std::max(0.0, std::sqrt(sq) - radii[i]);
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    &Avx2SquaredL2ToMany,
+    &Avx2SquaredL2ToManyBounded,
+    &Avx2MinDistRectToMany,
+    &Avx2SphereMinDistToMany,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx2Ops() { return &kAvx2Ops; }
+
+}  // namespace srtree::kernel_internal
+
+#else  // !defined(SRTREE_KERNEL_BUILD_AVX2)
+
+namespace srtree::kernel_internal {
+const KernelOps* GetAvx2Ops() { return nullptr; }
+}  // namespace srtree::kernel_internal
+
+#endif  // defined(SRTREE_KERNEL_BUILD_AVX2)

@@ -1,0 +1,134 @@
+// AVX-512 DistanceKernel implementation: 8 doubles per vector, one lane per
+// block element, dimensions walked sequentially — bit-identical to the
+// scalar kernel for the same reason as the AVX2 TU (see kernel_avx2.cc).
+// Compiled with -mavx512f -ffp-contract=off only when SRTREE_SIMD is on and
+// the compiler supports it; the runtime CPUID check lives in kernel.cc.
+
+#include "src/geometry/kernel.h"
+#include "src/geometry/kernel_detail.h"
+
+#if defined(SRTREE_KERNEL_BUILD_AVX512)
+
+#include <immintrin.h>
+
+namespace srtree::kernel_internal {
+namespace {
+
+constexpr size_t kLanes = 8;
+
+void Avx512SquaredL2ToMany(const double* q, const SoaBlock& block,
+                           double* out) {
+  const size_t n = block.count;
+  const size_t dim = static_cast<size_t>(block.dim);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d x = _mm512_loadu_pd(block.coords + d * n + i);
+      const __m512d diff = _mm512_sub_pd(x, _mm512_set1_pd(q[d]));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    _mm512_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    out[i] = kernel_detail::ScalarSquaredL2Strided(q, block.coords + i, n, dim);
+  }
+}
+
+void Avx512SquaredL2ToManyBounded(const double* q, const SoaBlock& block,
+                                  double bound_sq, double* out) {
+  const size_t n = block.count;
+  const size_t dim = static_cast<size_t>(block.dim);
+  const __m512d bound = _mm512_set1_pd(bound_sq);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m512d acc = _mm512_setzero_pd();
+    size_t d = 0;
+    while (d < dim) {
+      const size_t end =
+          std::min(d + kernel_detail::kBoundedCheckChunk, dim);
+      for (; d < end; ++d) {
+        const __m512d x = _mm512_loadu_pd(block.coords + d * n + i);
+        const __m512d diff = _mm512_sub_pd(x, _mm512_set1_pd(q[d]));
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+      }
+      // Stop only once every lane's partial sum exceeds the bound.
+      if (_mm512_cmp_pd_mask(acc, bound, _CMP_GT_OQ) == 0xFF) break;
+    }
+    _mm512_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    out[i] = kernel_detail::ScalarSquaredL2BoundedStrided(q, block.coords + i,
+                                                          n, dim, bound_sq);
+  }
+}
+
+void Avx512MinDistRectToMany(const double* q, const SoaBlock& lo,
+                             const SoaBlock& hi, double* out) {
+  const size_t n = lo.count;
+  const size_t dim = static_cast<size_t>(lo.dim);
+  const __m512d zero = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d qd = _mm512_set1_pd(q[d]);
+      const __m512d below =
+          _mm512_sub_pd(_mm512_loadu_pd(lo.coords + d * n + i), qd);
+      const __m512d above =
+          _mm512_sub_pd(qd, _mm512_loadu_pd(hi.coords + d * n + i));
+      const __m512d diff = _mm512_max_pd(_mm512_max_pd(below, above), zero);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    _mm512_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    out[i] = kernel_detail::ScalarMinDistSqRectStrided(q, lo.coords + i,
+                                                       hi.coords + i, n, dim);
+  }
+}
+
+void Avx512SphereMinDistToMany(const double* q, const SoaBlock& centers,
+                               const double* radii, double* out) {
+  const size_t n = centers.count;
+  const size_t dim = static_cast<size_t>(centers.dim);
+  const __m512d zero = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d x = _mm512_loadu_pd(centers.coords + d * n + i);
+      const __m512d diff = _mm512_sub_pd(x, _mm512_set1_pd(q[d]));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    const __m512d dist =
+        _mm512_sub_pd(_mm512_sqrt_pd(acc), _mm512_loadu_pd(radii + i));
+    _mm512_storeu_pd(out + i, _mm512_max_pd(dist, zero));
+  }
+  for (; i < n; ++i) {
+    const double sq =
+        kernel_detail::ScalarSquaredL2Strided(q, centers.coords + i, n, dim);
+    out[i] = std::max(0.0, std::sqrt(sq) - radii[i]);
+  }
+}
+
+constexpr KernelOps kAvx512Ops = {
+    &Avx512SquaredL2ToMany,
+    &Avx512SquaredL2ToManyBounded,
+    &Avx512MinDistRectToMany,
+    &Avx512SphereMinDistToMany,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx512Ops() { return &kAvx512Ops; }
+
+}  // namespace srtree::kernel_internal
+
+#else  // !defined(SRTREE_KERNEL_BUILD_AVX512)
+
+namespace srtree::kernel_internal {
+const KernelOps* GetAvx512Ops() { return nullptr; }
+}  // namespace srtree::kernel_internal
+
+#endif  // defined(SRTREE_KERNEL_BUILD_AVX512)

@@ -3,6 +3,13 @@
 // A point is a flat span of doubles; indices never own coordinate storage
 // beyond their pages, so the cheap non-owning view keeps hot loops free of
 // allocation. `Point` (an owning vector) is used at API boundaries.
+//
+// The free distance functions below are DEPRECATED thin wrappers over the
+// DistanceKernel's canonical scalar cores (src/geometry/kernel_detail.h).
+// Hot-path code calls the kernel (src/geometry/kernel.h) instead — batched
+// over SoA blocks where possible, GetDistanceKernel().SquaredL2()/L2() for
+// singles — and srlint rule R7 forbids the wrappers under the index-
+// structure directories.
 
 #ifndef SRTREE_GEOMETRY_POINT_H_
 #define SRTREE_GEOMETRY_POINT_H_
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/geometry/kernel_detail.h"
 
 namespace srtree {
 
@@ -19,19 +27,18 @@ using Point = std::vector<double>;
 using PointView = std::span<const double>;
 
 // Squared L2 distance between two points of equal dimensionality.
+[[deprecated("use GetDistanceKernel().SquaredL2() (src/geometry/kernel.h)")]]
 inline double SquaredDistance(PointView a, PointView b) {
   DCHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernel_detail::ScalarSquaredL2(a.data(), b.data(), a.size());
 }
 
 // L2 distance between two points of equal dimensionality.
+[[deprecated("use GetDistanceKernel().L2() (src/geometry/kernel.h)")]]
 inline double Distance(PointView a, PointView b) {
-  return std::sqrt(SquaredDistance(a, b));
+  DCHECK_EQ(a.size(), b.size());
+  return std::sqrt(kernel_detail::ScalarSquaredL2(a.data(), b.data(),
+                                                  a.size()));
 }
 
 }  // namespace srtree

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/geometry/kernel_detail.h"
 
 namespace srtree {
 
@@ -84,28 +85,14 @@ bool Rect::Intersects(const Rect& other) const {
 
 double Rect::MinDistSq(PointView p) const {
   DCHECK_EQ(p.size(), lo_.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < lo_.size(); ++i) {
-    double d = 0.0;
-    if (p[i] < lo_[i]) {
-      d = lo_[i] - p[i];
-    } else if (p[i] > hi_[i]) {
-      d = p[i] - hi_[i];
-    }
-    sum += d * d;
-  }
-  return sum;
+  return kernel_detail::ScalarMinDistSqRect(p.data(), lo_.data(), hi_.data(),
+                                            p.size());
 }
 
 double Rect::MaxDistSq(PointView p) const {
   DCHECK_EQ(p.size(), lo_.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < lo_.size(); ++i) {
-    // The farthest vertex picks, per dimension, whichever bound is farther.
-    const double d = std::max(std::abs(p[i] - lo_[i]), std::abs(hi_[i] - p[i]));
-    sum += d * d;
-  }
-  return sum;
+  return kernel_detail::ScalarMaxDistSqRect(p.data(), lo_.data(), hi_.data(),
+                                            p.size());
 }
 
 double Rect::Volume() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/geometry/kernel_detail.h"
 #include "src/geometry/volume.h"
 
 namespace srtree {
@@ -14,15 +15,21 @@ Sphere::Sphere(Point center, double radius)
 }
 
 bool Sphere::Contains(PointView p) const {
-  return SquaredDistance(center_, p) <= radius_ * radius_;
+  DCHECK_EQ(p.size(), center_.size());
+  return kernel_detail::ScalarSquaredL2(center_.data(), p.data(), p.size()) <=
+         radius_ * radius_;
 }
 
 double Sphere::MinDist(PointView p) const {
-  return std::max(0.0, Distance(center_, p) - radius_);
+  DCHECK_EQ(p.size(), center_.size());
+  return kernel_detail::ScalarSphereMinDist(p.data(), center_.data(), p.size(),
+                                            radius_);
 }
 
 double Sphere::MaxDist(PointView p) const {
-  return Distance(center_, p) + radius_;
+  DCHECK_EQ(p.size(), center_.size());
+  return kernel_detail::ScalarSphereMaxDist(p.data(), center_.data(), p.size(),
+                                            radius_);
 }
 
 bool Sphere::IntersectsRect(const Rect& rect) const {

@@ -1,8 +1,10 @@
 #include "src/index/brute_force.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
+#include "src/geometry/kernel.h"
 #include "src/index/knn.h"
 
 namespace srtree {
@@ -55,12 +57,26 @@ void BruteForceIndex::ChargeScan(IoStatsDelta* io) const {
   }
 }
 
+// The scan transposes fixed-size runs of points into the kernel's SoA block
+// layout; per-element distances are block-size independent (see
+// src/geometry/kernel.h), so results match the per-node blocks the trees
+// feed the same kernel exactly.
+constexpr size_t kScanBlock = 256;
+
 std::vector<Neighbor> BruteForceIndex::KnnDfsImpl(PointView query, int k,
                                                   IoStatsDelta* io) const {
   ChargeScan(io);
   KnnCandidates candidates(k);
-  for (size_t i = 0; i < points_.size(); ++i) {
-    candidates.Offer(Distance(points_[i], query), oids_[i]);
+  KernelScratch scratch;
+  for (size_t base = 0; base < points_.size(); base += kScanBlock) {
+    const size_t n = std::min(kScanBlock, points_.size() - base);
+    const double bound_sq = candidates.PruneDistanceSquared();
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, n,
+        [&](size_t i) { return PointView(points_[base + i]); }, bound_sq);
+    for (size_t i = 0; i < n; ++i) {
+      if (d2[i] <= bound_sq) candidates.OfferSquared(d2[i], oids_[base + i]);
+    }
   }
   return candidates.TakeSorted();
 }
@@ -70,9 +86,18 @@ std::vector<Neighbor> BruteForceIndex::RangeImpl(PointView query,
                                                  IoStatsDelta* io) const {
   ChargeScan(io);
   std::vector<Neighbor> result;
-  for (size_t i = 0; i < points_.size(); ++i) {
-    const double d = Distance(points_[i], query);
-    if (d <= radius) result.push_back(Neighbor{d, oids_[i]});
+  KernelScratch scratch;
+  const double radius_sq = radius * radius;
+  for (size_t base = 0; base < points_.size(); base += kScanBlock) {
+    const size_t n = std::min(kScanBlock, points_.size() - base);
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, n,
+        [&](size_t i) { return PointView(points_[base + i]); }, radius_sq);
+    for (size_t i = 0; i < n; ++i) {
+      if (d2[i] <= radius_sq) {
+        result.push_back(Neighbor{std::sqrt(d2[i]), oids_[base + i]});
+      }
+    }
   }
   std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;

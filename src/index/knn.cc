@@ -1,6 +1,7 @@
 #include "src/index/knn.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "src/common/check.h"
@@ -11,11 +12,16 @@ KnnCandidates::KnnCandidates(int k) : k_(k) { CHECK_GT(k, 0); }
 
 double KnnCandidates::PruneDistance() const {
   if (!full()) return std::numeric_limits<double>::infinity();
+  return std::sqrt(heap_.top().distance);
+}
+
+double KnnCandidates::PruneDistanceSquared() const {
+  if (!full()) return std::numeric_limits<double>::infinity();
   return heap_.top().distance;
 }
 
-void KnnCandidates::Offer(double distance, uint32_t oid) {
-  const Neighbor candidate{distance, oid};
+void KnnCandidates::OfferSquared(double distance_sq, uint32_t oid) {
+  const Neighbor candidate{distance_sq, oid};
   if (!full()) {
     heap_.push(candidate);
     return;
@@ -30,10 +36,15 @@ std::vector<Neighbor> KnnCandidates::TakeSorted() {
   std::vector<Neighbor> result;
   result.reserve(heap_.size());
   while (!heap_.empty()) {
-    result.push_back(heap_.top());
+    Neighbor n = heap_.top();
     heap_.pop();
+    n.distance = std::sqrt(n.distance);
+    result.push_back(n);
   }
-  std::reverse(result.begin(), result.end());
+  // Selection happened in squared space; the canonical order is by real
+  // distance, and sqrt can map distinct squared values to one double, so
+  // re-sort rather than just reverse.
+  std::sort(result.begin(), result.end());
   return result;
 }
 

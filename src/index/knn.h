@@ -1,9 +1,17 @@
 // Bounded candidate set for the depth-first k-NN search of Roussopoulos,
 // Kelley & Vincent (SIGMOD'95), shared by every tree.
 //
-// The set keeps the k best (distance, oid) pairs seen so far in a max-heap;
-// PruneDistance() is the radius below which a region can still contribute —
-// infinite until the set fills, then the current k-th distance.
+// The set operates in SQUARED distance space: leaf scans feed it squared L2
+// distances straight from the DistanceKernel (no sqrt on the hot path), and
+// regions are pruned against PruneDistanceSquared(). Squared-space
+// comparisons are exact — sqrt is monotone, so the k best by squared
+// distance are the k best by distance — and rectangle MINDIST pruning gets
+// strictly more faithful because neither side passes through a sqrt
+// rounding. TakeSorted() converts to real distances at the end (one sqrt
+// per reported neighbor) and sorts by the canonical (distance, oid) order.
+//
+// PruneDistance() exposes the bound in distance space for the sphere-region
+// trees (SS/SR), whose MINDIST is inherently a distance.
 
 #ifndef SRTREE_INDEX_KNN_H_
 #define SRTREE_INDEX_KNN_H_
@@ -19,17 +27,20 @@ class KnnCandidates {
  public:
   explicit KnnCandidates(int k);
 
-  // Current pruning radius (see above). A subtree whose MINDIST exceeds
-  // this cannot improve the result set.
+  // Current pruning radius: infinite until the set fills, then the current
+  // k-th distance. A region whose MINDIST exceeds this cannot contribute.
   double PruneDistance() const;
 
-  // Offers a candidate; kept only if it beats the current k-th distance.
-  // Ties on distance are broken toward smaller oid for determinism.
-  void Offer(double distance, uint32_t oid);
+  // The same bound in squared space, for squared-MINDIST comparisons.
+  double PruneDistanceSquared() const;
+
+  // Offers a candidate by SQUARED distance; kept only if it beats the
+  // current k-th. Ties are broken toward smaller oid for determinism.
+  void OfferSquared(double distance_sq, uint32_t oid);
 
   bool full() const { return static_cast<int>(heap_.size()) == k_; }
 
-  // Extracts the final result, closest first.
+  // Extracts the final result, closest first, with real distances.
   std::vector<Neighbor> TakeSorted();
 
  private:
@@ -40,6 +51,8 @@ class KnnCandidates {
   };
 
   int k_;
+  // Heap entries carry squared distances in Neighbor::distance until
+  // TakeSorted() converts them.
   std::priority_queue<Neighbor, std::vector<Neighbor>, Worse> heap_;
 };
 

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "src/geometry/kernel.h"
 #include "src/geometry/rect.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
@@ -153,10 +154,11 @@ class KdbTree : public PointIndex {
 
   // --- search ---
   void SearchKnn(PageId id, int level, PointView query,
-                 KnnCandidates& cand, IoStatsDelta* io) const;
+                 KnnCandidates& cand, KernelScratch& scratch,
+                 IoStatsDelta* io) const;
   void SearchRange(PageId id, int level, PointView query,
                    double radius, std::vector<Neighbor>& out,
-                   IoStatsDelta* io) const;
+                   KernelScratch& scratch, IoStatsDelta* io) const;
   bool DeleteFrom(PageId id, int level, PointView point, uint32_t oid);
 
   // --- validation / stats ---

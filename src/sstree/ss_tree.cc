@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/geometry/kernel.h"
 #include "src/geometry/rect.h"
 #include "src/storage/image_io.h"
 
@@ -251,12 +252,13 @@ SSTree::NodeEntry SSTree::ComputeEntry(const Node& node) const {
   double radius = 0.0;
   if (node.is_leaf()) {
     for (const LeafEntry& e : node.points) {
-      radius = std::max(radius, Distance(center, e.point));
+      radius = std::max(radius, GetDistanceKernel().L2(center, e.point));
     }
   } else {
     for (const NodeEntry& e : node.children) {
       radius = std::max(radius,
-                        Distance(center, e.sphere.center()) + e.sphere.radius());
+                        GetDistanceKernel().L2(center, e.sphere.center()) +
+                            e.sphere.radius());
     }
   }
   entry.sphere = Sphere(std::move(center), radius);
@@ -327,7 +329,8 @@ int SSTree::ChooseSubtree(const Node& node, PointView centroid) const {
   int best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < node.children.size(); ++i) {
-    const double d = SquaredDistance(node.children[i].sphere.center(), centroid);
+    const double d =
+        GetDistanceKernel().SquaredL2(node.children[i].sphere.center(), centroid);
     if (d < best_dist) {
       best_dist = d;
       best = static_cast<int>(i);
@@ -385,7 +388,8 @@ std::vector<SSTree::Pending> SSTree::RemoveForReinsert(Node& node) {
   const Point centroid = NodeCentroid(node, weight);
   std::vector<std::pair<double, size_t>> by_distance(total);
   for (size_t i = 0; i < total; ++i) {
-    by_distance[i] = {SquaredDistance(EntryCentroid(node, i), centroid), i};
+    by_distance[i] = {
+        GetDistanceKernel().SquaredL2(EntryCentroid(node, i), centroid), i};
   }
   std::sort(by_distance.begin(), by_distance.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -553,7 +557,8 @@ bool SSTree::FindLeafPath(const Node& node, PointView point, uint32_t oid,
   }
   for (size_t i = 0; i < node.children.size(); ++i) {
     const Sphere& s = node.children[i].sphere;
-    if (Distance(s.center(), point) > s.radius() * (1.0 + kEps) + kEps) {
+    if (GetDistanceKernel().L2(s.center(), point) >
+        s.radius() * (1.0 + kEps) + kEps) {
       continue;
     }
     idx.push_back(static_cast<int>(i));
@@ -629,27 +634,39 @@ std::vector<Neighbor> SSTree::KnnDfsImpl(PointView query, int k,
                                      IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
+  KernelScratch scratch;
+  if (size_ > 0) {
+    SearchKnn(root_id_, root_level_, query, candidates, scratch, io);
+  }
   return candidates.TakeSorted();
 }
 
 void SSTree::SearchKnn(PageId id, int level, PointView query,
-                   KnnCandidates& cand, IoStatsDelta* io) const {
+                   KnnCandidates& cand, KernelScratch& scratch,
+                   IoStatsDelta* io) const {
   Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      cand.Offer(Distance(e.point, query), e.oid);
+    const double bound_sq = cand.PruneDistanceSquared();
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= bound_sq) cand.OfferSquared(d2[i], node.points[i].oid);
     }
     return;
   }
+  // Sphere MINDIST is inherently a distance, so interior ordering and
+  // pruning stay in distance space (cand.PruneDistance()).
+  const std::vector<double>& md = BatchSphereMinDist(
+      scratch, query, node.children.size(),
+      [&](size_t i) -> const Sphere& { return node.children[i].sphere; });
+  // Copy out of the scratch before recursing — the callee reuses it.
   std::vector<std::pair<double, size_t>> order(node.children.size());
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    order[i] = {node.children[i].sphere.MinDist(query), i};
-  }
+  for (size_t i = 0; i < node.children.size(); ++i) order[i] = {md[i], i};
   std::sort(order.begin(), order.end());
   for (const auto& [mindist, i] : order) {
     if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand, io);
+    SearchKnn(node.children[i].child, level - 1, query, cand, scratch, io);
   }
 }
 
@@ -672,6 +689,7 @@ std::vector<Neighbor> SSTree::KnnBestFirstImpl(PointView query, int k,
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       frontier;
+  KernelScratch scratch;
   frontier.push(Pending{0.0, root_id_, root_level_});
   while (!frontier.empty()) {
     const Pending next = frontier.top();
@@ -679,15 +697,23 @@ std::vector<Neighbor> SSTree::KnnBestFirstImpl(PointView query, int k,
     if (next.mindist > candidates.PruneDistance()) break;
     Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
-      for (const LeafEntry& e : node.points) {
-        candidates.Offer(Distance(e.point, query), e.oid);
+      const double bound_sq = candidates.PruneDistanceSquared();
+      const std::vector<double>& d2 = BatchSquaredL2(
+          scratch, query, node.points.size(),
+          [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+      for (size_t i = 0; i < node.points.size(); ++i) {
+        if (d2[i] <= bound_sq) {
+          candidates.OfferSquared(d2[i], node.points[i].oid);
+        }
       }
       continue;
     }
+    const std::vector<double>& md = BatchSphereMinDist(
+        scratch, query, node.children.size(),
+        [&](size_t i) -> const Sphere& { return node.children[i].sphere; });
     for (size_t i = 0; i < node.children.size(); ++i) {
-      const double d = node.children[i].sphere.MinDist(query);
-      if (d <= candidates.PruneDistance()) {
-        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      if (md[i] <= candidates.PruneDistance()) {
+        frontier.push(Pending{md[i], node.children[i].child, node.level - 1});
       }
     }
   }
@@ -698,26 +724,40 @@ std::vector<Neighbor> SSTree::RangeImpl(PointView query, double radius,
                                     IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
+  KernelScratch scratch;
+  if (size_ > 0) {
+    SearchRange(root_id_, root_level_, query, radius, result, scratch, io);
+  }
   std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 
 void SSTree::SearchRange(PageId id, int level, PointView query,
                      double radius, std::vector<Neighbor>& out,
-                     IoStatsDelta* io) const {
+                     KernelScratch& scratch, IoStatsDelta* io) const {
   Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      const double d = Distance(e.point, query);
-      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    const double radius_sq = radius * radius;
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, radius_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= radius_sq) {
+        out.push_back(Neighbor{std::sqrt(d2[i]), node.points[i].oid});
+      }
     }
     return;
   }
-  for (const NodeEntry& e : node.children) {
-    if (e.sphere.MinDist(query) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out, io);
-    }
+  const std::vector<double>& md = BatchSphereMinDist(
+      scratch, query, node.children.size(),
+      [&](size_t i) -> const Sphere& { return node.children[i].sphere; });
+  // Copy out of the scratch before recursing — the callee reuses it.
+  std::vector<PageId> hits;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (md[i] <= radius) hits.push_back(node.children[i].child);
+  }
+  for (const PageId child : hits) {
+    SearchRange(child, level - 1, query, radius, out, scratch, io);
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/geometry/kernel.h"
 #include "src/storage/image_io.h"
 
 namespace srtree {
@@ -401,7 +402,8 @@ std::vector<TvRTree::Pending> TvRTree::RemoveForReinsert(Node& node) {
   const Point center = NodeBoundingRect(node).Center();
   std::vector<std::pair<double, size_t>> by_distance(total);
   for (size_t i = 0; i < total; ++i) {
-    by_distance[i] = {SquaredDistance(EntryRect(node, i).Center(), center), i};
+    by_distance[i] = {
+        GetDistanceKernel().SquaredL2(EntryRect(node, i).Center(), center), i};
   }
   // Farthest entries are evicted; reinsertion happens closest-first ("close
   // reinsert"), which the R* authors found best.
@@ -671,30 +673,40 @@ std::vector<Neighbor> TvRTree::KnnDfsImpl(PointView query, int k,
                                      IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
+  KernelScratch scratch;
+  if (size_ > 0) {
+    SearchKnn(root_id_, root_level_, query, candidates, scratch, io);
+  }
   return candidates.TakeSorted();
 }
 
 void TvRTree::SearchKnn(PageId id, int level, PointView query,
-                   KnnCandidates& cand, IoStatsDelta* io) const {
+                   KnnCandidates& cand, KernelScratch& scratch,
+                   IoStatsDelta* io) const {
   Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      cand.Offer(Distance(e.point, query), e.oid);
+    const double bound_sq = cand.PruneDistanceSquared();
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= bound_sq) cand.OfferSquared(d2[i], node.points[i].oid);
     }
     return;
   }
+  // The active-subspace MINDIST lower-bounds the full distance, so the
+  // pruning stays exact — only weaker than a full-dimensional bound.
   const PointView active_query = ActiveView(query);
+  const std::vector<double>& m2 = BatchRectMinDistSq(
+      scratch, active_query, node.children.size(),
+      [&](size_t i) -> const Rect& { return node.children[i].rect; });
+  // Copy out of the scratch before recursing — the callee reuses it.
   std::vector<std::pair<double, size_t>> order(node.children.size());
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    // The active-subspace MINDIST lower-bounds the full distance, so the
-    // pruning stays exact — only weaker than a full-dimensional bound.
-    order[i] = {std::sqrt(node.children[i].rect.MinDistSq(active_query)), i};
-  }
+  for (size_t i = 0; i < node.children.size(); ++i) order[i] = {m2[i], i};
   std::sort(order.begin(), order.end());
-  for (const auto& [mindist, i] : order) {
-    if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand, io);
+  for (const auto& [mindist_sq, i] : order) {
+    if (mindist_sq > cand.PruneDistanceSquared()) break;
+    SearchKnn(node.children[i].child, level - 1, query, cand, scratch, io);
   }
 }
 
@@ -708,32 +720,40 @@ std::vector<Neighbor> TvRTree::KnnBestFirstImpl(PointView query, int k,
   // Global best-first traversal: always expand the pending subtree with the
   // smallest MINDIST. Stops once that bound exceeds the k-th candidate.
   struct Pending {
-    double mindist;
+    double mindist_sq;
     PageId id;
     int level;
     bool operator>(const Pending& other) const {
-      return mindist > other.mindist;
+      return mindist_sq > other.mindist_sq;
     }
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       frontier;
+  KernelScratch scratch;
   frontier.push(Pending{0.0, root_id_, root_level_});
   while (!frontier.empty()) {
     const Pending next = frontier.top();
     frontier.pop();
-    if (next.mindist > candidates.PruneDistance()) break;
+    if (next.mindist_sq > candidates.PruneDistanceSquared()) break;
     Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
-      for (const LeafEntry& e : node.points) {
-        candidates.Offer(Distance(e.point, query), e.oid);
+      const double bound_sq = candidates.PruneDistanceSquared();
+      const std::vector<double>& d2 = BatchSquaredL2(
+          scratch, query, node.points.size(),
+          [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+      for (size_t i = 0; i < node.points.size(); ++i) {
+        if (d2[i] <= bound_sq) {
+          candidates.OfferSquared(d2[i], node.points[i].oid);
+        }
       }
       continue;
     }
+    const std::vector<double>& m2 = BatchRectMinDistSq(
+        scratch, ActiveView(query), node.children.size(),
+        [&](size_t i) -> const Rect& { return node.children[i].rect; });
     for (size_t i = 0; i < node.children.size(); ++i) {
-      const double d =
-          std::sqrt(node.children[i].rect.MinDistSq(ActiveView(query)));
-      if (d <= candidates.PruneDistance()) {
-        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      if (m2[i] <= candidates.PruneDistanceSquared()) {
+        frontier.push(Pending{m2[i], node.children[i].child, node.level - 1});
       }
     }
   }
@@ -744,26 +764,40 @@ std::vector<Neighbor> TvRTree::RangeImpl(PointView query, double radius,
                                     IoStatsDelta* io) const {
   CHECK_EQ(static_cast<int>(query.size()), options_.dim);
   std::vector<Neighbor> result;
-  if (size_ > 0) SearchRange(root_id_, root_level_, query, radius, result, io);
+  KernelScratch scratch;
+  if (size_ > 0) {
+    SearchRange(root_id_, root_level_, query, radius, result, scratch, io);
+  }
   std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 
 void TvRTree::SearchRange(PageId id, int level, PointView query,
                      double radius, std::vector<Neighbor>& out,
-                     IoStatsDelta* io) const {
+                     KernelScratch& scratch, IoStatsDelta* io) const {
   Node node = ReadNode(id, level, io);
+  const double radius_sq = radius * radius;
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      const double d = Distance(e.point, query);
-      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, radius_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= radius_sq) {
+        out.push_back(Neighbor{std::sqrt(d2[i]), node.points[i].oid});
+      }
     }
     return;
   }
-  for (const NodeEntry& e : node.children) {
-    if (std::sqrt(e.rect.MinDistSq(ActiveView(query))) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out, io);
-    }
+  const std::vector<double>& m2 = BatchRectMinDistSq(
+      scratch, ActiveView(query), node.children.size(),
+      [&](size_t i) -> const Rect& { return node.children[i].rect; });
+  // Copy out of the scratch before recursing — the callee reuses it.
+  std::vector<PageId> hits;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (m2[i] <= radius_sq) hits.push_back(node.children[i].child);
+  }
+  for (const PageId child : hits) {
+    SearchRange(child, level - 1, query, radius, out, scratch, io);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <set>
 #include <vector>
 
+#include "src/geometry/kernel.h"
 #include "src/geometry/rect.h"
 #include "src/index/knn.h"
 #include "src/index/point_index.h"
@@ -170,10 +171,11 @@ class TvRTree : public PointIndex {
 
   // --- search ---
   void SearchKnn(PageId id, int level, PointView query,
-                 KnnCandidates& cand, IoStatsDelta* io) const;
+                 KnnCandidates& cand, KernelScratch& scratch,
+                 IoStatsDelta* io) const;
   void SearchRange(PageId id, int level, PointView query,
                    double radius, std::vector<Neighbor>& out,
-                   IoStatsDelta* io) const;
+                   KernelScratch& scratch, IoStatsDelta* io) const;
 
   // --- validation / stats ---
   void VisitSubtree(const Node& node, std::vector<int>& path,

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/geometry/kernel.h"
 
 namespace srtree {
 
@@ -110,7 +111,8 @@ DistanceStats ComputePairwiseDistances(const Dataset& data, size_t sample_size,
   uint64_t pairs = 0;
   for (size_t i = 0; i < sample.size(); ++i) {
     for (size_t j = i + 1; j < sample.size(); ++j) {
-      const double d = Distance(data.point(sample[i]), data.point(sample[j]));
+      const double d =
+          GetDistanceKernel().L2(data.point(sample[i]), data.point(sample[j]));
       stats.min = std::min(stats.min, d);
       stats.max = std::max(stats.max, d);
       sum += d;

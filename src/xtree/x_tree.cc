@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/debug/structural_auditor.h"
+#include "src/geometry/kernel.h"
 #include "src/storage/image_io.h"
 
 namespace srtree {
@@ -740,27 +741,39 @@ void XTree::ShrinkRoot() {
 std::vector<Neighbor> XTree::KnnDfsImpl(PointView query, int k,
                                         IoStatsDelta* io) const {
   KnnCandidates candidates(k);
-  if (size_ > 0) SearchKnn(root_id_, root_level_, query, candidates, io);
+  KernelScratch scratch;
+  if (size_ > 0) {
+    SearchKnn(root_id_, root_level_, query, candidates, scratch, io);
+  }
   return candidates.TakeSorted();
 }
 
 void XTree::SearchKnn(PageId id, int level, PointView query,
-                      KnnCandidates& cand, IoStatsDelta* io) const {
+                      KnnCandidates& cand, KernelScratch& scratch,
+                      IoStatsDelta* io) const {
   Node node = ReadNode(id, level, io);
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      cand.Offer(Distance(e.point, query), e.oid);
+    // SoA leaf scan with partial-distance pruning against the bound at
+    // block start (conservative: the bound only shrinks as we offer).
+    const double bound_sq = cand.PruneDistanceSquared();
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= bound_sq) cand.OfferSquared(d2[i], node.points[i].oid);
     }
     return;
   }
+  const std::vector<double>& m2 = BatchRectMinDistSq(
+      scratch, query, node.children.size(),
+      [&](size_t i) -> const Rect& { return node.children[i].rect; });
+  // Copy out of the scratch before recursing — the callee reuses it.
   std::vector<std::pair<double, size_t>> order(node.children.size());
-  for (size_t i = 0; i < node.children.size(); ++i) {
-    order[i] = {std::sqrt(node.children[i].rect.MinDistSq(query)), i};
-  }
+  for (size_t i = 0; i < node.children.size(); ++i) order[i] = {m2[i], i};
   std::sort(order.begin(), order.end());
-  for (const auto& [mindist, i] : order) {
-    if (mindist > cand.PruneDistance()) break;
-    SearchKnn(node.children[i].child, level - 1, query, cand, io);
+  for (const auto& [mindist_sq, i] : order) {
+    if (mindist_sq > cand.PruneDistanceSquared()) break;
+    SearchKnn(node.children[i].child, level - 1, query, cand, scratch, io);
   }
 }
 
@@ -770,31 +783,40 @@ std::vector<Neighbor> XTree::KnnBestFirstImpl(PointView query, int k,
   if (size_ == 0) return candidates.TakeSorted();
 
   struct Pending {
-    double mindist;
+    double mindist_sq;
     PageId id;
     int level;
     bool operator>(const Pending& other) const {
-      return mindist > other.mindist;
+      return mindist_sq > other.mindist_sq;
     }
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       frontier;
+  KernelScratch scratch;
   frontier.push(Pending{0.0, root_id_, root_level_});
   while (!frontier.empty()) {
     const Pending next = frontier.top();
     frontier.pop();
-    if (next.mindist > candidates.PruneDistance()) break;
+    if (next.mindist_sq > candidates.PruneDistanceSquared()) break;
     Node node = ReadNode(next.id, next.level, io);
     if (node.is_leaf()) {
-      for (const LeafEntry& e : node.points) {
-        candidates.Offer(Distance(e.point, query), e.oid);
+      const double bound_sq = candidates.PruneDistanceSquared();
+      const std::vector<double>& d2 = BatchSquaredL2(
+          scratch, query, node.points.size(),
+          [&](size_t i) { return PointView(node.points[i].point); }, bound_sq);
+      for (size_t i = 0; i < node.points.size(); ++i) {
+        if (d2[i] <= bound_sq) {
+          candidates.OfferSquared(d2[i], node.points[i].oid);
+        }
       }
       continue;
     }
+    const std::vector<double>& m2 = BatchRectMinDistSq(
+        scratch, query, node.children.size(),
+        [&](size_t i) -> const Rect& { return node.children[i].rect; });
     for (size_t i = 0; i < node.children.size(); ++i) {
-      const double d = std::sqrt(node.children[i].rect.MinDistSq(query));
-      if (d <= candidates.PruneDistance()) {
-        frontier.push(Pending{d, node.children[i].child, node.level - 1});
+      if (m2[i] <= candidates.PruneDistanceSquared()) {
+        frontier.push(Pending{m2[i], node.children[i].child, node.level - 1});
       }
     }
   }
@@ -804,27 +826,40 @@ std::vector<Neighbor> XTree::KnnBestFirstImpl(PointView query, int k,
 std::vector<Neighbor> XTree::RangeImpl(PointView query, double radius,
                                        IoStatsDelta* io) const {
   std::vector<Neighbor> result;
+  KernelScratch scratch;
   if (size_ > 0) {
-    SearchRange(root_id_, root_level_, query, radius, result, io);
+    SearchRange(root_id_, root_level_, query, radius, result, scratch, io);
   }
   std::sort(result.begin(), result.end());  // canonical (distance, oid)
   return result;
 }
 
-void XTree::SearchRange(PageId id, int level, PointView query, double radius,
-                        std::vector<Neighbor>& out, IoStatsDelta* io) const {
+void XTree::SearchRange(PageId id, int level, PointView query,
+                     double radius, std::vector<Neighbor>& out,
+                     KernelScratch& scratch, IoStatsDelta* io) const {
   Node node = ReadNode(id, level, io);
+  const double radius_sq = radius * radius;
   if (node.is_leaf()) {
-    for (const LeafEntry& e : node.points) {
-      const double d = Distance(e.point, query);
-      if (d <= radius) out.push_back(Neighbor{d, e.oid});
+    const std::vector<double>& d2 = BatchSquaredL2(
+        scratch, query, node.points.size(),
+        [&](size_t i) { return PointView(node.points[i].point); }, radius_sq);
+    for (size_t i = 0; i < node.points.size(); ++i) {
+      if (d2[i] <= radius_sq) {
+        out.push_back(Neighbor{std::sqrt(d2[i]), node.points[i].oid});
+      }
     }
     return;
   }
-  for (const NodeEntry& e : node.children) {
-    if (std::sqrt(e.rect.MinDistSq(query)) <= radius) {
-      SearchRange(e.child, level - 1, query, radius, out, io);
-    }
+  const std::vector<double>& m2 = BatchRectMinDistSq(
+      scratch, query, node.children.size(),
+      [&](size_t i) -> const Rect& { return node.children[i].rect; });
+  // Copy out of the scratch before recursing — the callee reuses it.
+  std::vector<PageId> hits;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (m2[i] <= radius_sq) hits.push_back(node.children[i].child);
+  }
+  for (const PageId child : hits) {
+    SearchRange(child, level - 1, query, radius, out, scratch, io);
   }
 }
 

@@ -7,6 +7,10 @@
 #include "src/geometry/rect.h"
 #include "src/geometry/sphere.h"
 
+// The free-function wrappers in point.h are deprecated in favor of the
+// DistanceKernel API; these tests deliberately keep exercising them.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace srtree {
 namespace {
 

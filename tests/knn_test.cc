@@ -14,21 +14,24 @@ namespace {
 TEST(KnnCandidatesTest, InfinitePruneDistanceUntilFull) {
   KnnCandidates cand(3);
   EXPECT_EQ(cand.PruneDistance(), std::numeric_limits<double>::infinity());
-  cand.Offer(1.0, 1);
-  cand.Offer(2.0, 2);
+  EXPECT_EQ(cand.PruneDistanceSquared(),
+            std::numeric_limits<double>::infinity());
+  cand.OfferSquared(1.0, 1);
+  cand.OfferSquared(4.0, 2);
   EXPECT_FALSE(cand.full());
   EXPECT_EQ(cand.PruneDistance(), std::numeric_limits<double>::infinity());
-  cand.Offer(3.0, 3);
+  cand.OfferSquared(9.0, 3);
   EXPECT_TRUE(cand.full());
+  EXPECT_DOUBLE_EQ(cand.PruneDistanceSquared(), 9.0);
   EXPECT_DOUBLE_EQ(cand.PruneDistance(), 3.0);
 }
 
 TEST(KnnCandidatesTest, KeepsKBest) {
   KnnCandidates cand(2);
-  cand.Offer(5.0, 1);
-  cand.Offer(1.0, 2);
-  cand.Offer(3.0, 3);
-  cand.Offer(0.5, 4);
+  cand.OfferSquared(25.0, 1);
+  cand.OfferSquared(1.0, 2);
+  cand.OfferSquared(9.0, 3);
+  cand.OfferSquared(0.25, 4);
   const std::vector<Neighbor> result = cand.TakeSorted();
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0].oid, 4u);
@@ -39,8 +42,8 @@ TEST(KnnCandidatesTest, KeepsKBest) {
 
 TEST(KnnCandidatesTest, WorseCandidatesRejected) {
   KnnCandidates cand(1);
-  cand.Offer(1.0, 1);
-  cand.Offer(2.0, 2);
+  cand.OfferSquared(1.0, 1);
+  cand.OfferSquared(4.0, 2);
   EXPECT_DOUBLE_EQ(cand.PruneDistance(), 1.0);
   const std::vector<Neighbor> result = cand.TakeSorted();
   ASSERT_EQ(result.size(), 1u);
@@ -49,9 +52,9 @@ TEST(KnnCandidatesTest, WorseCandidatesRejected) {
 
 TEST(KnnCandidatesTest, TiesBrokenBySmallerOid) {
   KnnCandidates cand(2);
-  cand.Offer(1.0, 9);
-  cand.Offer(1.0, 3);
-  cand.Offer(1.0, 5);
+  cand.OfferSquared(1.0, 9);
+  cand.OfferSquared(1.0, 3);
+  cand.OfferSquared(1.0, 5);
   const std::vector<Neighbor> result = cand.TakeSorted();
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0].oid, 3u);
@@ -112,9 +115,9 @@ TEST(NeighborOrderTest, DuplicateDistancesOrderedByOidInEveryIndex) {
 
 TEST(KnnCandidatesTest, SortedOutputStableUnderInsertionOrder) {
   KnnCandidates a(4), b(4);
-  const double ds[] = {4.0, 1.0, 3.0, 2.0, 5.0};
-  for (int i = 0; i < 5; ++i) a.Offer(ds[i], static_cast<uint32_t>(i));
-  for (int i = 4; i >= 0; --i) b.Offer(ds[i], static_cast<uint32_t>(i));
+  const double ds[] = {16.0, 1.0, 9.0, 4.0, 25.0};
+  for (int i = 0; i < 5; ++i) a.OfferSquared(ds[i], static_cast<uint32_t>(i));
+  for (int i = 4; i >= 0; --i) b.OfferSquared(ds[i], static_cast<uint32_t>(i));
   EXPECT_EQ(a.TakeSorted(), b.TakeSorted());
 }
 

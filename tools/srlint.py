@@ -35,6 +35,12 @@ tools/lint.py checks file *shape* (guards, include style); srlint checks
       mutates a page in place, tearing any committed version that still
       references its buffer. The frozen-tree structures (no snapshot
       readers) waive their writer line explicitly.
+  R7  kernel bypass: no free SquaredDistance()/Distance() calls in the
+      tree directories. Those wrappers are deprecated scalar shims; tree
+      code computes distances through GetDistanceKernel() — the batched
+      SoA forms on the search path, the single-point forms elsewhere — so
+      every distance benefits from the dispatched implementation and the
+      partial-distance-pruning contract (src/geometry/kernel.h).
 
 A finding on one line can be waived in place with a comment naming the rule
 and a reason, e.g.
@@ -66,8 +72,8 @@ from typing import NamedTuple
 FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
 
-WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-6])\)")
-EXPECT_RE = re.compile(r"srlint-expect\((R[1-6])\)")  # self-test fixtures
+WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-7])\)")
+EXPECT_RE = re.compile(r"srlint-expect\((R[1-7])\)")  # self-test fixtures
 
 
 class Finding(NamedTuple):
@@ -211,6 +217,13 @@ R5_ALLOWED_DIRS = ("src/storage/", "src/workload/")
 R6_WRITE_RE = re.compile(r"\b\w*[Ff]ile\w*\s*(?:\.|->)\s*Write\s*\(")
 R6_ALLOWED_DIRS = ("src/storage/",)
 
+# Free-function calls (qualified or not): the lookbehind rejects member
+# access (., ->) and longer identifiers, so sphere.MinDist(),
+# cand.PruneDistance() and kernel_detail::ScalarSquaredL2() never match,
+# while srtree::SquaredDistance() still does.
+R7_CALL_RE = re.compile(r"(?<![\w.>])(SquaredDistance|Distance)\s*\(")
+R7_TREE_DIRS = R3_TREE_DIRS
+
 
 def check_r1(rel: str, lines: list[str]):
     if rel in R1_ALLOWED_FILES:
@@ -279,6 +292,19 @@ def check_r5(rel: str, lines: list[str]):
                 f"storage::AtomicWriteFile / IndexImageFile / "
                 f"ReadFileToString (src/storage/image_io.h) so images keep "
                 f"checksums and atomic-rename durability")
+
+
+def check_r7(rel: str, lines: list[str]):
+    if not rel.startswith(R7_TREE_DIRS):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        for m in R7_CALL_RE.finditer(line):
+            yield Finding(
+                rel, lineno, "R7",
+                f"free {m.group(1)}() in tree code; compute distances "
+                f"through GetDistanceKernel() — batched SoA forms on the "
+                f"search path, SquaredL2()/L2() elsewhere "
+                f"(src/geometry/kernel.h)")
 
 
 def check_r6(rel: str, lines: list[str]):
@@ -373,7 +399,8 @@ def lint_files(root: pathlib.Path, files: list[str]) -> list[Finding]:
         for f in (*check_r1(rel, code_lines), *check_r2(rel, code_lines),
                   *check_r3(rel, code_lines, raw_lines),
                   *check_r4(rel, code_lines, registered),
-                  *check_r5(rel, code_lines), *check_r6(rel, code_lines)):
+                  *check_r5(rel, code_lines), *check_r6(rel, code_lines),
+                  *check_r7(rel, code_lines)):
             if f.rule not in waived.get(f.lineno, set()):
                 findings.append(f)
     return sorted(findings)
@@ -422,7 +449,7 @@ def run_self_test() -> int:
         ok = False
         print(f"self-test: SPURIOUS finding {rule} at {rel}:{lineno}")
     rules_seen = {rule for _, _, rule in want}
-    for rule in ("R1", "R2", "R3", "R4", "R5", "R6"):
+    for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
         if rule not in rules_seen:
             ok = False
             print(f"self-test: fixture tree seeds no {rule} violation")

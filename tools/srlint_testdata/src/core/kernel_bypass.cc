@@ -1,0 +1,18 @@
+// R7 fixture: free SquaredDistance()/Distance() calls inside a tree
+// directory. Tree code goes through GetDistanceKernel(); the waived line
+// models a deliberately-kept scalar reference path, and the member /
+// qualified / kernel calls are compliant counter-examples that must never
+// match.
+#include "src/geometry/kernel.h"
+#include "src/geometry/point.h"
+
+double Compare(srtree::PointView a, srtree::PointView b,
+               const srtree::Sphere& sphere) {
+  double d = srtree::SquaredDistance(a, b);                // srlint-expect(R7)
+  d += Distance(a, b);                                     // srlint-expect(R7)
+  d += SquaredDistance(a, b);  // srlint: allow(R7) scalar reference oracle
+  d += srtree::GetDistanceKernel().SquaredL2(a, b);  // compliant: kernel
+  d += sphere.MinDist(a);            // compliant: member MINDIST
+  d += srtree::kernel_detail::ScalarSquaredL2(a.data(), b.data(), a.size());
+  return d;
+}
