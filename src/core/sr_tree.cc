@@ -22,28 +22,42 @@ constexpr double kEps = 1e-9;
 
 }  // namespace
 
-SRTree::SRTree(const Options& options) : options_(options), file_(options.page_size) {
-  CHECK_GT(options_.dim, 0);
-  CHECK_GT(options_.min_utilization, 0.0);
-  CHECK_LE(options_.min_utilization, 0.5);
-  CHECK_GT(options_.reinsert_fraction, 0.0);
-  CHECK_LT(options_.reinsert_fraction, 1.0);
+SRTree::Options SRTree::Validated(const Options& options) {
+  CHECK_GT(options.dim, 0);
+  CHECK_GT(options.min_utilization, 0.0);
+  CHECK_LE(options.min_utilization, 0.5);
+  CHECK_GT(options.reinsert_fraction, 0.0);
+  CHECK_LT(options.reinsert_fraction, 1.0);
+  return options;
+}
 
-  const size_t dim = static_cast<size_t>(options_.dim);
+size_t SRTree::LeafCapacityFor(const Options& options) {
+  const size_t dim = static_cast<size_t>(options.dim);
   const size_t leaf_entry =
-      dim * sizeof(double) + sizeof(uint32_t) + options_.leaf_data_size;
+      dim * sizeof(double) + sizeof(uint32_t) + options.leaf_data_size;
+  return (options.page_size - kHeaderBytes) / leaf_entry;
+}
+
+size_t SRTree::NodeCapacityFor(const Options& options) {
   // center + radius + rect(lo,hi) + weight + child: the entry is three times
   // the SS-tree's and one and a half times the R*-tree's (Section 5.3).
+  const size_t dim = static_cast<size_t>(options.dim);
   const size_t node_entry = dim * sizeof(double) + sizeof(double) +
                             2 * dim * sizeof(double) + 2 * sizeof(uint32_t);
-  leaf_cap_ = (options_.page_size - kHeaderBytes) / leaf_entry;
-  node_cap_ = (options_.page_size - kHeaderBytes) / node_entry;
+  return (options.page_size - kHeaderBytes) / node_entry;
+}
+
+SRTree::SRTree(const Options& options)
+    : options_(Validated(options)),
+      leaf_cap_(LeafCapacityFor(options_)),
+      node_cap_(NodeCapacityFor(options_)),
+      leaf_min_(std::max<size_t>(
+          1, static_cast<size_t>(options_.min_utilization * leaf_cap_))),
+      node_min_(std::max<size_t>(
+          1, static_cast<size_t>(options_.min_utilization * node_cap_))),
+      file_(options_.page_size) {
   CHECK_GE(leaf_cap_, 2u);
   CHECK_GE(node_cap_, 2u);
-  leaf_min_ = std::max<size_t>(
-      1, static_cast<size_t>(options_.min_utilization * leaf_cap_));
-  node_min_ = std::max<size_t>(
-      1, static_cast<size_t>(options_.min_utilization * node_cap_));
 
   // No other thread can hold a reference yet, but the analysis (correctly)
   // demands the lock for the guarded members and the REQUIRES helpers.

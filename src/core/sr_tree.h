@@ -147,6 +147,9 @@ class SRTree : public PointIndex {
   // The reclamation domain backing this tree's snapshots; tests assert its
   // retired_count() drains to zero once readers quiesce.
   EpochManager& epochs_for_test() const { return file_.epochs(); }
+  EpochManager* epoch_domain_for_test() const override {
+    return &file_.epochs();
+  }
 
  protected:
   // Each acquires its own epoch guard + snapshot: a plain Search() against
@@ -279,18 +282,27 @@ class SRTree : public PointIndex {
   void CollectRegions(const Node& node, RegionStatsCollector& collector) const
       REQUIRES(writer_mu_);
 
-  Options options_;
-  size_t leaf_cap_;
-  size_t node_cap_;
-  size_t leaf_min_;
-  size_t node_min_;
+  // Constructor helpers so the configuration block below can be const:
+  // Validated() CHECKs the option invariants and passes the copy through;
+  // the capacity helpers derive the per-page entry counts (Section 5.3
+  // entry sizes).
+  static Options Validated(const Options& options);
+  static size_t LeafCapacityFor(const Options& options);
+  static size_t NodeCapacityFor(const Options& options);
+
+  const Options options_;
+  const size_t leaf_cap_;
+  const size_t node_cap_;
+  const size_t leaf_min_;
+  const size_t node_min_;
 
   mutable PageFile file_;
   // Optional warm cache on the query path (UseBufferPool); frames are keyed
   // by (page id, buffer stamp), so copy-on-write makes stale hits
   // impossible and the writer never invalidates. Swapping the pool itself
   // is still not thread-safe against in-flight queries.
-  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BufferPool> pool_ UNGUARDED_OK(
+      "swapped only by UseBufferPool, excluded vs in-flight queries");
 
   // writer_mu_ serializes mutations and guards the working tree metadata.
   // Queries never take it: they read the committed copies of these values

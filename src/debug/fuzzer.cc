@@ -14,6 +14,7 @@
 #include "src/debug/structural_auditor.h"
 #include "src/geometry/kernel.h"
 #include "src/index/brute_force.h"
+#include "src/storage/epoch.h"
 
 namespace srtree::debug {
 namespace {
@@ -457,7 +458,7 @@ Status RunMixedReadWriteFuzz(PointIndex& index,
   // Quiesced epilogue: the final committed version must account for every
   // scheduled mutation, the tree must still audit clean, and the live state
   // must match a full oracle replay.
-  const std::unique_ptr<IndexSnapshot> final_snap = index.AcquireSnapshot();
+  std::unique_ptr<IndexSnapshot> final_snap = index.AcquireSnapshot();
   if (final_snap->version() != v0 + ops.size()) {
     return fail("final version " + std::to_string(final_snap->version()) +
                 " != v0 + mutations = " + std::to_string(v0 + ops.size()));
@@ -481,6 +482,23 @@ Status RunMixedReadWriteFuzz(PointIndex& index,
   if (index.size() != oracle.size()) {
     return fail("final size " + std::to_string(index.size()) +
                 " != oracle size " + std::to_string(oracle.size()));
+  }
+
+  // Leak check: with every reader joined and the final snapshot still
+  // pinned above, only that one guard may hold retirees back. Release is
+  // the caller's job for final_snap, so reclaim against the live state:
+  // everything retired before the final commit must free now — a nonzero
+  // residue (beyond what final_snap pins) means unlink-before-retire or
+  // the epoch tags are wrong, exactly what ASan/LSan cannot see because
+  // the memory is still referenced.
+  if (EpochManager* epochs = index.epoch_domain_for_test()) {
+    final_snap.reset();
+    epochs->ReclaimExpired();
+    const size_t residue = epochs->retired_count();
+    if (residue != 0) {
+      return fail("epoch reclamation left " + std::to_string(residue) +
+                  " retired object(s) after all readers quiesced");
+    }
   }
   return Status::OK();
 }

@@ -8,12 +8,16 @@
 
 namespace srtree {
 
+EngineOptions QueryEngine::Sanitized(EngineOptions options) {
+  options.num_workers = std::max(1, options.num_workers);
+  options.steal_grain = std::max<size_t>(1, options.steal_grain);
+  return options;
+}
+
 QueryEngine::QueryEngine(std::unique_ptr<PointIndex> index,
                          const EngineOptions& options)
-    : index_(std::move(index)), options_(options) {
+    : index_(std::move(index)), options_(Sanitized(options)) {
   CHECK(index_ != nullptr);
-  options_.num_workers = std::max(1, options_.num_workers);
-  options_.steal_grain = std::max<size_t>(1, options_.steal_grain);
   if (options_.buffer_pool_pages > 0) {
     index_->UseBufferPool(options_.buffer_pool_pages);
   }
@@ -48,9 +52,12 @@ std::vector<QueryResult> QueryEngine::RunBatch(
     // One pinned view for the whole batch: every chunk — owned or stolen,
     // on any worker — queries the same committed version, so the results
     // are byte-identical to a sequential loop over this snapshot even if a
-    // writer commits while the batch drains. Destroyed at end of scope,
-    // after the drain wait below, so workers never outlive it.
-    const std::unique_ptr<IndexSnapshot> snapshot = index_->AcquireSnapshot();
+    // writer commits while the batch drains. Shared ownership: workers copy
+    // the handle under mu_, so the view stays alive for every chunk even on
+    // schedules where a worker is still draining after RunBatch resets the
+    // published copy below.
+    const std::shared_ptr<const IndexSnapshot> snapshot =
+        index_->AcquireSnapshot();
     // Deal contiguous chunks round-robin across the worker deques.
     const size_t grain = options_.steal_grain;
     {
@@ -58,7 +65,7 @@ std::vector<QueryResult> QueryEngine::RunBatch(
       ++epoch_;
       batch_queries_ = queries;
       batch_results_ = &results;
-      batch_snapshot_ = snapshot.get();
+      batch_snapshot_ = snapshot;
       steals_ = 0;
       int next_worker = 0;
       for (size_t begin = 0; begin < queries.size(); begin += grain) {
@@ -126,7 +133,7 @@ void QueryEngine::WorkerLoop(int worker_id) {
     // re-snapshot before executing it.
     std::span<const Query> queries;
     std::vector<QueryResult>* results = nullptr;
-    const IndexSnapshot* snapshot = nullptr;
+    std::shared_ptr<const IndexSnapshot> snapshot;
     {
       // Explicit wait loop (not a predicate lambda) so the analysis sees
       // the guarded reads of shutdown_/epoch_ under mu_.

@@ -127,15 +127,21 @@ class QueryEngine {
                 const IndexSnapshot& snapshot,
                 std::vector<QueryResult>& results);
 
+  // EngineOptions with num_workers and steal_grain clamped to >= 1, so
+  // options_ can be initialized (and stay) const.
+  static EngineOptions Sanitized(EngineOptions options);
+
   // Written in the constructor and by ReleaseIndex() only; workers read it
   // exclusively inside an epoch, which RunBatch brackets while holding
   // batch_mu_ — the same lock ReleaseIndex() takes. Search() is const and
   // re-entrant by the PointIndex contract, so traversals need no lock.
-  std::unique_ptr<PointIndex> index_;
-  EngineOptions options_;
+  std::unique_ptr<PointIndex> index_ UNGUARDED_OK(
+      "written by ctor and batch_mu_-serialized ReleaseIndex only");
+  const EngineOptions options_;
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ UNGUARDED_OK(
+      "spawned in the constructor, joined in the destructor");
 
   // Capability map: batch_mu_ serializes RunBatch/ReleaseIndex callers and
   // guards no data; mu_ guards the epoch/progress fields below, which are
@@ -149,10 +155,12 @@ class QueryEngine {
   bool shutdown_ GUARDED_BY(mu_) = false;
   std::span<const Query> batch_queries_ GUARDED_BY(mu_);
   std::vector<QueryResult>* batch_results_ GUARDED_BY(mu_) = nullptr;
-  // The one pinned view every chunk of the current batch queries. Owned by
-  // the RunBatch frame (which outlives the drain); published here so
-  // workers can snapshot it alongside the queries/results.
-  const IndexSnapshot* batch_snapshot_ GUARDED_BY(mu_) = nullptr;
+  // The one pinned view every chunk of the current batch queries. Shared
+  // ownership (not a raw pointer borrowed from the RunBatch frame): each
+  // worker copies the handle under mu_, so the snapshot provably outlives
+  // every chunk no matter how the drain interleaves — srcheck rule C5
+  // rejects the borrowed-pointer shape.
+  std::shared_ptr<const IndexSnapshot> batch_snapshot_ GUARDED_BY(mu_);
   size_t chunks_remaining_ GUARDED_BY(mu_) = 0;
   size_t steals_ GUARDED_BY(mu_) = 0;
 

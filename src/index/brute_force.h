@@ -76,9 +76,11 @@ class BruteForceIndex : public PointIndex {
  private:
   void ChargeScan(IoStatsDelta* io) const EXCLUDES(stats_mu_);
 
-  Options options_;
-  std::vector<Point> points_;
-  std::vector<uint32_t> oids_;
+  const Options options_;
+  std::vector<Point> points_ UNGUARDED_OK(
+      "frozen-tree contract: mutations require external exclusion");
+  std::vector<uint32_t> oids_ UNGUARDED_OK(
+      "frozen-tree contract: mutations require external exclusion");
   // Queries are const yet charge simulated scan reads, so the global
   // counters are mutable and locked; per-query deltas need no lock.
   mutable Mutex stats_mu_;

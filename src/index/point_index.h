@@ -22,6 +22,7 @@
 
 namespace srtree {
 
+class EpochManager;
 class PointIndex;
 
 // The three traversal hooks every query entry point dispatches to, split
@@ -225,6 +226,13 @@ class PointIndex : private SearchDispatch {
   // Enables LRU-cache simulation on the underlying page file (see
   // PageFile::SimulateCache). No-op for structures without one.
   virtual void SimulateBufferPool(size_t capacity) { (void)capacity; }
+
+  // Test hook: the epoch-reclamation domain behind this structure's
+  // snapshot machinery, or nullptr for frozen-tree structures that have
+  // none. The mixed read/write fuzz uses it to assert the retire backlog
+  // drains to zero once every reader has quiesced — the leak check epoch
+  // reclamation owes its callers.
+  virtual EpochManager* epoch_domain_for_test() const { return nullptr; }
 
   // Routes the query read path through a real sharded BufferPool of
   // `capacity` pages over the structure's page file (0 detaches it). Pool

@@ -14,10 +14,9 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
   const size_t shard_count = std::max<size_t>(1, std::min(shards, capacity_));
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
     // Distribute the capacity; the first shards absorb the remainder.
-    shards_.back()->capacity =
-        capacity_ / shard_count + (i < capacity_ % shard_count ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(
+        capacity_ / shard_count + (i < capacity_ % shard_count ? 1 : 0)));
   }
 }
 

@@ -202,12 +202,13 @@ class BufferPool {
   // its zombie list, and (through them) every Frame's dirty/pins/zombie
   // fields. Frame *bytes* are readable without the lock only under a pin.
   struct Shard {
+    explicit Shard(size_t capacity_in) : capacity(capacity_in) {}
     Mutex mu;
     LruList lru GUARDED_BY(mu);  // front = most recently used
     std::unordered_map<FrameKey, LruList::iterator, FrameKeyHash> frames
         GUARDED_BY(mu);
     LruList zombies GUARDED_BY(mu);  // superseded frames with live pins
-    size_t capacity = 0;  // set once at construction, then read-only
+    const size_t capacity;
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }

@@ -8,18 +8,6 @@
 #include "src/common/check.h"
 
 namespace srtree {
-namespace {
-
-// Hung-reader heuristic: warn only when a reader's announce is this many
-// epochs behind the global counter AND this many retirees are waiting on
-// it. A healthy reader holds a snapshot for a handful of commits; a gap of
-// hundreds with a growing backlog means someone forgot to release a guard.
-constexpr uint64_t kStuckEpochGap = 512;
-constexpr size_t kStuckBacklog = 4096;
-// Rate limit: one line per this many suppressed detections.
-constexpr uint64_t kWarnEvery = 256;
-
-}  // namespace
 
 EpochManager::~EpochManager() {
   for (size_t i = 0; i < kMaxReaders; ++i) {
@@ -99,6 +87,11 @@ size_t EpochManager::ReclaimExpired() {
 size_t EpochManager::retired_count() const {
   MutexLock lock(retired_mu_);
   return retired_.size();
+}
+
+uint64_t EpochManager::hung_reader_warning_count() const {
+  MutexLock lock(retired_mu_);
+  return stuck_warnings_;
 }
 
 size_t EpochManager::active_readers() const {

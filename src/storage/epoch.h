@@ -48,6 +48,17 @@ class EpochManager {
   // any worker-pool size this library runs.
   static constexpr size_t kMaxReaders = 64;
 
+  // Hung-reader heuristic (see ReclaimExpired): warn only when a reader's
+  // announce is kStuckEpochGap epochs behind the global counter AND at
+  // least kStuckBacklog retirees are waiting on it; a healthy reader holds
+  // a snapshot for a handful of commits, so tripping both thresholds means
+  // someone forgot to release a guard. kWarnEvery rate-limits the log to
+  // one line per that many suppressed detections. Public so tests can
+  // construct the scenario exactly at the boundary.
+  static constexpr uint64_t kStuckEpochGap = 512;
+  static constexpr size_t kStuckBacklog = 4096;
+  static constexpr uint64_t kWarnEvery = 256;
+
   EpochManager() = default;
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
@@ -83,6 +94,11 @@ class EpochManager {
   // Number of currently announced (active) reader slots.
   size_t active_readers() const;
 
+  // Total hung-reader detections so far (including rate-limited ones that
+  // produced no stderr line). Tests assert the warning fires exactly at
+  // the kStuckEpochGap/kStuckBacklog boundary and stays silent below it.
+  uint64_t hung_reader_warning_count() const EXCLUDES(retired_mu_);
+
  private:
   friend class EpochGuard;
 
@@ -105,7 +121,8 @@ class EpochManager {
   };
 
   std::atomic<uint64_t> global_epoch_{1};
-  Slot slots_[kMaxReaders];
+  Slot slots_[kMaxReaders] UNGUARDED_OK(
+      "fixed slot array; each slot is a single reader-owned atomic");
 
   mutable Mutex retired_mu_;
   std::vector<Retiree> retired_ GUARDED_BY(retired_mu_);

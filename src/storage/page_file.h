@@ -251,7 +251,7 @@ class PageFile {
   // it). The slot is left null for Allocate() to rematerialize.
   void DetachSharedBuffer(PageId id);
 
-  size_t page_size_;
+  const size_t page_size_;
   // stats_mu_ guards stats_ and the simulated-cache LRU — the only state a
   // read mutates — so concurrent queries stay race-free.
   mutable Mutex stats_mu_;
@@ -263,11 +263,16 @@ class PageFile {
   // Dead pages restored from an image may hold a null buffer until
   // Allocate() recycles them — that is what bounds a forged header's
   // allocation to the bytes actually present in the stream.
-  std::vector<std::unique_ptr<char[]>> pages_;
-  std::vector<bool> live_;
-  std::vector<PageId> free_list_;
-  size_t live_pages_ = 0;
-  bool loaded_legacy_image_ = false;
+  std::vector<std::unique_ptr<char[]>> pages_ UNGUARDED_OK(
+      "single-writer working state; readers go through committed_");
+  std::vector<bool> live_ UNGUARDED_OK(
+      "single-writer working state; readers go through committed_");
+  std::vector<PageId> free_list_ UNGUARDED_OK(
+      "single-writer working state; readers go through committed_");
+  size_t live_pages_ UNGUARDED_OK(
+      "single-writer working state; readers go through committed_") = 0;
+  bool loaded_legacy_image_ UNGUARDED_OK(
+      "single-writer working state; readers go through committed_") = false;
   mutable IoStats stats_ GUARDED_BY(stats_mu_);
 
   // --- commit-protocol state (owned by the single writer, except
@@ -276,13 +281,17 @@ class PageFile {
   // shared_with_committed_[id]: the working buffer for `id` is referenced
   // by the published version's table, so StageWrite must copy-on-write and
   // Free must detach instead of recycling it.
-  std::vector<bool> shared_with_committed_;
+  std::vector<bool> shared_with_committed_ UNGUARDED_OK(
+      "commit-protocol state owned by the single writer");
   // Stamp of the working buffer per page (see Snapshot::page_stamp).
-  std::vector<uint64_t> page_stamp_;
-  uint64_t next_stamp_ = 1;
+  std::vector<uint64_t> page_stamp_ UNGUARDED_OK(
+      "commit-protocol state owned by the single writer");
+  uint64_t next_stamp_ UNGUARDED_OK(
+      "commit-protocol state owned by the single writer") = 1;
   // Buffers displaced by StageWrite/Free since the last Commit(): still
   // referenced by the published version, retired with it at the next one.
-  std::vector<std::unique_ptr<char[]>> pending_retire_;
+  std::vector<std::unique_ptr<char[]>> pending_retire_ UNGUARDED_OK(
+      "commit-protocol state owned by the single writer");
   // The published version; never null after construction. seq_cst on both
   // sides pairs with the epoch announce protocol (src/storage/epoch.h).
   std::atomic<const VersionState*> committed_{nullptr};

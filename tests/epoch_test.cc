@@ -1,0 +1,101 @@
+#include "src/storage/epoch.h"
+
+#include <memory>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+namespace srtree {
+namespace {
+
+TEST(EpochManagerTest, QuiescedReclaimFreesEverything) {
+  EpochManager epochs;
+  auto obj = std::make_shared<int>(42);
+  std::weak_ptr<int> probe = obj;
+
+  epochs.Retire(std::move(obj));
+  EXPECT_EQ(epochs.retired_count(), 1u);
+  EXPECT_EQ(epochs.ReclaimExpired(), 1u);  // no readers: frees immediately
+  EXPECT_TRUE(probe.expired());
+  EXPECT_EQ(epochs.retired_count(), 0u);
+}
+
+// The ordering soundness hinges on: a reader that announced before Retire()
+// ran might already hold a pointer to the retiree (it entered between the
+// writer's unlink and the retire call), so reclamation must keep the object
+// until that reader exits — its announce equals the retiree's tag, and only
+// strictly-newer announces allow the free.
+TEST(EpochManagerTest, RetireeHeldWhileReaderAnnouncedBetweenUnlinkAndRetire) {
+  EpochManager epochs;
+  // "Unlink": this local is now the only reference; nothing published
+  // reaches the object anymore.
+  auto obj = std::make_shared<int>(7);
+  std::weak_ptr<int> probe = obj;
+
+  {
+    EpochGuard reader(epochs);       // announces the pre-retire epoch...
+    epochs.Retire(std::move(obj));   // ...which equals the retiree's tag
+    epochs.AdvanceAndReclaim();
+    EXPECT_FALSE(probe.expired());   // conservatively held, not freed
+    EXPECT_EQ(epochs.retired_count(), 1u);
+    EXPECT_EQ(epochs.active_readers(), 1u);
+  }
+  // The reader is gone; the hold must not outlive it.
+  EXPECT_EQ(epochs.ReclaimExpired(), 1u);
+  EXPECT_TRUE(probe.expired());
+  EXPECT_EQ(epochs.retired_count(), 0u);
+}
+
+// The flip side: a reader that announces after the epoch advanced past the
+// retiree's tag can never have acquired a pointer to it (unlink-before-
+// retire), so it must not pin the backlog — otherwise a steady reader
+// stream would hold memory forever.
+TEST(EpochManagerTest, LateReaderDoesNotPinEarlierRetiree) {
+  EpochManager epochs;
+  auto obj = std::make_shared<int>(9);
+  std::weak_ptr<int> probe = obj;
+
+  std::optional<EpochGuard> early;
+  early.emplace(epochs);           // pins the retire-time epoch
+  epochs.Retire(std::move(obj));
+  epochs.AdvanceAndReclaim();      // held: early's announce == the tag
+  ASSERT_FALSE(probe.expired());
+
+  EpochGuard late(epochs);         // announces the post-advance epoch
+  early.reset();
+  // Only `late` is active now, and its announce is strictly newer than the
+  // retiree's tag: the free proceeds despite the active reader.
+  EXPECT_EQ(epochs.active_readers(), 1u);
+  EXPECT_EQ(epochs.ReclaimExpired(), 1u);
+  EXPECT_TRUE(probe.expired());
+  EXPECT_EQ(epochs.retired_count(), 0u);
+}
+
+// Hung-reader detection needs BOTH a stale announce (>= kStuckEpochGap
+// behind the global epoch) and a real backlog (>= kStuckBacklog retirees
+// waiting); either alone is normal operation and must stay silent. The
+// counter ticks on every detection — only the stderr line is rate-limited.
+TEST(EpochManagerTest, HungReaderWarningFiresOnlyPastBothThresholds) {
+  EpochManager epochs;
+  EpochGuard reader(epochs);  // pins min_active at the initial epoch
+
+  for (size_t i = 0; i + 1 < EpochManager::kStuckBacklog; ++i) {
+    epochs.Retire(std::make_shared<int>(0));
+  }
+  // Gap far past its threshold, backlog one short of its own: silent.
+  for (uint64_t i = 0; i < EpochManager::kStuckEpochGap + 16; ++i) {
+    epochs.AdvanceAndReclaim();
+  }
+  EXPECT_EQ(epochs.hung_reader_warning_count(), 0u);
+  EXPECT_EQ(epochs.retired_count(), EpochManager::kStuckBacklog - 1);
+
+  // Cross the backlog threshold too: every reclaim now detects.
+  epochs.Retire(std::make_shared<int>(0));
+  epochs.AdvanceAndReclaim();
+  EXPECT_EQ(epochs.hung_reader_warning_count(), 1u);
+  epochs.AdvanceAndReclaim();
+  EXPECT_EQ(epochs.hung_reader_warning_count(), 2u);
+}
+
+}  // namespace
+}  // namespace srtree

@@ -9,17 +9,23 @@ Checks (all cheap, no compiler needed):
     ("src/..." / "tests/..." / "bench/..."), never "../" or bare names.
   * No `using namespace` at any scope inside headers.
 
-Also runs tools/srlint.py (the project contract linter: deprecated-API call
-sites, naked std locks, layering, test registration) and tools/srcheck.py
-(the AST-grounded contract checker: Status discipline, pin-lifetime
-escapes, storage narrowing, GUARDED_BY completeness) so the single `lint`
-ctest target gates all three. srcheck falls back to its built-in engine
-when python libclang is absent — it prints a loud NOTICE but still runs
-all four rules.
+Also drives the other lint stages — tools/srlint.py (the project contract
+linter: deprecated-API call sites, naked std locks, layering, test
+registration), tools/srcheck.py (the AST-grounded contract checker:
+Status discipline, pin/epoch lifetime escapes, storage narrowing,
+lock-order, commit protocol, GUARDED_BY coverage), and, when a build
+directory is supplied, clang-tidy via tools/run_clang_tidy.sh — so the
+single `lint` entry point gates them all. Every stage runs even when an
+earlier one fails; the exit code aggregates across stages and a per-stage
+summary says exactly which ones need attention. srcheck falls back to its
+built-in engine when python libclang is absent — it prints a loud NOTICE
+but still runs every rule.
 
-Usage: tools/lint.py [repo_root]    (exit 0 clean, 1 with findings)
+Usage: tools/lint.py [repo_root] [--build-dir DIR]
+(exit 0 all stages clean, 1 when any stage found problems)
 """
 
+import argparse
 import pathlib
 import re
 import subprocess
@@ -90,8 +96,18 @@ def check_file(root: pathlib.Path, rel: pathlib.PurePosixPath) -> list[str]:
 
 
 def main() -> int:
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
-                        pathlib.Path(__file__).resolve().parent.parent)
+    parser = argparse.ArgumentParser(
+        description="Structural lint + aggregated lint-stage driver")
+    parser.add_argument(
+        "root", nargs="?",
+        default=str(pathlib.Path(__file__).resolve().parent.parent))
+    parser.add_argument(
+        "--build-dir", default=None,
+        help="build tree holding compile_commands.json; enables the "
+             "clang-tidy stage and feeds the compile database to srlint")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+
     problems = []
     files = tracked_sources(root)
     for rel in files:
@@ -100,13 +116,36 @@ def main() -> int:
         print(p)
     print(f"lint.py: {len(files)} files, {len(problems)} problem(s)")
 
+    failed = ["structural"] if problems else []
+
     here = pathlib.Path(__file__).resolve().parent
-    srlint = subprocess.run(
-        [sys.executable, str(here / "srlint.py"), "--root", str(root)])
-    srcheck = subprocess.run(
-        [sys.executable, str(here / "srcheck.py"), "--root", str(root)])
-    return 1 if problems or srlint.returncode != 0 or \
-        srcheck.returncode != 0 else 0
+    srlint_cmd = [sys.executable, str(here / "srlint.py"),
+                  "--root", str(root)]
+    srcheck_cmd = [sys.executable, str(here / "srcheck.py"),
+                   "--root", str(root)]
+    if args.build_dir:
+        srlint_cmd += ["--build-dir", args.build_dir]
+        srcheck_cmd += ["--build-dir", args.build_dir]
+    stages = [("srlint", srlint_cmd), ("srcheck", srcheck_cmd)]
+    if args.build_dir:
+        stages.append(("clang-tidy",
+                       [str(here / "run_clang_tidy.sh"), args.build_dir]))
+
+    # Run every stage regardless of earlier failures: one invocation, one
+    # complete picture, one aggregated exit code.
+    for name, cmd in stages:
+        code = subprocess.run(cmd).returncode
+        if code != 0:
+            failed.append(name)
+
+    for name in ["structural"] + [name for name, _ in stages]:
+        state = "FAILED" if name in failed else "ok"
+        print(f"lint.py: stage {name}: {state}")
+    if failed:
+        print(f"lint.py: {len(failed)} stage(s) failed: {', '.join(failed)}")
+        return 1
+    print("lint.py: all stages clean")
+    return 0
 
 
 if __name__ == "__main__":

@@ -44,6 +44,54 @@ where available, a real clang AST:
       C4_STATIC_WAIVERS in this file — which must shrink, not grow; a
       stale entry is itself a finding.
 
+  C5  Epoch/snapshot lifetime (C2 generalized from pins to epochs): no
+      pointer, reference, or snapshot *view* derived from a
+      PageFile::Snapshot / SRTreeSnapshot / IndexSnapshot / VersionState
+      or from an EpochGuard-protected object may outlive the guard or
+      snapshot scope it was acquired under — returned, stored into a
+      member, or captured by a lambda that is not invoked on the spot.
+      Owning handles (unique_ptr/shared_ptr<IndexSnapshot>, whose
+      destructor releases the guard) may be moved or shared freely; it is
+      the raw views (`snapshot.get()`, `&snap`, a by-value
+      PageFile::Snapshot) that dangle once the guard dies. Only the
+      snapshot/epoch protocol implementation (src/storage/page_file.*,
+      src/storage/epoch.*) is exempt.
+
+  C6  Lock-order graph: a whole-program analysis extracts every nested
+      acquisition — a MutexLock taken while another MutexLock (or a
+      REQUIRES-declared capability) is held, directly or through a call
+      chain across translation units — into a global acquisition graph.
+      A cycle in that graph is a potential deadlock and fails the run.
+      The graph is also a checked-in artifact, docs/lock_order.json
+      (regenerate with --emit-lock-order); the repo-wide run fails when
+      the checked-in graph is stale, so lock-ordering changes are always
+      visible in diffs. `--check-lock-order` runs just this rule (the
+      `srcheck_lockorder_fresh` ctest).
+
+  C7  Commit-protocol completeness: in src/ writer paths, every
+      control-flow path that stages a page update (PageFile::StageWrite,
+      directly or through a helper) must reach exactly one Commit — or an
+      explicit discard/rollback — before control can escape back to the
+      caller, and Commit may only be called with writer_mu_ held (a
+      MutexLock in scope or a REQUIRES(writer_mu_) precondition). The
+      analysis builds per-function summaries (stages / commits /
+      discharges, transitively through the call graph) and checks that
+      no staging call chain escapes uncommitted, that no path returns
+      between StageWrite and Commit, and that no path commits twice.
+      src/storage/ is the protocol's own implementation and is exempt.
+
+  C8  Guarded-coverage ratchet: every mutable data member of a class that
+      owns a Mutex must be GUARDED_BY a mutex, std::atomic, const, of an
+      internally-synchronized type (a Mutex/CondVar/CAPABILITY class or
+      another mutex-owning class, which polices itself), or carry an
+      explicit UNGUARDED_OK("contract") annotation naming the out-of-band
+      contract that makes it safe (src/base/thread_annotations.h).
+      Pre-existing gaps live in tools/srcheck_c8_baseline.json, which is
+      shrink-only: a baseline entry whose member became compliant (or
+      disappeared) is itself a finding, and src/storage/ + src/engine/
+      admit no baseline entries at all — coverage there can only move
+      through real annotations.
+
 Waivers. A finding is waived in place with a comment naming the rule and a
 non-empty reason:
 
@@ -52,19 +100,23 @@ non-empty reason:
 A waiver without a reason does not count. `--list-waivers` prints every
 waiver in the tree so reviews can watch the list shrink.
 
-Engines. With python libclang installed (CI: apt `python3-clang`), C1/C2
+Engines. With python libclang installed (CI: apt `python3-clang`), C1/C2/C5
 run on the clang AST driven by <build>/compile_commands.json. Without it,
-a built-in tokenizer/scope engine covers all four rules (same fixtures,
+a built-in tokenizer/scope engine covers the same rules (same fixtures,
 same waiver forms) and a loud notice marks the reduced depth — the local
-build never breaks just because LLVM is absent. C3/C4 are token-grounded
-in both engines; for C3 the *compiler* is the AST authority and srcheck
-verifies the -Werror wiring that keeps it so.
+build never breaks just because LLVM is absent. C3/C4 and the
+whole-program rules C6/C7/C8 are token-grounded in both engines (their
+program-wide function/class segmentation is shared); for C3 the *compiler*
+is the AST authority and srcheck verifies the -Werror wiring that keeps
+it so.
 
 Usage:
   tools/srcheck.py [--root DIR] [--build-dir DIR] [--engine auto|clang|textual]
   tools/srcheck.py --self-test          verify every rule against the
                                         fixture tree in srcheck_testdata/
   tools/srcheck.py --list-waivers       print all active waivers
+  tools/srcheck.py --emit-lock-order    regenerate docs/lock_order.json
+  tools/srcheck.py --check-lock-order   C6 only: cycles + artifact freshness
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -83,9 +135,9 @@ FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
 FIXTURE_DIRS = ("srlint_testdata", "srcheck_testdata")
 
-RULES = ("C1", "C2", "C3", "C4")
-WAIVER_RE = re.compile(r"srcheck:\s*allow\((C[1-4])\)\s+(\S.*)")
-EXPECT_RE = re.compile(r"srcheck-expect\((C[1-4])\)")
+RULES = ("C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8")
+WAIVER_RE = re.compile(r"srcheck:\s*allow\((C[1-8])\)\s+(\S.*)")
+EXPECT_RE = re.compile(r"srcheck-expect\((C[1-8])\)")
 
 # C2: the pin protocol's own implementation hands guards and frame
 # pointers around by construction; everything outside goes through the
@@ -94,6 +146,43 @@ C2_ALLOWED_FILES = {
     "src/storage/buffer_pool.h",
     "src/storage/buffer_pool.cc",
 }
+
+# C5: the snapshot/epoch protocol's own implementation builds the views it
+# hands out; everything outside goes through AcquireSnapshot + EpochGuard.
+C5_ALLOWED_FILES = {
+    "src/storage/page_file.h",
+    "src/storage/page_file.cc",
+    "src/storage/epoch.h",
+    "src/storage/epoch.cc",
+}
+
+# C5 type vocabulary. "Views" are non-owning and dangle when the guard
+# dies; "owners" (smart pointers to a snapshot object whose destructor
+# releases the guard) may be shared/moved freely.
+C5_GUARD_TYPES = ("EpochGuard",)
+C5_VIEW_TYPES = ("SRTreeSnapshot", "IndexSnapshot", "VersionState",
+                 "Snapshot")
+C5_OWNER_MARKERS = ("unique_ptr", "shared_ptr")
+
+# C6: the lock-order artifact. Regenerate with --emit-lock-order whenever
+# the repo-wide run reports it stale.
+LOCK_ORDER_ARTIFACT = "docs/lock_order.json"
+
+# C7: commit-protocol vocabulary. A "discharge" releases a staged update
+# without publishing it (rollback paths).
+C7_STAGE_NAME = "StageWrite"
+C7_COMMIT_NAME = "Commit"
+C7_DISCHARGE_RE = re.compile(r"(Rollback|Discard|Abort)", re.IGNORECASE)
+C7_WRITER_MUTEX = "writer_mu_"
+C7_ALLOWED_PREFIX = "src/storage/"
+
+# C8: the shrink-only coverage baseline, and the directories where even
+# baseline entries are banned (annotations only).
+C8_BASELINE_FILE = "tools/srcheck_c8_baseline.json"
+C8_NO_BASELINE_DIRS = ("src/storage/", "src/engine/")
+# Types that synchronize themselves; members of these types need no guard.
+C8_SYNC_TYPES = {"Mutex", "MutexLock", "CondVar"}
+C8_ANNOTATION = "UNGUARDED_OK"
 
 # C4 static waiver list. Policy: this list must SHRINK, not grow — add a
 # new entry only with a PR-reviewed justification here, and remove entries
@@ -417,6 +506,7 @@ class _Tracked(NamedTuple):
 def _looks_like_param_list(tokens: list[Token], open_idx: int) -> bool:
     depth = 0
     prev_id = None
+    saw_any = False
     for tok in tokens[open_idx:]:
         if tok.text == "(":
             depth += 1
@@ -424,8 +514,11 @@ def _looks_like_param_list(tokens: list[Token], open_idx: int) -> bool:
         if tok.text == ")":
             depth -= 1
             if depth == 0:
-                return False
+                # `()` is a function declarator (even as an initializer it
+                # is the most-vexing-parse function declaration).
+                return not saw_any
             continue
+        saw_any = True
         if depth == 1:
             if tok.text in TYPE_KEYWORDS or tok.text == "&&":
                 return True
@@ -622,6 +715,235 @@ def check_c2(rel: str, tokens: list[Token],
                                 f"scope"))
                         break
                     j += 1
+        i += 1
+    yield from findings
+
+
+# ---------------------------------------------------------------------------
+# C5 — epoch/snapshot lifetime escapes (textual engine).
+#
+# Tracked kinds:
+#   guard  an EpochGuard object; must not be captured by an escaping lambda
+#   view   a non-owning snapshot value/reference (PageFile::Snapshot,
+#          SRTreeSnapshot&, a raw IndexSnapshot*...) — dies with the guard
+#   owner  unique_ptr/shared_ptr<...Snapshot...> — owns its guard, may move
+#   ptr    a raw pointer laundered out of an owner via .get() / &view
+
+def _c5_decl_kind(texts_before: list[str], type_tok: str) -> str:
+    """Classify a snapshot-type declaration as owner or view from the
+    tokens earlier in the same statement (smart-pointer wrapper => owner)."""
+    for t in reversed(texts_before):
+        if t in (";", "{", "}",):
+            break
+        if t in C5_OWNER_MARKERS:
+            return "owner"
+    del type_tok
+    return "view"
+
+
+def check_c5(rel: str, tokens: list[Token],
+             waivers: dict[int, dict[str, str]]) -> Iterable[Finding]:
+    if rel in C5_ALLOWED_FILES:
+        return
+    depth = 0
+    tracked: list[_Tracked] = []
+    i = 0
+    n = len(tokens)
+
+    def kinds() -> dict[str, str]:
+        return {t.name: t.kind for t in tracked}
+
+    def match_brace(start: int) -> int:
+        d = 0
+        for j in range(start, n):
+            if tokens[j].text == "{":
+                d += 1
+            elif tokens[j].text == "}":
+                d -= 1
+                if d == 0:
+                    return j
+        return n - 1
+
+    def match_paren(start: int) -> int:
+        d = 0
+        for j in range(start, n):
+            if tokens[j].text == "(":
+                d += 1
+            elif tokens[j].text == ")":
+                d -= 1
+                if d == 0:
+                    return j
+        return n - 1
+
+    def stmt_start(idx: int) -> int:
+        j = idx - 1
+        while j >= 0 and tokens[j].text not in (";", "{", "}"):
+            j -= 1
+        return j + 1
+
+    findings: list[Finding] = []
+    paren = 0
+    while i < n:
+        tok = tokens[i]
+        if tok.text == "(":
+            paren += 1
+        elif tok.text == ")":
+            paren = max(0, paren - 1)
+        elif tok.text == "{":
+            depth += 1
+        elif tok.text == "}":
+            depth -= 1
+            tracked = [t for t in tracked if t.depth <= depth]
+        elif paren == 0 and (tok.text in C5_GUARD_TYPES or
+                             tok.text in C5_VIEW_TYPES):
+            # `EpochGuard guard(...)` / `PageFile::Snapshot snap = ...` /
+            # `const IndexSnapshot* p = ...` declarations at statement
+            # scope. Parameters (inside parens) and function declarators
+            # are excluded.
+            is_guard = tok.text in C5_GUARD_TYPES
+            j = i + 1
+            while j < n and tokens[j].text in ("&", "&&", "*", ">", "const"):
+                j += 1
+            if j < n and re.match(r"[A-Za-z_]\w*$", tokens[j].text) and \
+                    tokens[j].text not in STATEMENT_KEYWORDS:
+                nxt = tokens[j + 1].text if j + 1 < n else ""
+                is_fn = nxt == "(" and _looks_like_param_list(tokens, j + 1)
+                if nxt in ("=", ";", "(", "{") and not is_fn:
+                    before = [t.text for t in tokens[stmt_start(i):i]]
+                    kind = "guard" if is_guard else \
+                        _c5_decl_kind(before, tok.text)
+                    tracked.append(_Tracked(tokens[j].text, depth,
+                                            tokens[j].line, kind))
+        elif tok.text == "auto":
+            # `auto snap = x.AcquireSnapshot(guard);` (view — the overload
+            # taking a guard returns a non-owning PageFile::Snapshot),
+            # `auto snap = index->AcquireSnapshot();` (owner — returns a
+            # unique_ptr), `auto p = owner.get();` (laundered raw pointer).
+            j = i + 1
+            while j < n and tokens[j].text in ("&", "&&", "*", "const"):
+                j += 1
+            if j + 1 < n and re.match(r"[A-Za-z_]\w*$", tokens[j].text) and \
+                    tokens[j + 1].text == "=":
+                k = j + 2
+                rhs = []
+                while k < n and tokens[k].text != ";":
+                    rhs.append(tokens[k].text)
+                    k += 1
+                rhs_s = " ".join(rhs)
+                m = re.search(r"AcquireSnapshot \( (\))?", rhs_s)
+                if m:
+                    kind = "owner" if m.group(1) else "view"
+                    tracked.append(_Tracked(tokens[j].text, depth,
+                                            tokens[j].line, kind))
+                elif any(re.search(rf"\b{t.name} (\.|->) get \(", rhs_s)
+                         for t in tracked if t.kind == "owner"):
+                    tracked.append(_Tracked(tokens[j].text, depth,
+                                            tokens[j].line, "ptr"))
+        elif tok.text == "return":
+            names = kinds()
+            j = i + 1
+            expr = []
+            while j < n and tokens[j].text != ";":
+                expr.append(tokens[j])
+                j += 1
+            leak = None
+            if len(expr) == 1 and names.get(expr[0].text) in \
+                    ("view", "ptr"):
+                leak = expr[0]
+            elif (len(expr) == 2 and expr[0].text == "&" and
+                  names.get(expr[1].text) in ("view", "owner")):
+                leak = expr[1]
+            elif (len(expr) >= 4 and
+                  names.get(expr[0].text) in ("view", "owner") and
+                  expr[1].text in (".", "->") and expr[2].text == "get"):
+                leak = expr[0]
+            else:
+                for t in expr:
+                    if names.get(t.text) == "ptr":
+                        leak = t
+                        break
+            if leak is not None and "C5" not in waivers.get(leak.line, {}):
+                findings.append(Finding(
+                    rel, leak.line, "C5",
+                    f"returning snapshot view '{leak.text}' that dies with "
+                    f"its epoch guard at end of scope; return the owning "
+                    f"handle (unique_ptr/shared_ptr) instead"))
+            i = j
+        elif tok.text == "[" and (
+                i == 0 or tokens[i - 1].text in
+                ("=", "(", ",", "return", "{", ";", "&&", "||", "!", ":")):
+            # Lambda introducer: capturing a guard or view in a lambda that
+            # is not invoked on the spot defers the use past the scope.
+            close = None
+            d = 0
+            for j in range(i, n):
+                if tokens[j].text == "[":
+                    d += 1
+                elif tokens[j].text == "]":
+                    d -= 1
+                    if d == 0:
+                        close = j
+                        break
+            if close is not None:
+                j = close + 1
+                if j < n and tokens[j].text == "(":
+                    j = match_paren(j) + 1
+                while j < n and tokens[j].text not in ("{", ";", ")", ","):
+                    j += 1
+                if j < n and tokens[j].text == "{":
+                    body_end = match_brace(j)
+                    names = {t.name for t in tracked
+                             if t.kind in ("guard", "view", "ptr")}
+                    used = [tokens[k].text for k in range(i, body_end + 1)
+                            if tokens[k].text in names]
+                    invoked = (body_end + 1 < n and
+                               tokens[body_end + 1].text == "(")
+                    if used and not invoked:
+                        if "C5" not in waivers.get(tok.line, {}):
+                            findings.append(Finding(
+                                rel, tok.line, "C5",
+                                f"lambda captures epoch-scoped state "
+                                f"('{used[0]}') and may outlive the guard; "
+                                f"invoke it in place or hand it an owning "
+                                f"snapshot handle"))
+                    if used:
+                        i = body_end
+        elif tok.text in ASSIGN_OPS and i >= 1:
+            # `member_ = view;` / `member_ = owner.get();` / `m_ = &view;`
+            lhs = tokens[i - 1].text
+            this_member = (i >= 3 and tokens[i - 2].text == "->" and
+                           tokens[i - 3].text == "this")
+            preceded = (i >= 2 and tokens[i - 2].text in (".", "->") and
+                        not this_member)
+            if re.match(r"[A-Za-z_]\w*$", lhs) and \
+                    (lhs.endswith("_") or this_member) and not preceded:
+                names = kinds()
+                j = i + 1
+                leak = None
+                while j < n and tokens[j].text != ";":
+                    t = tokens[j]
+                    k = names.get(t.text)
+                    if k in ("view", "ptr"):
+                        leak = t
+                        break
+                    if k == "owner":
+                        nxt2 = [tokens[j + 1].text if j + 1 < n else "",
+                                tokens[j + 2].text if j + 2 < n else ""]
+                        if nxt2[0] in (".", "->") and nxt2[1] == "get":
+                            leak = t
+                            break
+                        if j >= 1 and tokens[j - 1].text == "&":
+                            leak = t
+                            break
+                        # plain owner copy/move keeps the guard alive: ok
+                    j += 1
+                if leak is not None and \
+                        "C5" not in waivers.get(leak.line, {}):
+                    findings.append(Finding(
+                        rel, leak.line, "C5",
+                        f"epoch-scoped snapshot '{leak.text}' stored into "
+                        f"member '{lhs}', outliving its guard; store an "
+                        f"owning handle (shared_ptr) instead"))
         i += 1
     yield from findings
 
@@ -878,6 +1200,825 @@ def check_c4(root: pathlib.Path, files: list[str],
 
 
 # ---------------------------------------------------------------------------
+# Whole-program infrastructure shared by C6/C7: a token-level function
+# segmenter (name, REQUIRES set, body span) and a body scanner that tracks
+# the set of mutexes held (MutexLock scopes + REQUIRES preconditions) at
+# every acquisition and call site. Functions are merged across translation
+# units *by name* — the same approximation the codebase's single-namespace
+# layout makes sound in practice, and the reason srcheck can see that
+# `CommitState()` (declared REQUIRES(writer_mu_) in the header) satisfies
+# C7 at its definition in the .cc.
+
+FN_ANNOTATIONS = {
+    "REQUIRES", "REQUIRES_SHARED", "EXCLUDES", "ACQUIRE", "ACQUIRE_SHARED",
+    "RELEASE", "RELEASE_SHARED", "RELEASE_GENERIC", "TRY_ACQUIRE",
+    "TRY_ACQUIRE_SHARED", "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY",
+    "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+}
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*$")
+
+
+class _Func(NamedTuple):
+    rel: str
+    name: str
+    line: int
+    requires: tuple[str, ...]
+    body: tuple[int, int]  # token index range (start, end), exclusive
+
+
+class _CallEvent(NamedTuple):
+    callee: str
+    held: tuple[str, ...]
+    line: int
+
+
+class _Acquire(NamedTuple):
+    mutex: str
+    held: tuple[str, ...]
+    line: int
+
+
+class _Program(NamedTuple):
+    funcs: list[_Func]
+    decl_requires: dict[str, set[str]]
+    scans: list[tuple[_Func, list[_Acquire], list[_CallEvent]]]
+
+
+def _match_fwd(tokens: list[Token], start: int, open_t: str,
+               close_t: str) -> int:
+    d = 0
+    for j in range(start, len(tokens)):
+        t = tokens[j].text
+        if t == open_t:
+            d += 1
+        elif t == close_t:
+            d -= 1
+            if d == 0:
+                return j
+    return len(tokens) - 1
+
+
+def _mutex_names(tokens: list[Token], start: int, end: int) -> list[str]:
+    """Last identifier of each comma-separated group in tokens[start:end)
+    (so `REQUIRES(writer_mu_)` -> writer_mu_, `shard.mu` -> mu). Negated
+    capabilities (`!mu`) name what must NOT be held and are skipped."""
+    names: list[str] = []
+    group: list[str] = []
+    d = 0
+    for j in range(start, end):
+        t = tokens[j].text
+        if t in "([":
+            d += 1
+        elif t in ")]":
+            d -= 1
+        elif t == "," and d == 0:
+            if "!" not in group:
+                ids = [g for g in group if IDENT_RE.match(g)]
+                if ids:
+                    names.append(ids[-1])
+            group = []
+            continue
+        group.append(t)
+    if group and "!" not in group:
+        ids = [g for g in group if IDENT_RE.match(g)]
+        if ids:
+            names.append(ids[-1])
+    return names
+
+
+def parse_functions(rel: str, tokens: list[Token]
+                    ) -> tuple[list[_Func], dict[str, set[str]]]:
+    """Segment a token stream into function definitions and collect the
+    REQUIRES sets of function *declarations* (headers carry the annotation;
+    definitions usually do not repeat it)."""
+    funcs: list[_Func] = []
+    decl_requires: dict[str, set[str]] = {}
+    n = len(tokens)
+    i = 0
+    while i < n:
+        tok = tokens[i]
+        if not IDENT_RE.match(tok.text) or \
+                tok.text in STATEMENT_KEYWORDS or \
+                tok.text in FN_ANNOTATIONS or \
+                i + 1 >= n or tokens[i + 1].text != "(":
+            i += 1
+            continue
+        close = _match_fwd(tokens, i + 1, "(", ")")
+        name = tok.text
+        if i >= 1 and tokens[i - 1].text == "~":
+            name = "~" + name
+        j = close + 1
+        requires: list[str] = []
+        body_start = None
+        is_decl = False
+        while j < n:
+            t = tokens[j].text
+            if t in ("const", "noexcept", "override", "final", "mutable",
+                     "&", "&&", "try"):
+                j += 1
+            elif t == "->":
+                j += 1
+                while j < n and tokens[j].text not in ("{", ";"):
+                    j += 1
+            elif t in FN_ANNOTATIONS:
+                if j + 1 < n and tokens[j + 1].text == "(":
+                    pc = _match_fwd(tokens, j + 1, "(", ")")
+                    if t in ("REQUIRES", "REQUIRES_SHARED"):
+                        requires.extend(_mutex_names(tokens, j + 2, pc))
+                    j = pc + 1
+                else:
+                    j += 1
+            elif t == "=":
+                is_decl = True  # `= 0;` / `= default;` / `= delete;`
+                break
+            elif t == ":":
+                # Constructor init list: scan for the body '{' (skipping
+                # member brace-inits, whose '{' follows an identifier).
+                j += 1
+                d = 0
+                while j < n:
+                    tt = tokens[j].text
+                    if tt == "(":
+                        d += 1
+                    elif tt == ")":
+                        d -= 1
+                    elif tt == "{" and d == 0:
+                        prev = tokens[j - 1].text if j >= 1 else ""
+                        if IDENT_RE.match(prev) or prev == ">":
+                            j = _match_fwd(tokens, j, "{", "}") + 1
+                            if j < n and tokens[j].text == ",":
+                                j += 1
+                            continue
+                        body_start = j
+                        break
+                    elif tt == ";" and d == 0:
+                        is_decl = True
+                        break
+                    j += 1
+                break
+            elif t == "{":
+                body_start = j
+                break
+            elif t == ";":
+                is_decl = True
+                break
+            else:
+                break
+        if body_start is not None:
+            body_end = _match_fwd(tokens, body_start, "{", "}")
+            funcs.append(_Func(rel, name, tok.line, tuple(requires),
+                               (body_start + 1, body_end)))
+            i = body_end
+        elif is_decl and requires:
+            decl_requires.setdefault(name, set()).update(requires)
+            i = j
+        else:
+            i = close
+        i += 1
+    return funcs, decl_requires
+
+
+def scan_body(tokens: list[Token], span: tuple[int, int],
+              requires: Iterable[str]
+              ) -> tuple[list[_Acquire], list[_CallEvent]]:
+    start, end = span
+    held: list[tuple[str, int]] = [(m, -1) for m in sorted(set(requires))]
+    depth = 0
+    acquires: list[_Acquire] = []
+    calls: list[_CallEvent] = []
+    i = start
+    while i < end:
+        t = tokens[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            held = [h for h in held if h[1] <= depth]
+        elif t == "MutexLock":
+            # Canonical `MutexLock <var>(<mu-expr>);` only (same shape
+            # filter as C4).
+            if i + 3 < end and IDENT_RE.match(tokens[i + 1].text) \
+                    and tokens[i + 1].text not in STATEMENT_KEYWORDS \
+                    and tokens[i + 2].text == "(" \
+                    and tokens[i + 3].text != ")":
+                close = _match_fwd(tokens, i + 2, "(", ")")
+                names = _mutex_names(tokens, i + 3, close)
+                if names:
+                    mu = names[0]
+                    acquires.append(_Acquire(
+                        mu, tuple(h[0] for h in held), tokens[i].line))
+                    held.append((mu, depth))
+                i = close
+        elif IDENT_RE.match(t) and t not in STATEMENT_KEYWORDS and \
+                t != "MutexLock" and i + 1 < end and \
+                tokens[i + 1].text == "(":
+            calls.append(_CallEvent(t, tuple(h[0] for h in held),
+                                    tokens[i].line))
+        i += 1
+    return acquires, calls
+
+
+def parse_program(analysis: "Analysis") -> _Program:
+    """Parse every src/ file (two passes: declarations' REQUIRES first,
+    then body scans seeded with the merged REQUIRES sets)."""
+    funcs: list[_Func] = []
+    decl_requires: dict[str, set[str]] = {}
+    for rel in analysis.files:
+        if not rel.startswith("src/"):
+            continue
+        fs, dr = parse_functions(rel, analysis.tokens_by_rel[rel])
+        funcs.extend(fs)
+        for k, v in dr.items():
+            decl_requires.setdefault(k, set()).update(v)
+    scans = []
+    for fn in funcs:
+        req = set(fn.requires) | decl_requires.get(fn.name, set())
+        acq, calls = scan_body(analysis.tokens_by_rel[fn.rel], fn.body, req)
+        scans.append((fn, acq, calls))
+    return _Program(funcs, decl_requires, scans)
+
+
+def _transitive_acquires(program: _Program) -> dict[str, set[str]]:
+    direct: dict[str, set[str]] = {}
+    callees: dict[str, set[str]] = {}
+    for fn, acq, calls in program.scans:
+        direct.setdefault(fn.name, set()).update(a.mutex for a in acq)
+        callees.setdefault(fn.name, set()).update(c.callee for c in calls)
+    trans = {k: set(v) for k, v in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, cs in callees.items():
+            cur = trans.setdefault(name, set())
+            for c in cs:
+                extra = trans.get(c)
+                if extra and not extra <= cur:
+                    cur |= extra
+                    changed = True
+    return trans
+
+
+# ---------------------------------------------------------------------------
+# C6 — global lock-order graph.
+
+def build_lock_graph(program: _Program) -> dict[tuple[str, str], set[str]]:
+    """Edges (held, acquires) -> sites. Direct edges come from a MutexLock
+    nested under held locks; interprocedural edges from a call, made while
+    holding locks, to a function that (transitively) acquires. Same-name
+    self-edges are suppressed: the by-name abstraction cannot tell two
+    instances of `mu` apart, and the codebase's per-object locks make
+    them overwhelmingly distinct objects."""
+    trans = _transitive_acquires(program)
+    edges: dict[tuple[str, str], set[str]] = {}
+    for fn, acq, calls in program.scans:
+        for a in acq:
+            for h in a.held:
+                if h != a.mutex:
+                    edges.setdefault((h, a.mutex), set()).add(
+                        f"{fn.rel}:{a.line}")
+        for c in calls:
+            if not c.held:
+                continue
+            for mu in sorted(trans.get(c.callee, ())):
+                for h in c.held:
+                    if h != mu:
+                        edges.setdefault((h, mu), set()).add(
+                            f"{fn.rel}:{c.line} (via {c.callee})")
+    return edges
+
+
+def lock_order_json(edges: dict[tuple[str, str], set[str]]) -> str:
+    nodes = sorted({a for a, _ in edges} | {b for _, b in edges})
+    payload = {
+        "_comment": "Lock-acquisition order extracted by tools/srcheck.py "
+                    "(rule C6). An edge means the 'held' mutex is held "
+                    "while 'acquires' is taken at the listed sites. Do not "
+                    "edit by hand; regenerate with "
+                    "`tools/srcheck.py --emit-lock-order` whenever the "
+                    "repo-wide run reports it stale.",
+        "nodes": nodes,
+        "edges": [
+            {"held": a, "acquires": b, "sites": sorted(edges[(a, b)])}
+            for a, b in sorted(edges)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sccs(nodes: list[str],
+          adj: dict[str, set[str]]) -> list[list[str]]:
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    stack: list[str] = []
+    on: set[str] = set()
+    out: list[list[str]] = []
+    counter = [0]
+
+    def strong(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on.add(v)
+        for w in sorted(adj.get(v, ())):
+            if w not in index:
+                strong(w)
+                low[v] = min(low[v], low[w])
+            elif w in on:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            out.append(comp)
+
+    for v in nodes:
+        if v not in index:
+            strong(v)
+    return out
+
+
+def _site_loc(site: str) -> tuple[str, int]:
+    rel, _, rest = site.partition(":")
+    return rel, int(rest.split()[0])
+
+
+def check_c6(root: pathlib.Path, analysis: "Analysis", program: _Program,
+             check_artifact: bool = True) -> Iterable[Finding]:
+    edges = build_lock_graph(program)
+    adj: dict[str, set[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+    nodes = sorted(adj.keys() | {b for _, b in edges})
+    for comp in _sccs(nodes, adj):
+        if len(comp) < 2:
+            continue
+        cyc = " -> ".join(sorted(comp))
+        in_cycle = {e for e in edges if e[0] in comp and e[1] in comp}
+        for a, b in sorted(in_cycle):
+            for site in sorted(edges[(a, b)]):
+                rel, lineno = _site_loc(site)
+                if "C6" in analysis.waivers_by_rel.get(rel, {}).get(
+                        lineno, {}):
+                    continue
+                yield Finding(
+                    rel, lineno, "C6",
+                    f"lock-order cycle ({cyc}): '{b}' is acquired here "
+                    f"while '{a}' is held, but the reverse nesting also "
+                    f"exists — a potential deadlock; pick one global "
+                    f"order")
+    if check_artifact:
+        artifact = root / LOCK_ORDER_ARTIFACT
+        want = lock_order_json(edges)
+        if not artifact.is_file():
+            yield Finding(
+                LOCK_ORDER_ARTIFACT, 1, "C6",
+                "lock-order artifact is missing; generate it with "
+                "`tools/srcheck.py --emit-lock-order` and check it in")
+        elif artifact.read_text(encoding="utf-8") != want:
+            yield Finding(
+                LOCK_ORDER_ARTIFACT, 1, "C6",
+                "lock-order artifact is stale — the acquisition graph "
+                "changed; regenerate with `tools/srcheck.py "
+                "--emit-lock-order` so reviewers see the ordering diff")
+
+
+# ---------------------------------------------------------------------------
+# C7 — commit-protocol completeness.
+
+def _c7_summaries(program: _Program) -> tuple[dict[str, bool],
+                                              dict[str, bool]]:
+    """(stages, resolves) per function name, transitively: does calling
+    this function stage a write / publish-or-discard staged writes?"""
+    stages: dict[str, bool] = {}
+    resolves: dict[str, bool] = {}
+    callees: dict[str, set[str]] = {}
+    for fn, _, calls in program.scans:
+        st = stages.setdefault(fn.name, False)
+        rs = resolves.setdefault(fn.name, False)
+        for c in calls:
+            if c.callee == C7_STAGE_NAME:
+                st = True
+            if c.callee == C7_COMMIT_NAME or \
+                    C7_DISCHARGE_RE.search(c.callee):
+                rs = True
+        stages[fn.name] = st
+        resolves[fn.name] = rs
+        callees.setdefault(fn.name, set()).update(c.callee for c in calls)
+    changed = True
+    while changed:
+        changed = False
+        for name, cs in callees.items():
+            for c in cs:
+                if stages.get(c) and not stages[name]:
+                    stages[name] = True
+                    changed = True
+                if resolves.get(c) and not resolves[name]:
+                    resolves[name] = True
+                    changed = True
+    return stages, resolves
+
+
+def check_c7(analysis: "Analysis", program: _Program) -> Iterable[Finding]:
+    stages, resolves = _c7_summaries(program)
+    callers: dict[str, set[str]] = {}
+    for fn, _, calls in program.scans:
+        for c in calls:
+            if c.callee != fn.name:
+                callers.setdefault(c.callee, set()).add(fn.name)
+
+    def waived(rel: str, line: int) -> bool:
+        return "C7" in analysis.waivers_by_rel.get(rel, {}).get(line, {})
+
+    seen_defs: set[str] = set()
+    for fn, _, calls in program.scans:
+        if fn.rel.startswith(C7_ALLOWED_PREFIX):
+            continue  # the protocol's own implementation
+        tokens = analysis.tokens_by_rel[fn.rel]
+
+        # Root check: a function nobody (in src/) calls that stages but
+        # never commits/discards leaks staged pages into the working state.
+        if fn.name not in seen_defs and not callers.get(fn.name) and \
+                stages.get(fn.name) and not resolves.get(fn.name):
+            seen_defs.add(fn.name)
+            site = next((c.line for c in calls
+                         if c.callee == C7_STAGE_NAME or
+                         stages.get(c.callee)), fn.line)
+            if not waived(fn.rel, site):
+                yield Finding(
+                    fn.rel, site, "C7",
+                    f"'{fn.name}' stages page writes (via "
+                    f"{C7_STAGE_NAME}) but no path reaches Commit or a "
+                    f"discard/rollback — staged pages would leak into the "
+                    f"next commit")
+
+        # Commit-under-writer_mu_: every direct Commit call needs the
+        # writer capability (MutexLock in scope or REQUIRES precondition).
+        for c in calls:
+            if c.callee == C7_COMMIT_NAME and \
+                    C7_WRITER_MUTEX not in c.held:
+                if not waived(fn.rel, c.line):
+                    yield Finding(
+                        fn.rel, c.line, "C7",
+                        f"Commit called without {C7_WRITER_MUTEX} held; "
+                        f"publication must be serialized by the writer "
+                        f"lock (MutexLock or REQUIRES"
+                        f"({C7_WRITER_MUTEX}))")
+
+        # Intra-path walk: once a path stages (directly or through a
+        # helper), it must not return before a Commit/discard, and must
+        # not commit twice without staging in between. Linear over the
+        # body; exclusive branches are approximated by clearing the
+        # "resolved" state at the enclosing brace boundary.
+        has_stage = any(c.callee == C7_STAGE_NAME or stages.get(c.callee)
+                        for c in calls)
+        has_resolve = any(c.callee == C7_COMMIT_NAME or
+                          C7_DISCHARGE_RE.search(c.callee) or
+                          resolves.get(c.callee) for c in calls)
+        if not (has_stage and has_resolve):
+            continue
+        start, end = fn.body
+        depth = 0
+        staged = False
+        resolve_depth: int | None = None
+        i = start
+        while i < end:
+            t = tokens[i].text
+            if t == "{":
+                depth += 1
+            elif t == "}":
+                depth -= 1
+                if resolve_depth is not None and depth < resolve_depth:
+                    resolve_depth = None
+            elif IDENT_RE.match(t) and i + 1 < end and \
+                    tokens[i + 1].text == "(":
+                st = t == C7_STAGE_NAME or (
+                    stages.get(t, False) and not resolves.get(t, False))
+                rs = t == C7_COMMIT_NAME or \
+                    bool(C7_DISCHARGE_RE.search(t)) or \
+                    (resolves.get(t, False) and not stages.get(t, False))
+                if st:
+                    staged = True
+                elif rs:
+                    if t == C7_COMMIT_NAME and not staged and \
+                            resolve_depth is not None and \
+                            not waived(fn.rel, tokens[i].line):
+                        yield Finding(
+                            fn.rel, tokens[i].line, "C7",
+                            "this path commits twice for one staged "
+                            "mutation; each mutation publishes through "
+                            "exactly one Commit")
+                    staged = False
+                    resolve_depth = depth
+            elif t == "return" and staged:
+                if not waived(fn.rel, tokens[i].line):
+                    yield Finding(
+                        fn.rel, tokens[i].line, "C7",
+                        "returning with staged writes uncommitted; every "
+                        "path from StageWrite must reach Commit or a "
+                        "discard/rollback before control escapes")
+                # Report once per path; fall through to keep scanning.
+                staged = False
+            i += 1
+        if staged and not waived(fn.rel, tokens[end].line
+                                 if end < len(tokens) else fn.line):
+            yield Finding(
+                fn.rel, tokens[end].line if end < len(tokens) else fn.line,
+                "C7",
+                f"'{fn.name}' can fall off the end with staged writes "
+                f"uncommitted; finish the path with Commit or a "
+                f"discard/rollback")
+
+
+# ---------------------------------------------------------------------------
+# C8 — guarded-coverage ratchet.
+
+class _Member(NamedTuple):
+    rel: str
+    cls: str
+    name: str
+    line: int
+    compliant: bool
+    why: str
+
+
+def parse_classes(rel: str, tokens: list[Token]
+                  ) -> list[tuple[str, tuple[int, int], int, bool]]:
+    """(name, body span, line, is_capability) for every class/struct
+    definition in the stream (nested ones included as their own entries)."""
+    out = []
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i].text
+        if t not in ("class", "struct") or \
+                (i >= 1 and tokens[i - 1].text == "enum"):
+            i += 1
+            continue
+        j = i + 1
+        is_capability = False
+        name = None
+        while j < n:
+            tt = tokens[j].text
+            if tt in ("CAPABILITY", "SCOPED_CAPABILITY"):
+                is_capability = True
+                if j + 1 < n and tokens[j + 1].text == "(":
+                    j = _match_fwd(tokens, j + 1, "(", ")") + 1
+                else:
+                    j += 1
+            elif tt == "alignas" and j + 1 < n and \
+                    tokens[j + 1].text == "(":
+                j = _match_fwd(tokens, j + 1, "(", ")") + 1
+            elif IDENT_RE.match(tt) and tt != "final":
+                name = tt
+                j += 1
+            elif tt == "final":
+                j += 1
+            elif tt == ":":
+                # base-class list: scan to the body '{'
+                while j < n and tokens[j].text != "{":
+                    j += 1
+                break
+            else:
+                break
+        if name is None or j >= n or tokens[j].text != "{":
+            i += 1
+            continue
+        body_end = _match_fwd(tokens, j, "{", "}")
+        out.append((name, (j + 1, body_end), tokens[i].line,
+                    is_capability))
+        i = j + 1  # descend into the body so nested classes are found
+    return out
+
+
+C8_MEMBER_SKIP = {"static", "using", "friend", "typedef", "template",
+                  "enum", "class", "struct", "operator", "virtual",
+                  "explicit", "public", "private", "protected"}
+C8_ANNOT_MACROS = {"GUARDED_BY", "PT_GUARDED_BY", "UNGUARDED_OK",
+                   "ACQUIRED_AFTER", "ACQUIRED_BEFORE"}
+
+
+def _class_member_stmts(tokens: list[Token], span: tuple[int, int]
+                        ) -> Iterable[list[Token]]:
+    """Member-declaration statements at depth 0 of a class body (method
+    bodies, nested classes, and brace initializers skipped over)."""
+    start, end = span
+    stmt: list[Token] = []
+    i = start
+    while i < end:
+        t = tokens[i].text
+        if t == "{":
+            close = _match_fwd(tokens, i, "{", "}")
+            if close + 1 < end and tokens[close + 1].text == ";":
+                # brace initializer `x_{...};` or nested `class C {...};`
+                if stmt:
+                    yield stmt
+                stmt = []
+                i = close + 2
+                continue
+            stmt = []  # method definition body: not a member decl
+            i = close + 1
+            continue
+        if t == ";":
+            if stmt:
+                yield stmt
+            stmt = []
+        elif t == ":" and stmt and \
+                stmt[-1].text in ("public", "private", "protected"):
+            stmt = []
+        else:
+            stmt.append(tokens[i])
+        i += 1
+
+
+def _strip_annotations(stmt: list[Token]) -> tuple[list[Token], set[str]]:
+    """Remove `MACRO(...)` annotation groups; return (rest, macros seen)."""
+    out: list[Token] = []
+    seen: set[str] = set()
+    i = 0
+    n = len(stmt)
+    while i < n:
+        if stmt[i].text in C8_ANNOT_MACROS and i + 1 < n and \
+                stmt[i + 1].text == "(":
+            seen.add(stmt[i].text)
+            close = _match_fwd(stmt, i + 1, "(", ")")
+            i = close + 1
+            continue
+        out.append(stmt[i])
+        i += 1
+    return out, seen
+
+
+class _DataMember(NamedTuple):
+    decl: list[Token]       # type + declarator tokens (annotations gone)
+    name_tok: Token
+    type_texts: list[str]
+    macros: set[str]
+
+
+def _data_members(tokens: list[Token],
+                  span: tuple[int, int]) -> list[_DataMember]:
+    out: list[_DataMember] = []
+    for stmt in _class_member_stmts(tokens, span):
+        rest, macros = _strip_annotations(stmt)
+        if not rest or rest[0].text in C8_MEMBER_SKIP:
+            continue
+        texts = [t.text for t in rest]
+        if "operator" in texts:
+            continue
+        # A '(' in the stripped declaration (not behind '=') means a
+        # function declarator, not a data member.
+        eq = texts.index("=") if "=" in texts else len(texts)
+        if "(" in texts[:eq]:
+            continue
+        decl = rest[:eq]
+        # Array declarator: the name precedes the '['. Only brackets at
+        # template-angle depth 0 count (`unique_ptr<char[]>` does not).
+        angle = 0
+        for k, t in enumerate(decl):
+            if t.text == "<":
+                angle += 1
+            elif t.text == ">":
+                angle = max(0, angle - 1)
+            elif t.text == ">>":
+                angle = max(0, angle - 2)
+            elif t.text == "[" and angle == 0:
+                decl = decl[:k]
+                break
+        ids = [t for t in decl if IDENT_RE.match(t.text) and
+               t.text not in ("const", "mutable", "constexpr",
+                              "volatile", "std")]
+        if len(ids) < 2:
+            continue  # need at least a type and a name
+        name_tok = ids[-1]
+        type_texts = [t.text for t in decl[:decl.index(name_tok)]]
+        out.append(_DataMember(decl, name_tok, type_texts, macros))
+    return out
+
+
+def _owns_mutex(members: list[_DataMember]) -> bool:
+    return any("Mutex" in m.type_texts for m in members)
+
+
+def collect_members(rel: str, tokens: list[Token],
+                    raw_lines: list[str],
+                    sync_types: set[str]) -> list[_Member]:
+    """Classify every data member of every mutex-owning class in `rel`."""
+    members: list[_Member] = []
+    for cls, span, _, _ in parse_classes(rel, tokens):
+        data = _data_members(tokens, span)
+        if not _owns_mutex(data):
+            continue
+        for m in data:
+            name_tok, type_texts, macros = m.name_tok, m.type_texts, \
+                m.macros
+            compliant, why = True, ""
+            if "GUARDED_BY" in macros or "PT_GUARDED_BY" in macros:
+                why = "guarded"
+            elif "UNGUARDED_OK" in macros:
+                line_blob = " ".join(
+                    raw_lines[max(0, name_tok.line - 1):
+                              name_tok.line + 2])
+                mm = re.search(r'UNGUARDED_OK\s*\(\s*"([^"]*)"', line_blob)
+                if mm and mm.group(1).strip():
+                    why = "unguarded-ok"
+                else:
+                    compliant = False
+                    why = "UNGUARDED_OK without a non-empty contract string"
+            elif "atomic" in type_texts:
+                why = "atomic"
+            elif "const" in [t.text for t in m.decl] or \
+                    "constexpr" in [t.text for t in m.decl]:
+                why = "const"
+            elif "&" in type_texts:
+                why = "reference"
+            elif any(t in sync_types for t in type_texts):
+                why = "sync-type"
+            else:
+                compliant = False
+                why = "unguarded"
+            members.append(_Member(rel, cls, name_tok.text, name_tok.line,
+                                   compliant, why))
+    return members
+
+
+def c8_sync_types(analysis: "Analysis") -> set[str]:
+    """Mutex/CondVar + CAPABILITY classes + mutex-owning classes (which
+    police their own members and synchronize internally)."""
+    sync = set(C8_SYNC_TYPES)
+    for rel in analysis.files:
+        if not rel.startswith("src/"):
+            continue
+        for cls, span, _, is_cap in parse_classes(
+                rel, analysis.tokens_by_rel[rel]):
+            if is_cap:
+                sync.add(cls)
+            elif _owns_mutex(_data_members(
+                    analysis.tokens_by_rel[rel], span)):
+                sync.add(cls)
+    return sync
+
+
+def load_c8_baseline(root: pathlib.Path) -> dict[str, str]:
+    path = root / C8_BASELINE_FILE
+    if not path.is_file():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data.get("entries", {})
+        return {str(k): str(v) for k, v in entries.items()}
+    except ValueError:
+        return {}
+
+
+def check_c8(analysis: "Analysis", baseline: dict[str, str]
+             ) -> Iterable[Finding]:
+    sync = c8_sync_types(analysis)
+    used: set[str] = set()
+    for rel in analysis.files:
+        if not rel.startswith("src/"):
+            continue
+        for m in collect_members(rel, analysis.tokens_by_rel[rel],
+                                 analysis.raw_by_rel[rel], sync):
+            key = f"{m.rel}::{m.cls}::{m.name}"
+            if m.compliant:
+                continue
+            if "C8" in analysis.waivers_by_rel[rel].get(m.line, {}):
+                continue
+            if key in baseline:
+                if any(rel.startswith(d) for d in C8_NO_BASELINE_DIRS):
+                    yield Finding(
+                        rel, m.line, "C8",
+                        f"baseline entry '{key}' is banned under "
+                        f"{'/'.join(C8_NO_BASELINE_DIRS)}: coverage there "
+                        f"moves only through GUARDED_BY/atomic/"
+                        f"UNGUARDED_OK annotations")
+                else:
+                    used.add(key)
+                continue
+            if m.why.startswith("UNGUARDED_OK"):
+                yield Finding(rel, m.line, "C8",
+                              f"member '{m.cls}::{m.name}': {m.why}")
+            else:
+                yield Finding(
+                    rel, m.line, "C8",
+                    f"mutable member '{m.name}' of mutex-owning class "
+                    f"'{m.cls}' has no GUARDED_BY, is not atomic/const/"
+                    f"internally-synchronized, and carries no "
+                    f"UNGUARDED_OK(\"contract\") annotation")
+    for key in sorted(set(baseline) - used):
+        yield Finding(
+            C8_BASELINE_FILE, 1, "C8",
+            f"stale C8 baseline entry '{key}': the member is now "
+            f"compliant or gone — delete the entry (the baseline only "
+            f"shrinks)")
+
+
+# ---------------------------------------------------------------------------
 # Clang engine: precise C1/C2 on the real AST. Activated when python
 # libclang is importable; C3/C4 stay token-grounded (see module docstring).
 
@@ -890,8 +2031,13 @@ def load_libclang():
         cindex.Index.create()
         return cindex
     except Exception:  # library missing or version skew
-        for name in ("libclang.so", "libclang-14.so", "libclang.so.14",
-                     "libclang-15.so"):
+        # CI pins python3-clang-18/libclang1-18 (see .github/workflows/
+        # ci.yml); the older sonames keep local installs working.
+        for name in ("libclang.so", "libclang-18.so", "libclang.so.18",
+                     "libclang-18.so.18", "libclang-18.so.1",
+                     "libclang-17.so", "libclang.so.17",
+                     "libclang-16.so", "libclang.so.16",
+                     "libclang-14.so", "libclang.so.14", "libclang-15.so"):
             try:
                 cindex.Config.loaded = False
                 cindex.Config.set_library_file(name)
@@ -1062,6 +2208,95 @@ class ClangEngine:
                                     f"member '{children[0].spelling}', "
                                     f"outliving the pin's scope")
 
+        def _unwrap(cursor):
+            kids = list(cursor.get_children())
+            while len(kids) == 1:
+                cursor = kids[0]
+                kids = list(cursor.get_children())
+            return cursor
+
+        def visit_function_c5(cursor):
+            if rel in C5_ALLOWED_FILES:
+                return
+            guards: set[str] = set()
+            views: set[str] = set()
+            owners: set[str] = set()
+            for d in descendants(cursor):
+                if d.kind != ck.VAR_DECL:
+                    continue
+                t = d.type.get_canonical().spelling
+                snapshotish = ("Snapshot" in t or "VersionState" in t)
+                if any(g in t for g in C5_GUARD_TYPES):
+                    guards.add(d.spelling)
+                elif snapshotish and any(o in t for o in C5_OWNER_MARKERS):
+                    owners.add(d.spelling)
+                elif snapshotish:
+                    views.add(d.spelling)
+                elif owners and "*" in t and refs_any(d, owners):
+                    views.add(d.spelling)  # laundered raw pointer
+            if not (guards or views or owners):
+                return
+            escaping = guards | views
+
+            def laundered(cursor) -> str | None:
+                """A .get()/& that peels the raw pointer off an owner."""
+                for d in descendants(cursor):
+                    if d.kind == ck.MEMBER_REF_EXPR and \
+                            d.spelling == "get":
+                        for dd in descendants(d):
+                            if dd.kind == ck.DECL_REF_EXPR and \
+                                    dd.spelling in owners:
+                                return dd.spelling
+                    if d.kind == ck.UNARY_OPERATOR:
+                        kids = list(d.get_children())
+                        if kids:
+                            hit = refs_any(kids[0], owners | views)
+                            toks = [t.spelling for t in d.get_tokens()]
+                            if hit and toks[:1] == ["&"]:
+                                return hit
+                return None
+
+            for d in descendants(cursor):
+                if not in_this_file(d):
+                    continue
+                if d.kind == ck.RETURN_STMT:
+                    inner = _unwrap(d)
+                    hit = None
+                    if inner.kind == ck.DECL_REF_EXPR and \
+                            inner.spelling in views:
+                        hit = inner.spelling
+                    else:
+                        hit = laundered(d)
+                    if hit:
+                        add(d.location.line, "C5",
+                            f"returning snapshot view '{hit}' that dies "
+                            f"with its epoch guard at end of scope; "
+                            f"return the owning handle (unique_ptr/"
+                            f"shared_ptr) instead")
+                elif d.kind == ck.LAMBDA_EXPR:
+                    hit = refs_any(d, escaping)
+                    if hit:
+                        add(d.location.line, "C5",
+                            f"lambda captures epoch-scoped state "
+                            f"('{hit}') and may outlive the guard; invoke "
+                            f"it in place or hand it an owning snapshot "
+                            f"handle")
+                elif d.kind == ck.BINARY_OPERATOR:
+                    children = list(d.get_children())
+                    if len(children) == 2 and \
+                            children[0].kind == ck.MEMBER_REF_EXPR:
+                        toks = [t.spelling for t in d.get_tokens()]
+                        if "=" in toks:
+                            hit = refs_any(children[1], views) or \
+                                laundered(children[1])
+                            if hit:
+                                add(d.location.line, "C5",
+                                    f"epoch-scoped snapshot '{hit}' "
+                                    f"stored into member "
+                                    f"'{children[0].spelling}', outliving "
+                                    f"its guard; store an owning handle "
+                                    f"(shared_ptr) instead")
+
         fn_kinds = {ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
                     ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE}
         for cursor in descendants(tu.cursor):
@@ -1071,6 +2306,7 @@ class ClangEngine:
                 visit_compound(cursor)
             elif cursor.kind in fn_kinds and cursor.is_definition():
                 visit_function(cursor)
+                visit_function_c5(cursor)
 
         # The nodiscard anchor check stays textual (attributes are awkward
         # to read back through libclang).
@@ -1164,12 +2400,19 @@ def run_checks(root: pathlib.Path, build_dir: pathlib.Path | None,
                                      analysis.status_names, waivers))
             findings.extend(check_c2(rel, analysis.tokens_by_rel[rel],
                                      waivers))
+            findings.extend(check_c5(rel, analysis.tokens_by_rel[rel],
+                                     waivers))
         findings.extend(check_c3_file(rel, analysis.tokens_by_rel[rel],
                                       waivers))
     findings.extend(check_c4(root, analysis.files,
                              analysis.stripped_by_rel,
                              analysis.tokens_by_rel,
                              analysis.waivers_by_rel))
+    program = parse_program(analysis)
+    findings.extend(check_c6(root, analysis, program,
+                             check_artifact=wiring))
+    findings.extend(check_c7(analysis, program))
+    findings.extend(check_c8(analysis, load_c8_baseline(root)))
     if wiring:
         findings.extend(check_c3_wiring(root, build_dir))
     return sorted(set(findings))
@@ -1204,6 +2447,32 @@ def run_lint(root: pathlib.Path, build_dir: pathlib.Path | None,
     return 1 if findings else 0
 
 
+def emit_lock_order(root: pathlib.Path,
+                    out: pathlib.Path | None = None) -> int:
+    files = discover(root)
+    analysis = load_tree(root, files)
+    edges = build_lock_graph(parse_program(analysis))
+    path = out or (root / LOCK_ORDER_ARTIFACT)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(lock_order_json(edges), encoding="utf-8")
+    print(f"srcheck.py: wrote {path} "
+          f"({len(edges)} edge(s), "
+          f"{len({a for a, _ in edges} | {b for _, b in edges})} "
+          f"mutex(es))")
+    return 0
+
+
+def check_lock_order(root: pathlib.Path) -> int:
+    files = discover(root)
+    analysis = load_tree(root, files)
+    program = parse_program(analysis)
+    findings = sorted(set(check_c6(root, analysis, program)))
+    for f in findings:
+        print(f"{f.rel}:{f.lineno}: [{f.rule}] {f.message}")
+    print(f"srcheck.py --check-lock-order: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 def list_waivers(root: pathlib.Path) -> int:
     files = discover(root)
     count = 0
@@ -1216,6 +2485,9 @@ def list_waivers(root: pathlib.Path) -> int:
                 count += 1
     for key, reason in sorted(C4_STATIC_WAIVERS.items()):
         print(f"tools/srcheck.py: static C4 waiver {key} — {reason}")
+        count += 1
+    for key, reason in sorted(load_c8_baseline(root).items()):
+        print(f"{C8_BASELINE_FILE}: C8 baseline {key} — {reason}")
         count += 1
     print(f"srcheck.py: {count} active waiver(s)")
     return 0
@@ -1257,6 +2529,32 @@ def run_self_test(engine: str) -> int:
         if rule not in {r for _, _, r in want}:
             ok = False
             print(f"self-test: fixture tree seeds no {rule} violation")
+
+    # C8 baseline mechanics, exercised with a synthetic baseline (the
+    # fixture tree ships none, so the main run above already proved the
+    # empty-baseline path): an entry suppresses its finding, an entry under
+    # a no-baseline dir is rejected, and a stale entry is flagged.
+    key_sup = "src/core/guard_coverage_bad.cc::LegacyCounters::value_"
+    key_ban = ("src/engine/guard_coverage_banned_bad.cc::"
+               "BannedCounters::value_")
+    key_stale = "src/core/long_gone.cc::Ghost::member_"
+    base = {key_sup: "pre-ratchet gap", key_ban: "should be rejected",
+            key_stale: "file no longer exists"}
+    got8 = list(check_c8(analysis, base))
+    if any(f.rel == "src/core/guard_coverage_bad.cc" and
+           "'value_'" in f.message for f in got8):
+        ok = False
+        print("self-test: C8 baseline entry failed to suppress "
+              f"{key_sup}")
+    if not any(key_ban in f.message and "banned" in f.message
+               for f in got8):
+        ok = False
+        print("self-test: C8 baseline entry under src/engine/ was not "
+              "rejected")
+    if not any(key_stale in f.message and "stale" in f.message
+               for f in got8):
+        ok = False
+        print("self-test: stale C8 baseline entry was not flagged")
 
     clang_note = "libclang not available, clang engine untested"
     if engine != "textual":
@@ -1301,11 +2599,24 @@ def main() -> int:
                         help="check every rule against srcheck_testdata/")
     parser.add_argument("--list-waivers", action="store_true",
                         help="print all active waivers and exit")
+    parser.add_argument("--emit-lock-order", nargs="?", const="",
+                        metavar="PATH", default=None,
+                        help="regenerate the C6 lock-order artifact "
+                             "(default: <root>/docs/lock_order.json)")
+    parser.add_argument("--check-lock-order", action="store_true",
+                        help="run only C6: cycle + artifact freshness "
+                             "(the srcheck_lockorder_fresh ctest)")
     args = parser.parse_args()
     if args.self_test:
         return run_self_test(args.engine)
     if args.list_waivers:
         return list_waivers(args.root)
+    if args.emit_lock_order is not None:
+        out = pathlib.Path(args.emit_lock_order) if args.emit_lock_order \
+            else None
+        return emit_lock_order(args.root, out)
+    if args.check_lock_order:
+        return check_lock_order(args.root)
     return run_lint(args.root, args.build_dir, args.engine)
 
 

@@ -1,0 +1,45 @@
+// C7 negative fixture: staged writes that never reach exactly one
+// Commit/Rollback, plus a Commit published without the writer mutex.
+// (Lives under src/core/ because the real commit protocol inside
+// src/storage/ is exempt — it IS the implementation being protected.)
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class PageStore {
+ public:
+  void StageWrite(int page_id, int payload);
+  void Commit();
+  void Rollback();
+};
+
+Mutex writer_mu_;
+
+// Early return abandons the staged page: neither committed nor rolled
+// back, so the next writer inherits a half-built shadow tree.
+bool WriteAbandoning(PageStore& store, bool flaky) {
+  MutexLock lock(writer_mu_);
+  store.StageWrite(1, 41);
+  if (flaky) {
+    return false;  // srcheck-expect(C7)
+  }
+  store.Commit();
+  return true;
+}
+
+// Commit without writer_mu_ held: racing writers can interleave their
+// publication steps.
+void PublishUnlocked(PageStore& store) {
+  store.StageWrite(2, 42);
+  store.Commit();  // srcheck-expect(C7)
+}
+
+// Stages and simply forgets: no resolution on any path.
+void StageForgetting(PageStore& store) {
+  MutexLock lock(writer_mu_);
+  store.StageWrite(3, 43);  // srcheck-expect(C7)
+}

@@ -1,0 +1,43 @@
+// C7 positive fixture: every path that stages a write resolves it
+// exactly once — Commit on success, Rollback on the bail-out path —
+// always under writer_mu_. Also exercises the transitive case: a helper
+// that only stages is fine as long as every caller completes the
+// protocol. Zero findings.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class PageStore {
+ public:
+  void StageWrite(int page_id, int payload);
+  void Commit();
+  void Rollback();
+};
+
+Mutex writer_mu_;
+
+bool WriteCommitting(PageStore& store, bool flaky) {
+  MutexLock lock(writer_mu_);
+  store.StageWrite(1, 41);
+  if (flaky) {
+    store.Rollback();
+    return false;
+  }
+  store.Commit();
+  return true;
+}
+
+// Stages on behalf of its caller; resolution is the caller's job.
+void StageThrough(PageStore& store) {
+  store.StageWrite(2, 42);
+}
+
+void StageViaHelper(PageStore& store) {
+  MutexLock lock(writer_mu_);
+  StageThrough(store);
+  store.Commit();
+}

@@ -1,0 +1,22 @@
+// C8 negative fixture: a mutex-owning class with members the checker
+// must reject — one with no annotation at all, and one whose
+// UNGUARDED_OK carries an empty contract string (a waiver with no
+// stated reason is not a contract). LegacyCounters::value_ doubles as
+// the key the self-test plants in a synthetic ratchet baseline to prove
+// suppression works.
+
+#define GUARDED_BY(x)
+#define UNGUARDED_OK(x)
+
+class Mutex {};
+
+class LegacyCounters {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  unsigned long hits_ GUARDED_BY(mu_) = 0;
+  unsigned long value_ = 0;  // srcheck-expect(C8)
+  unsigned long skipped_ UNGUARDED_OK("") = 0;  // srcheck-expect(C8)
+};

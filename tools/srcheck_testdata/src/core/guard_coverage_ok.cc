@@ -1,0 +1,33 @@
+// C8 positive fixture: every compliance path through the ladder, plus a
+// mutex-free class the rule must ignore entirely. Zero findings.
+
+#define GUARDED_BY(x)
+#define UNGUARDED_OK(x)
+
+class Mutex {};
+
+template <typename T>
+struct atomic {
+  T value;
+};
+
+class CoveredCounters {
+ public:
+  void Bump();
+
+ private:
+  mutable Mutex mu_;
+  unsigned long guarded_ GUARDED_BY(mu_) = 0;
+  atomic<unsigned long> dropped_;
+  const unsigned long limit_ = 64;
+  unsigned long scratch_ UNGUARDED_OK(
+      "bench-only scratch; harness runs single-threaded") = 0;
+};
+
+// No mutex member, so C8 does not apply: plain mutable members are the
+// caller's problem, exactly like the frozen-tree contract.
+class PlainPair {
+ public:
+  unsigned long first = 0;
+  unsigned long second = 0;
+};

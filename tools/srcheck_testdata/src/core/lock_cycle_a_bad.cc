@@ -1,0 +1,21 @@
+// C6 negative fixture, half A: acquires alpha_mu_ then beta_mu_. On its
+// own this file is fine — the cycle only exists together with
+// src/engine/lock_cycle_b_bad.cc, which nests the same two mutexes in
+// the opposite order (through a helper call, so the interprocedural
+// edge is exercised too). C6 is a whole-program rule: both sites of the
+// cycle must be flagged.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+Mutex alpha_mu_;
+Mutex beta_mu_;
+
+void AlphaThenBeta() {
+  MutexLock alpha(alpha_mu_);
+  MutexLock beta(beta_mu_);  // srcheck-expect(C6)
+}

@@ -1,0 +1,27 @@
+// C6 positive fixture: two mutexes nested in one consistent global
+// order (outer before inner), both directly and through a helper call.
+// A DAG is exactly what the rule wants — zero findings.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+Mutex outer_mu_;
+Mutex inner_mu_;
+
+void TouchInner() {
+  MutexLock lock(inner_mu_);
+}
+
+void OuterThenInnerDirect() {
+  MutexLock outer(outer_mu_);
+  MutexLock inner(inner_mu_);
+}
+
+void OuterThenInnerViaCall() {
+  MutexLock outer(outer_mu_);
+  TouchInner();
+}

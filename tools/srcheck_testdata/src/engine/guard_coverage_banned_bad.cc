@@ -1,0 +1,20 @@
+// C8 negative fixture under src/engine/, where the ratchet accepts no
+// baseline entries at all: the self-test plants
+// src/engine/guard_coverage_banned_bad.cc::BannedCounters::value_ in a
+// synthetic baseline and expects a "banned" finding, not a suppression.
+// In the normal self-test pass (empty baseline) value_ is an ordinary
+// unguarded-member finding.
+
+#define GUARDED_BY(x)
+
+class Mutex {};
+
+class BannedCounters {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  unsigned long total_ GUARDED_BY(mu_) = 0;
+  unsigned long value_ = 0;  // srcheck-expect(C8)
+};

@@ -1,0 +1,23 @@
+// C6 negative fixture, half B: acquires beta_mu_ and then — through
+// PinAlpha(), so the cross-TU interprocedural edge is what closes the
+// cycle — alpha_mu_. Together with src/core/lock_cycle_a_bad.cc (which
+// nests alpha before beta) this is the classic AB/BA deadlock.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+Mutex alpha_mu_;
+Mutex beta_mu_;
+
+void PinAlpha() {
+  MutexLock lock(alpha_mu_);
+}
+
+void BetaThenAlpha() {
+  MutexLock lock(beta_mu_);
+  PinAlpha();  // srcheck-expect(C6)
+}

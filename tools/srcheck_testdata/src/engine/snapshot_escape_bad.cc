@@ -1,0 +1,68 @@
+// C5 negative fixture: epoch/snapshot lifetime escapes. Every marked
+// line must be flagged — a snapshot view (raw VersionState pointer, a
+// by-value Snapshot, state behind an EpochGuard) dies with its guard, so
+// returning it, stashing it in a member, or deferring it in a lambda is
+// a use-after-reclaim in the making.
+
+class Index;
+
+class EpochGuard {
+ public:
+  explicit EpochGuard(Index& index);
+  unsigned long announced_epoch() const;
+};
+
+struct VersionState {
+  unsigned long version;
+};
+
+class Snapshot {
+ public:
+  const VersionState* state() const;
+};
+
+class Index {
+ public:
+  Snapshot AcquireSnapshot(EpochGuard& guard);
+  const VersionState* Peek() const;
+};
+
+template <typename T>
+void Use(const T& value);
+
+class EscapingReader {
+ public:
+  const VersionState* LeakReturn(Index& index);
+  Snapshot LeakCopy(Index& index);
+  void LeakMember(Index& index);
+  void LeakLambda(Index& index);
+
+ private:
+  const VersionState* state_ = nullptr;
+};
+
+// The canonical escape: the raw view outlives whatever pinned it.
+const VersionState* EscapingReader::LeakReturn(Index& index) {
+  const VersionState* state = index.Peek();
+  return state;  // srcheck-expect(C5)
+}
+
+// Copying the view object does not copy the guard that keeps it alive.
+Snapshot EscapingReader::LeakCopy(Index& index) {
+  EpochGuard guard(index);
+  auto snap = index.AcquireSnapshot(guard);
+  return snap;  // srcheck-expect(C5)
+}
+
+// Member store: every later read through state_ races reclamation.
+void EscapingReader::LeakMember(Index& index) {
+  const VersionState* state = index.Peek();
+  state_ = state;  // srcheck-expect(C5)
+}
+
+// Deferred lambda: the guard is gone by the time the callback runs.
+void EscapingReader::LeakLambda(Index& index) {
+  EpochGuard guard(index);
+  auto deferred = [&guard]() { return guard.announced_epoch(); };  // srcheck-expect(C5)
+  Use(deferred);
+}

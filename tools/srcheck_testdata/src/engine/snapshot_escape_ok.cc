@@ -1,0 +1,50 @@
+// C5 positive fixture: sanctioned snapshot lifetimes. srcheck must
+// report zero findings — views are consumed inside their scope, and the
+// only thing that crosses a scope boundary is an owning handle (which
+// carries its guard with it, exactly like PageGuard does for pins).
+
+template <typename T>
+class shared_ptr {
+ public:
+  T* get() const;
+  const T& operator*() const;
+};
+
+struct VersionState {
+  unsigned long version;
+};
+
+class Index {
+ public:
+  shared_ptr<const VersionState> Share() const;
+};
+
+// The raw view exists only between acquire and the value read.
+unsigned long UseWithinScope(Index& index) {
+  shared_ptr<const VersionState> state = index.Share();
+  const VersionState* view = state.get();
+  unsigned long version = view->version;
+  return version;
+}
+
+// Returning the owning handle transfers the guard — the sanctioned way
+// to extend a snapshot's lifetime across a call boundary.
+shared_ptr<const VersionState> PassOwnership(Index& index) {
+  shared_ptr<const VersionState> state = index.Share();
+  return state;
+}
+
+class CachingReader {
+ public:
+  void Adopt(Index& index);
+
+ private:
+  shared_ptr<const VersionState> state_;
+};
+
+// Storing the owning handle in a member keeps the pinned version alive
+// for as long as the member does; nothing dangles.
+void CachingReader::Adopt(Index& index) {
+  shared_ptr<const VersionState> state = index.Share();
+  state_ = state;
+}

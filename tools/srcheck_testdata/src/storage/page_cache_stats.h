@@ -22,9 +22,9 @@ class PageCacheStats {
 
  private:
   Mutex mu_;
-  unsigned long hits_ = 0;
+  unsigned long hits_ = 0;    // srcheck-expect(C8)
   unsigned long misses_ GUARDED_BY(mu_) = 0;
-  unsigned long resets_ = 0;
+  unsigned long resets_ = 0;  // srcheck-expect(C8)
 };
 
 #endif  // SRTREE_TOOLS_SRCHECK_TESTDATA_SRC_STORAGE_PAGE_CACHE_STATS_H_

@@ -1,0 +1,15 @@
+// C1 negative fixture under tests/: discovery covers test trees, so a
+// Status dropped inside a TEST body is caught like any src/ call site.
+
+#define TEST(suite, name) void suite##_##name()
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Prepare();
+
+TEST(DropStatusTest, DiscardsPrepare) {
+  Prepare();  // srcheck-expect(C1)
+}

@@ -1,0 +1,19 @@
+// C1 positive fixture under tests/: the Status is checked, and the one
+// sanctioned drop carries an explicit waiver. Zero findings.
+
+#define TEST(suite, name) void suite##_##name()
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Prepare();
+
+TEST(DropStatusTest, HandlesPrepare) {
+  const Status status = Prepare();
+  if (!status.ok()) {
+    return;
+  }
+  (void)Prepare();  // srcheck: allow(C1) teardown best-effort re-run
+}
