@@ -1,0 +1,110 @@
+// Extension (beyond the paper): query cost of the read-optimized static
+// tier against the dynamic SR-tree it is built from. Both hold the same
+// uniform data set and run the same k-NN workload; the static tier is the
+// flat BFS-serialized image (SoA leaf blocks, implicit child pointers,
+// zero-deserialization reads), the dynamic tree is the insert-built
+// SR-tree. The tiered rows show the serving arrangement: fully compacted
+// (pure static) and with a 5% dynamic delta absorbing the newest writes.
+//
+// The snapshot tracks the shape — the static tier must come in at or below
+// the dynamic tree's per-query cost — not absolute wall-clock numbers.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/statictier/static_sr_tree.h"
+#include "src/statictier/tiered_index.h"
+
+namespace srtree {
+namespace {
+
+struct Candidate {
+  std::string label;
+  std::unique_ptr<PointIndex> index;
+};
+
+int Run(const BenchOptions& options) {
+  const size_t n = options.full ? 100000 : 20000;
+  const int dim = 16;
+  const Dataset data = MakeUniformDataset(n, dim, options.seed);
+  const size_t num_queries = options.full ? 2048 : 512;
+  const std::vector<Point> queries =
+      SampleQueriesFromDataset(data, num_queries, options.seed + 17);
+
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  points.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    points.emplace_back(data.point(i).begin(), data.point(i).end());
+    oids.push_back(static_cast<uint32_t>(i));
+  }
+  // The last 5% of the data set is the "freshest writes" slice the
+  // delta-carrying tiered row absorbs through Insert().
+  const size_t delta_start = n - n / 20;
+
+  std::vector<Candidate> candidates;
+
+  {
+    IndexConfig config;
+    config.dim = dim;
+    auto dynamic_tree = MakeIndex(IndexType::kSRTree, config);
+    BuildIndexFromDataset(*dynamic_tree, data);
+    candidates.push_back({"Dynamic SR-tree", std::move(dynamic_tree)});
+  }
+  {
+    StaticSRTree::Options static_options;
+    static_options.dim = dim;
+    auto static_tree = std::make_unique<StaticSRTree>(static_options);
+    CHECK(static_tree->BulkLoad(points, oids).ok());
+    candidates.push_back({"Static SR-tree", std::move(static_tree)});
+  }
+  {
+    TieredIndex::Options tiered_options;
+    tiered_options.dim = dim;
+    auto tiered = std::make_unique<TieredIndex>(tiered_options);
+    CHECK(tiered->BulkLoad(points, oids).ok());
+    candidates.push_back({"Tiered (compacted)", std::move(tiered)});
+  }
+  {
+    TieredIndex::Options tiered_options;
+    tiered_options.dim = dim;
+    auto tiered = std::make_unique<TieredIndex>(tiered_options);
+    const std::vector<Point> base(points.begin(),
+                                  points.begin() + delta_start);
+    const std::vector<uint32_t> base_oids(oids.begin(),
+                                          oids.begin() + delta_start);
+    CHECK(tiered->BulkLoad(base, base_oids).ok());
+    for (size_t i = delta_start; i < n; ++i) {
+      CHECK(tiered->Insert(points[i], oids[i]).ok());
+    }
+    candidates.push_back({"Tiered (5% delta)", std::move(tiered)});
+  }
+
+  Table table("Static tier vs dynamic SR-tree: k-NN query cost (uniform, n=" +
+                  std::to_string(n) + ", D=" + std::to_string(dim) +
+                  ", k=" + std::to_string(options.k) + ")",
+              {"index", "CPU ms/query", "reads/query", "leaf reads/query",
+               "nonleaf reads/query"});
+  for (Candidate& c : candidates) {
+    const QueryMetrics metrics = RunKnnWorkload(*c.index, queries, options.k);
+    table.AddRow({c.label, FormatNum(metrics.cpu_ms),
+                  FormatNum(metrics.disk_reads), FormatNum(metrics.leaf_reads),
+                  FormatNum(metrics.nonleaf_reads)});
+  }
+  table.Print();
+  return bench::EmitJsonReport(options, {table});
+}
+
+}  // namespace
+}  // namespace srtree
+
+int main(int argc, char** argv) {
+  srtree::FlagParser parser;
+  srtree::AddBenchFlags(parser);
+  int exit_code = 0;
+  const auto options = srtree::bench::ParseOrExit(parser, argc, argv,
+                                                  &exit_code);
+  if (!options) return exit_code;
+  return srtree::Run(*options);
+}

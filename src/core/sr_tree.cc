@@ -93,25 +93,6 @@ struct SrImageHeader {
   uint64_t size;
 };
 
-// Pre-v2 single-fstream format: this raw struct followed by a v1 page-file
-// image. Still readable for one release; only SaveLegacyV1ForTest writes it.
-constexpr uint32_t kLegacySrTreeMagic = 0x53525431;  // "SRT1"
-
-struct SrTreeLegacyHeaderV1 {
-  uint32_t magic;
-  int32_t dim;
-  uint64_t page_size;
-  uint64_t leaf_data_size;
-  double min_utilization;
-  double reinsert_fraction;
-  uint8_t use_rect_in_radius;
-  uint8_t use_rect_in_mindist;
-  uint8_t pad[6];
-  uint32_t root_id;
-  int32_t root_level;
-  uint64_t size;
-};
-
 // True iff `o` would pass every constructor CHECK, so Open() can reject a
 // forged header with Corruption instead of crashing the process. The
 // negated-range form also rejects NaN utilization/fraction values.
@@ -152,30 +133,6 @@ Status SRTree::Save(const std::string& path) const {
   });
 }
 
-Status SRTree::SaveLegacyV1ForTest(const std::string& path) const {
-  // Emits the exact pre-v2 byte layout so the compatibility tests can
-  // generate v1 fixtures without checking in binaries.
-  MutexLock lock(writer_mu_);
-  std::ofstream out(  // srlint: allow(R5) legacy-fixture writer, not prod
-      path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  SrTreeLegacyHeaderV1 header = {};
-  header.magic = kLegacySrTreeMagic;
-  header.dim = options_.dim;
-  header.page_size = options_.page_size;
-  header.leaf_data_size = options_.leaf_data_size;
-  header.min_utilization = options_.min_utilization;
-  header.reinsert_fraction = options_.reinsert_fraction;
-  header.use_rect_in_radius = options_.use_rect_in_radius ? 1 : 0;
-  header.use_rect_in_mindist = options_.use_rect_in_mindist ? 1 : 0;
-  header.root_id = root_id_;
-  header.root_level = root_level_;
-  header.size = size_;
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  if (!out.good()) return Status::IoError("short write: " + path);
-  return file_.SaveToV1ForTest(out);
-}
-
 StatusOr<std::unique_ptr<SRTree>> SRTree::Open(const std::string& path) {
   StatusOr<std::string> tag = PeekIndexImageTag(path);
   if (!tag.ok()) return tag.status();
@@ -183,27 +140,14 @@ StatusOr<std::unique_ptr<SRTree>> SRTree::Open(const std::string& path) {
   SrImageHeader header = {};
   IndexImageFile image;
   if (*tag == "legacy-sr-v1") {
-    // v1 compatibility window: raw header, unchecksummed page image. Loaded
-    // read-compatibly; Save() rewrites it as v2.
-    RETURN_IF_ERROR(image.OpenRaw(path));
-    SrTreeLegacyHeaderV1 legacy = {};
-    image.stream().read(reinterpret_cast<char*>(&legacy), sizeof(legacy));
-    if (!image.stream().good() || legacy.magic != kLegacySrTreeMagic) {
-      return Status::Corruption("not an SR-tree index file");
-    }
-    header.dim = legacy.dim;
-    header.page_size = legacy.page_size;
-    header.leaf_data_size = legacy.leaf_data_size;
-    header.min_utilization = legacy.min_utilization;
-    header.reinsert_fraction = legacy.reinsert_fraction;
-    header.use_rect_in_radius = legacy.use_rect_in_radius;
-    header.use_rect_in_mindist = legacy.use_rect_in_mindist;
-    header.root_id = legacy.root_id;
-    header.root_level = legacy.root_level;
-    header.size = legacy.size;
-  } else {
-    RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
+    // The pre-v2 compatibility window ("one release") has closed; the
+    // host-endian unvalidated v1 header was the last unchecksummed load
+    // path. Fail loudly instead of misreading the bytes.
+    return Status::InvalidArgument(
+        "pre-v2 SR-tree image is no longer readable; re-save with v2 "
+        "(PointIndex::Save) using a release that still reads it");
   }
+  RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
 
   Options options;
   options.dim = header.dim;
@@ -1054,6 +998,22 @@ void SRTree::CollectRegions(const Node& node,
   for (const NodeEntry& e : node.children) {
     CollectRegions(PeekNode(e.child), collector);
   }
+}
+
+Status SRTree::ExportEntries(
+    const std::function<void(PointView, uint32_t)>& fn) const {
+  MutexLock lock(writer_mu_);
+  std::vector<PageId> stack = {root_id_};
+  while (!stack.empty()) {
+    const Node node = PeekNode(stack.back());
+    stack.pop_back();
+    if (node.is_leaf()) {
+      for (const LeafEntry& e : node.points) fn(e.point, e.oid);
+      continue;
+    }
+    for (const NodeEntry& e : node.children) stack.push_back(e.child);
+  }
+  return Status::OK();
 }
 
 Status SRTree::CheckInvariants() const { return debug::AuditIndex(*this); }

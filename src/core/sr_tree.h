@@ -32,6 +32,7 @@
 #define SRTREE_CORE_SR_TREE_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -80,14 +81,9 @@ class SRTree : public PointIndex {
   Status Save(const std::string& path) const override EXCLUDES(writer_mu_);
 
   // Opens an index previously written by Save(); the options are restored
-  // from the file. Accepts both the current v2 image and the pre-v2 legacy
-  // format (read-compatibly, for one release).
+  // from the file. Only the current v2 image is readable — a pre-v2 legacy
+  // file fails with an explicit "re-save with v2" error.
   static StatusOr<std::unique_ptr<SRTree>> Open(const std::string& path);
-
-  // Writes the pre-v2 (unchecksummed, non-atomic) format so compatibility
-  // tests can generate v1 fixtures. Never a production path.
-  Status SaveLegacyV1ForTest(const std::string& path) const
-      EXCLUDES(writer_mu_);
 
   int dim() const override { return options_.dim; }
   // Size of the most recently committed version (safe against the writer:
@@ -105,6 +101,11 @@ class SRTree : public PointIndex {
   // version() reports the pinned PageFile version.
   [[nodiscard]] std::unique_ptr<IndexSnapshot> AcquireSnapshot()
       const override;
+
+  // Enumerates every stored (point, oid) pair (the tiered-index compaction
+  // feed); walks working state under writer_mu_, excluding the writer.
+  Status ExportEntries(const std::function<void(PointView, uint32_t)>& fn)
+      const override EXCLUDES(writer_mu_);
 
   TreeStats GetTreeStats() const override EXCLUDES(writer_mu_);
   Status CheckInvariants() const override;

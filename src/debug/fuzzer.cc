@@ -319,6 +319,14 @@ Status RunMixedReadWriteFuzz(PointIndex& index,
                std::to_string(mop.oid) + ") failed: " + st.ToString());
         break;
       }
+      if (options.compact_every > 0 &&
+          (i + 1) % options.compact_every == 0) {
+        if (Status cst = index.Compact(); !cst.ok()) {
+          report("writer Compact() after op=" + std::to_string(i) +
+                 " failed: " + cst.ToString());
+          break;
+        }
+      }
     }
     writer_done.store(true, std::memory_order_seq_cst);
   };
@@ -699,6 +707,17 @@ Status MutationFuzzer::Run(std::unique_ptr<PointIndex>& index,
   const auto end_batch = [&]() {
     RETURN_IF_ERROR(run_queries());
     if (options_.audit_every_batch) RETURN_IF_ERROR(audit());
+    if (options_.compact_every_batches > 0 &&
+        (batch_index + 1) % options_.compact_every_batches == 0) {
+      ++stats_.compacts;
+      if (Status st = index->Compact(); !st.ok()) {
+        return fail("Compact() failed: " + st.ToString());
+      }
+      // Compaction changes representation, not contents: the same queries
+      // and audit must pass against the unchanged oracle.
+      RETURN_IF_ERROR(audit());
+      RETURN_IF_ERROR(run_queries());
+    }
     if (reopen != nullptr && options_.reopen_every_batches > 0 &&
         (batch_index + 1) % options_.reopen_every_batches == 0) {
       ++stats_.reopens;

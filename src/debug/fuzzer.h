@@ -52,6 +52,11 @@ struct FuzzOptions {
   // Round-trip through the ReopenFn every N batches (0 = never).
   size_t reopen_every_batches = 0;
   bool audit_every_batch = true;
+
+  // Call PointIndex::Compact() every N batches (0 = never). For tiered
+  // indexes this folds the delta into the static tier mid-run; queries and
+  // audits after the compaction must still match the oracle exactly.
+  size_t compact_every_batches = 0;
 };
 
 struct FuzzStats {
@@ -62,6 +67,7 @@ struct FuzzStats {
   uint64_t range_queries = 0;
   uint64_t audits = 0;
   uint64_t reopens = 0;
+  uint64_t compacts = 0;
 };
 
 // Concurrent read-path fuzz: bulk-loads `index` (which must be empty) and a
@@ -117,6 +123,12 @@ struct MixedFuzzOptions {
   // When > 0, attaches a sharded BufferPool for the run so the pooled
   // snapshot read path gets the same concurrent coverage.
   size_t buffer_pool_pages = 0;
+  // When > 0, the writer thread calls PointIndex::Compact() after every N
+  // committed mutations, while readers hold live snapshots. Compact() must
+  // NOT advance the committed version (it changes representation, not
+  // contents), so the version → committed-prefix mapping the readers verify
+  // — and the final version == v0 + num_mutations check — still hold.
+  size_t compact_every = 0;
 };
 
 Status RunMixedReadWriteFuzz(PointIndex& index,

@@ -192,6 +192,42 @@ const std::vector<double>& BatchSquaredL2(KernelScratch& scratch,
   return scratch.dist;
 }
 
+// Block-direct form: the points already live in dimension-major order (for
+// example a static-tier leaf page whose coordinates are serialized SoA), so
+// no transpose is needed — the kernel reads straight from `block`. Fills
+// scratch.dist like BatchSquaredL2.
+inline const std::vector<double>& BatchSquaredL2FromBlock(
+    KernelScratch& scratch, PointView query, const SoaBlock& block,
+    double bound_sq) {
+  scratch.dist.resize(block.count);
+  GetDistanceKernel().SquaredL2ToManyBounded(query, block, bound_sq,
+                                             scratch.dist.data());
+  return scratch.dist;
+}
+
+// Block-direct rect MINDIST: `lo` and `hi` are pre-built dimension-major
+// blocks (e.g. serialized inner-node bounds). Fills scratch.dist with
+// squared MINDISTs.
+inline const std::vector<double>& BatchRectMinDistSqFromBlocks(
+    KernelScratch& scratch, PointView query, const SoaBlock& lo,
+    const SoaBlock& hi) {
+  scratch.dist.resize(lo.count);
+  GetDistanceKernel().MinDistRectToMany(query, lo, hi, scratch.dist.data());
+  return scratch.dist;
+}
+
+// Block-direct sphere MINDIST (distance space): `centers` is a pre-built
+// dimension-major block, `radii` a plain array of block.count radii. Fills
+// scratch.dist2 (so callers can combine with a rect pass in scratch.dist).
+inline const std::vector<double>& BatchSphereMinDistFromBlock(
+    KernelScratch& scratch, PointView query, const SoaBlock& centers,
+    const double* radii) {
+  scratch.dist2.resize(centers.count);
+  GetDistanceKernel().SphereMinDistToMany(query, centers, radii,
+                                          scratch.dist2.data());
+  return scratch.dist2;
+}
+
 // Fills scratch.dist with squared MINDISTs from `query` to the rects
 // rect_of(0..n).
 template <typename RectFn>

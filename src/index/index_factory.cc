@@ -7,6 +7,8 @@
 #include "src/core/sr_tree.h"
 #include "src/index/brute_force.h"
 #include "src/kdb/kdb_tree.h"
+#include "src/statictier/static_sr_tree.h"
+#include "src/statictier/tiered_index.h"
 #include "src/rstar/rstar_tree.h"
 #include "src/sstree/ss_tree.h"
 #include "src/tvtree/tv_r_tree.h"
@@ -33,6 +35,10 @@ const char* IndexTypeName(IndexType type) {
       return "TV-tree";
     case IndexType::kScan:
       return "scan";
+    case IndexType::kStaticSRTree:
+      return "Static SR-tree";
+    case IndexType::kTieredSRTree:
+      return "Tiered SR-tree";
   }
   return "unknown";
 }
@@ -114,6 +120,21 @@ std::unique_ptr<PointIndex> MakeIndex(IndexType type,
       options.leaf_data_size = config.leaf_data_size;
       return std::make_unique<BruteForceIndex>(options);
     }
+    case IndexType::kStaticSRTree: {
+      StaticSRTree::Options options;
+      options.dim = config.dim;
+      options.page_size = config.page_size;
+      return std::make_unique<StaticSRTree>(options);
+    }
+    case IndexType::kTieredSRTree: {
+      TieredIndex::Options options;
+      options.dim = config.dim;
+      options.page_size = config.page_size;
+      options.leaf_data_size = config.leaf_data_size;
+      options.min_utilization = config.min_utilization;
+      options.reinsert_fraction = config.reinsert_fraction;
+      return std::make_unique<TieredIndex>(options);
+    }
   }
   CHECK(false);
   return nullptr;
@@ -134,9 +155,14 @@ StatusOr<std::unique_ptr<PointIndex>> OpenAs(const std::string& path) {
 StatusOr<std::unique_ptr<PointIndex>> OpenIndex(const std::string& path) {
   StatusOr<std::string> tag = PeekIndexImageTag(path);
   if (!tag.ok()) return tag.status();
-  if (*tag == SRTree::kImageTag || *tag == "legacy-sr-v1") {
-    return OpenAs<SRTree>(path);
+  if (*tag == SRTree::kImageTag) return OpenAs<SRTree>(path);
+  if (*tag == "legacy-sr-v1") {
+    return Status::InvalidArgument(
+        "pre-v2 SR-tree image is no longer readable; re-save with v2 "
+        "(PointIndex::Save) using a release that still reads it");
   }
+  if (*tag == StaticSRTree::kImageTag) return OpenAs<StaticSRTree>(path);
+  if (*tag == TieredIndex::kImageTag) return OpenAs<TieredIndex>(path);
   if (*tag == SSTree::kImageTag) return OpenAs<SSTree>(path);
   if (*tag == RStarTree::kImageTag) return OpenAs<RStarTree>(path);
   if (*tag == KdbTree::kImageTag) return OpenAs<KdbTree>(path);

@@ -25,6 +25,10 @@ enum class IndexType {
   kXTree,   // extension: Section 2.6 related work, not in the paper's tests
   kTvTree,  // extension: Section 2.5 related work (fixed-telescope TV-tree)
   kScan,
+  // Tiered serving arrangement (src/statictier/): an immutable bulk tier
+  // plus the dynamic SR-tree delta, and the bulk tier on its own.
+  kStaticSRTree,
+  kTieredSRTree,
 };
 
 const char* IndexTypeName(IndexType type);

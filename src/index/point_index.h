@@ -9,6 +9,7 @@
 #define SRTREE_INDEX_POINT_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -132,6 +133,21 @@ class PointIndex : private SearchDispatch {
   // Fails if the index is non-empty.
   virtual Status BulkLoad(const std::vector<Point>& points,
                           const std::vector<uint32_t>& oids);
+
+  // Reorganizes the physical representation without changing the logical
+  // contents (the tiered index rebuilds its static tier from static + delta
+  // and drops its tombstones). Structures without a compaction concept —
+  // every single-tier tree — treat it as a no-op.
+  virtual Status Compact() { return Status::OK(); }
+
+  // Enumerates every stored (point, oid) pair, in unspecified order. The
+  // compaction/merge feed. Unimplemented by default; the SR-tree family
+  // members that participate in tiering override it.
+  virtual Status ExportEntries(
+      const std::function<void(PointView, uint32_t)>& fn) const {
+    (void)fn;
+    return Status::Unimplemented(name() + " does not support ExportEntries()");
+  }
 
   // Persists the index — options, tree metadata, and the full page file —
   // as a single checksummed image at `path`, written atomically (temp file

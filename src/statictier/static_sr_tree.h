@@ -1,0 +1,269 @@
+// StaticSRTree: the read-optimized immutable tier of the tiered index
+// (ROADMAP item #2).
+//
+// The tree is bulk-loaded with the VAMSplit partitioning (White & Jain) but
+// stores SR-tree regions — bounding sphere AND bounding rectangle per child,
+// radius = min(d_s, d_r) as in Section 4.2 of the paper — and serializes its
+// nodes level-order (BFS) into one contiguous v2 page image:
+//
+//   * every node occupies exactly one page and pages are numbered in BFS
+//     order, so the children of an inner node are CONTIGUOUS and the node
+//     stores a single `first_child` page id instead of per-entry pointers
+//     (child i lives at page first_child + i);
+//   * node payloads are dimension-major (SoA): a leaf page is a coordinate
+//     block followed by an oid array, an inner page is center / radius /
+//     rect-lo / rect-hi / weight blocks. A query overlays SoaBlock views on
+//     the raw page bytes and feeds them straight to the DistanceKernel batch
+//     API — zero per-entry deserialization on the search path;
+//   * reads go through PageFile::Snapshot (and BufferPool::PinSnapshot when
+//     a pool is attached), the same commit-protocol machinery the dynamic
+//     SR-tree uses, so a TieredIndex can swap a freshly compacted tree in
+//     while concurrent snapshot readers keep traversing the old one.
+//
+// The structure is immutable after BulkLoad()/Open(): Insert and Delete
+// return Unimplemented. Logical deletes against a static tier are the
+// TieredIndex's tombstones, which the leaf scans consult through the
+// optional TombstoneSet filter so a masked point can never displace a live
+// one from a k-NN result.
+
+#ifndef SRTREE_STATICTIER_STATIC_SR_TREE_H_
+#define SRTREE_STATICTIER_STATIC_SR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/geometry/kernel.h"
+#include "src/index/knn.h"
+#include "src/index/point_index.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page_file.h"
+
+namespace srtree {
+
+// Tombstoned (point, oid) pairs masking static-tier entries; owned by the
+// TieredIndex, consulted by the static leaf scans.
+using TombstoneSet = std::set<std::pair<Point, uint32_t>>;
+
+class StaticSRTree : public PointIndex {
+ public:
+  struct Options {
+    int dim = 2;
+    size_t page_size = kDefaultPageSize;
+  };
+
+  explicit StaticSRTree(const Options& options);
+
+  // Type tag embedded in the v2 index-image container.
+  static constexpr char kImageTag[] = "srstatic";
+
+  // Checksummed atomic image persistence (see PointIndex::Save).
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<StaticSRTree>> Open(const std::string& path);
+
+  // Composite-image hooks for the TieredIndex: the page image must be the
+  // final section of the stream (PageFile::LoadFrom validates its size
+  // against EOF). LoadPages restores + validates the tree over it and
+  // publishes the loaded state as a committed version.
+  Status SavePagesTo(std::ostream& out) const;
+  Status LoadPages(std::istream& in, PageId root_id, int root_level,
+                   uint64_t size);
+
+  int dim() const override { return options_.dim; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "Static SR-tree"; }
+  const Options& options() const { return options_; }
+
+  // Static tier: the only way to populate it is BulkLoad.
+  Status Insert(PointView point, uint32_t oid) override;
+  Status Delete(PointView point, uint32_t oid) override;
+  Status BulkLoad(const std::vector<Point>& points,
+                  const std::vector<uint32_t>& oids) override;
+
+  // Enumerates every stored (point, oid) pair (compaction feed).
+  Status ExportEntries(
+      const std::function<void(PointView, uint32_t)>& fn) const override;
+
+  // Exact membership probe against the stored pairs (rect-guided descent;
+  // no I/O accounting — this is tombstone bookkeeping, not a query).
+  bool Contains(PointView point, uint32_t oid) const;
+
+  TreeStats GetTreeStats() const override;
+  Status CheckInvariants() const override;
+  void VisitNodes(const NodeVisitor& visitor) const override;
+  AuditSpec GetAuditSpec() const override;
+  RegionSummary LeafRegionSummary() const override;
+
+  const IoStats& io_stats() const override { return file_.stats(); }
+  void ResetIoStats() override { file_.ResetStats(); }
+  IoStats GetIoStats() const override { return file_.GetIoStats(); }
+
+  void SimulateBufferPool(size_t capacity) override {
+    file_.SimulateCache(capacity);
+  }
+  void UseBufferPool(size_t capacity) override {
+    pool_ = capacity > 0 ? std::make_unique<BufferPool>(&file_, capacity)
+                         : nullptr;
+  }
+
+  size_t leaf_capacity() const override { return leaf_cap_; }
+  size_t node_capacity() const override { return node_cap_; }
+  int height() const { return size_ == 0 ? 0 : root_level_ + 1; }
+  PageId root_id() const { return root_id_; }
+  int root_level() const { return root_level_; }
+
+  // The snapshot machinery a composing index (TieredIndex) pins reads
+  // through. The tree is immutable once built, but routing reads through a
+  // committed version keeps the swap-under-readers story uniform with the
+  // dynamic SR-tree.
+  EpochManager& epoch_domain() const { return file_.epochs(); }
+  PageFile::Snapshot AcquirePageSnapshot(const EpochGuard& guard) const {
+    return file_.AcquireSnapshot(guard);
+  }
+
+  [[nodiscard]] std::unique_ptr<IndexSnapshot> AcquireSnapshot()
+      const override;
+
+  EpochManager* epoch_domain_for_test() const override {
+    return &file_.epochs();
+  }
+
+  // Snapshot-pinned search entry points (used by this tree's own dispatch
+  // and by the TieredIndex's merged searches). `tombstones` (optional)
+  // masks matching pairs during the leaf scans.
+  std::vector<Neighbor> KnnDfsSnapshot(const PageFile::Snapshot& snap,
+                                       PointView query, int k,
+                                       IoStatsDelta* io,
+                                       const TombstoneSet* tombstones) const;
+  std::vector<Neighbor> KnnBestFirstSnapshot(
+      const PageFile::Snapshot& snap, PointView query, int k, IoStatsDelta* io,
+      const TombstoneSet* tombstones) const;
+  std::vector<Neighbor> RangeSnapshot(const PageFile::Snapshot& snap,
+                                      PointView query, double radius,
+                                      IoStatsDelta* io,
+                                      const TombstoneSet* tombstones) const;
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
+
+ private:
+  // ---- zero-copy page views -----------------------------------------------
+  // Overlays on the raw page bytes; the blocks alias the page buffer, so a
+  // view is valid only while its PageHandle (below) is.
+
+  struct LeafRef {
+    size_t count = 0;
+    SoaBlock points;       // dim-major coordinate block
+    const uint32_t* oids = nullptr;
+  };
+
+  struct InnerRef {
+    size_t count = 0;
+    int level = 0;
+    PageId first_child = kInvalidPageId;  // child i = first_child + i
+    SoaBlock centers, lo, hi;             // dim-major blocks
+    const double* radii = nullptr;
+    const uint32_t* weights = nullptr;
+  };
+
+  // One resolved page: either a pinned buffer-pool frame (zero copy) or the
+  // caller's scratch buffer filled through Snapshot::Read (one page copy,
+  // still no per-entry decode).
+  struct PageHandle {
+    std::optional<BufferPool::PageGuard> guard;
+    const char* data = nullptr;
+  };
+
+  PageHandle ReadPage(const PageFile::Snapshot& snap, PageId id, int level,
+                      IoStatsDelta* io, std::vector<char>& scratch) const;
+
+  int PageLevel(const char* buf) const;
+  LeafRef ParseLeaf(const char* buf) const;
+  InnerRef ParseInner(const char* buf) const;
+
+  // Gathers element `i` of a dim-major block into `out` (dim doubles).
+  void GatherPoint(const SoaBlock& block, size_t i, Point& out) const;
+  bool Tombstoned(const TombstoneSet* tombstones, const SoaBlock& points,
+                  size_t i, uint32_t oid, Point& scratch) const;
+
+  // ---- construction -------------------------------------------------------
+
+  struct BuildNode;  // in-memory node, BFS-numbered before serialization
+
+  uint64_t SubtreeCapacity(int height) const;
+  int MaxVarianceDim(const std::vector<Point>& points,
+                     std::span<uint32_t> items) const;
+  void SplitIntoPieces(const std::vector<Point>& points,
+                       std::span<uint32_t> items, uint64_t piece_cap,
+                       std::vector<std::span<uint32_t>>& pieces) const;
+  size_t BuildSubtree(const std::vector<Point>& points,
+                      std::span<uint32_t> items, int height,
+                      std::vector<BuildNode>& pool) const;
+  void SerializeTree(const std::vector<Point>& points,
+                     const std::vector<uint32_t>& oids,
+                     std::vector<BuildNode>& pool, size_t root_index);
+
+  void CommitState() {
+    file_.Commit({root_id_, static_cast<uint64_t>(root_level_), size_, 0});
+  }
+
+  // BFS over the page image checking header sanity (levels, counts, child
+  // liveness) so the audit/stats walks cannot crash on a forged image.
+  Status ValidateStructure() const;
+
+  // ---- audit / stats helpers (PeekPage walks, no I/O accounting) ----------
+  struct DecodedEntry {
+    Sphere sphere;
+    Rect rect;
+    uint64_t weight = 0;
+    PageId child = kInvalidPageId;
+  };
+  std::vector<DecodedEntry> DecodeInner(const char* buf) const;
+  void DecodeLeaf(const char* buf, std::vector<Point>& points,
+                  std::vector<uint32_t>& oids) const;
+  void VisitSubtree(PageId id, std::vector<int>& path,
+                    const NodeVisitor& visitor) const;
+
+  // ---- search -------------------------------------------------------------
+  void SearchKnnDfs(const PageFile::Snapshot& snap, PageId id, int level,
+                    PointView query, KnnCandidates& cand,
+                    KernelScratch& scratch, std::vector<char>& page_scratch,
+                    IoStatsDelta* io, const TombstoneSet* tombstones) const;
+  void SearchRange(const PageFile::Snapshot& snap, PageId id, int level,
+                   PointView query, double radius, std::vector<Neighbor>& out,
+                   KernelScratch& scratch, std::vector<char>& page_scratch,
+                   IoStatsDelta* io, const TombstoneSet* tombstones) const;
+  void ScanLeaf(const LeafRef& leaf, PointView query, double bound_sq,
+                KernelScratch& scratch, const TombstoneSet* tombstones,
+                const std::function<void(double, uint32_t)>& offer) const;
+  // Fills `out` with the combined SR MINDIST (distance space) of every
+  // entry: max(sphere MINDIST, sqrt(rect MINDISTSQ)).
+  void EntryMinDists(const InnerRef& inner, PointView query,
+                     KernelScratch& scratch, std::vector<double>& out) const;
+
+  Options options_;
+  size_t leaf_cap_;
+  size_t node_cap_;
+
+  mutable PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  PageId root_id_ = kInvalidPageId;
+  int root_level_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_STATICTIER_STATIC_SR_TREE_H_

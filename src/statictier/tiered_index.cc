@@ -1,0 +1,495 @@
+#include "src/statictier/tiered_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/index/index_factory.h"
+#include "src/storage/image_io.h"
+
+namespace srtree {
+namespace {
+
+// Persisted header of the "srtiered" image (see Save() for semantics).
+struct TieredImageHeader {
+  int32_t dim;
+  uint32_t pad0;
+  uint64_t page_size;
+  uint64_t leaf_data_size;
+  double min_utilization;
+  double reinsert_fraction;
+  uint32_t root_id;
+  int32_t root_level;
+  uint64_t size;
+};
+
+bool PlausibleOptions(const TieredIndex::Options& o) {
+  return o.dim > 0 && o.dim <= (1 << 16) && o.page_size >= 64 &&
+         o.page_size <= (1u << 28) && o.min_utilization > 0.0 &&
+         o.min_utilization <= 0.5 && o.reinsert_fraction >= 0.0 &&
+         o.reinsert_fraction < 1.0;
+}
+
+// IoStats carries no MergeFrom of its own; the tiered index is the first
+// structure whose global counters are a sum of two page files.
+void AccumulateStats(const IoStats& from, IoStats* into) {
+  into->reads += from.reads;
+  into->writes += from.writes;
+  into->cache_misses += from.cache_misses;
+  if (from.reads_by_level.size() > into->reads_by_level.size()) {
+    into->reads_by_level.resize(from.reads_by_level.size(), 0);
+  }
+  for (size_t l = 0; l < from.reads_by_level.size(); ++l) {
+    into->reads_by_level[l] += from.reads_by_level[l];
+  }
+}
+
+}  // namespace
+
+TieredIndex::TieredIndex(const Options& options) : options_(options) {
+  CHECK_GT(options_.dim, 0);
+  StaticSRTree::Options static_options;
+  static_options.dim = options_.dim;
+  static_options.page_size = options_.page_size;
+  TierState initial;
+  initial.static_tier = std::make_shared<StaticSRTree>(static_options);
+  initial.delta = MakeDelta();
+  initial.tombstones = std::make_shared<const TombstoneSet>();
+  initial.delta_version = initial.delta->AcquireSnapshot()->version();
+  PublishState(std::move(initial));
+}
+
+TieredIndex::~TieredIndex() = default;
+
+std::shared_ptr<PointIndex> TieredIndex::MakeDelta() const {
+  IndexConfig config;
+  config.dim = options_.dim;
+  config.page_size = options_.page_size;
+  config.leaf_data_size = options_.leaf_data_size;
+  config.min_utilization = options_.min_utilization;
+  config.reinsert_fraction = options_.reinsert_fraction;
+  return std::shared_ptr<PointIndex>(MakeIndex(IndexType::kSRTree, config));
+}
+
+size_t TieredIndex::size() const { return LoadState()->size; }
+
+// --------------------------------------------------------------------------
+// Mutation
+// --------------------------------------------------------------------------
+
+Status TieredIndex::Insert(PointView point, uint32_t oid) {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  // A pair tombstoned in the static tier may be re-inserted: the delta copy
+  // serves queries from now on, and the tombstone keeps masking the stale
+  // static copy until the next compaction drops both.
+  RETURN_IF_ERROR(cur->delta->Insert(point, oid));
+  TierState next = *cur;
+  next.delta_version = next.delta->AcquireSnapshot()->version();
+  ++next.version;
+  ++next.size;
+  PublishState(std::move(next));
+  return Status::OK();
+}
+
+Status TieredIndex::Delete(PointView point, uint32_t oid) {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  TierState next = *cur;
+  Status delta_status = cur->delta->Delete(point, oid);
+  if (delta_status.ok()) {
+    next.delta_version = next.delta->AcquireSnapshot()->version();
+    ++next.version;
+    --next.size;
+    PublishState(std::move(next));
+    return Status::OK();
+  }
+  if (!delta_status.IsNotFound()) return delta_status;
+  const std::pair<Point, uint32_t> key(Point(point.begin(), point.end()), oid);
+  if (cur->tombstones->count(key) > 0 ||
+      !cur->static_tier->Contains(point, oid)) {
+    return Status::NotFound("no such (point, oid) pair");
+  }
+  // Copy-on-write so snapshots holding the old set never see the mutation.
+  auto replacement = std::make_shared<TombstoneSet>(*cur->tombstones);
+  replacement->insert(key);
+  next.tombstones = std::move(replacement);
+  ++next.version;
+  --next.size;
+  PublishState(std::move(next));
+  return Status::OK();
+}
+
+Status TieredIndex::BulkLoad(const std::vector<Point>& points,
+                             const std::vector<uint32_t>& oids) {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  if (cur->size != 0 || cur->delta->size() != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty index");
+  }
+  RETURN_IF_ERROR(cur->static_tier->BulkLoad(points, oids));
+  TierState next = *cur;
+  next.size = points.size();
+  PublishState(std::move(next));
+  return Status::OK();
+}
+
+Status TieredIndex::CollectLogicalContents(const TierState& state,
+                                           std::vector<Point>* points,
+                                           std::vector<uint32_t>* oids) const {
+  points->clear();
+  oids->clear();
+  points->reserve(state.size);
+  oids->reserve(state.size);
+  const TombstoneSet& tombstones = *state.tombstones;
+  Point scratch;
+  RETURN_IF_ERROR(
+      state.static_tier->ExportEntries([&](PointView p, uint32_t oid) {
+        if (!tombstones.empty()) {
+          scratch.assign(p.begin(), p.end());
+          if (tombstones.count({scratch, oid}) > 0) return;
+        }
+        points->emplace_back(p.begin(), p.end());
+        oids->push_back(oid);
+      }));
+  RETURN_IF_ERROR(state.delta->ExportEntries([&](PointView p, uint32_t oid) {
+    points->emplace_back(p.begin(), p.end());
+    oids->push_back(oid);
+  }));
+  if (points->size() != state.size) {
+    return Status::Corruption("tiered bookkeeping does not match contents");
+  }
+  return Status::OK();
+}
+
+Status TieredIndex::Compact() {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  RETURN_IF_ERROR(CollectLogicalContents(*cur, &points, &oids));
+
+  StaticSRTree::Options static_options;
+  static_options.dim = options_.dim;
+  static_options.page_size = options_.page_size;
+  auto merged = std::make_shared<StaticSRTree>(static_options);
+  RETURN_IF_ERROR(merged->BulkLoad(points, oids));
+
+  // Publish the rebuilt arrangement; snapshots acquired before this point
+  // keep shared ownership of the old state and are undisturbed. The version
+  // counter does NOT advance: compaction changes representation, not
+  // contents.
+  TierState next;
+  next.static_tier = std::move(merged);
+  next.delta = MakeDelta();
+  next.tombstones = std::make_shared<const TombstoneSet>();
+  next.version = cur->version;
+  next.size = cur->size;
+  next.delta_version = next.delta->AcquireSnapshot()->version();
+  PublishState(std::move(next));
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Persistence
+// --------------------------------------------------------------------------
+
+Status TieredIndex::Save(const std::string& path) const {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  RETURN_IF_ERROR(CollectLogicalContents(*cur, &points, &oids));
+
+  StaticSRTree::Options static_options;
+  static_options.dim = options_.dim;
+  static_options.page_size = options_.page_size;
+  StaticSRTree merged(static_options);
+  RETURN_IF_ERROR(merged.BulkLoad(points, oids));
+
+  TieredImageHeader header = {};
+  header.dim = options_.dim;
+  header.page_size = options_.page_size;
+  header.leaf_data_size = options_.leaf_data_size;
+  header.min_utilization = options_.min_utilization;
+  header.reinsert_fraction = options_.reinsert_fraction;
+  header.root_id = merged.root_id();
+  header.root_level = merged.root_level();
+  header.size = merged.size();
+  return AtomicWriteFile(path, [&](std::ostream& out) {
+    RETURN_IF_ERROR(WriteIndexImageTo(out, kImageTag, &header, sizeof(header)));
+    return merged.SavePagesTo(out);
+  });
+}
+
+StatusOr<std::unique_ptr<TieredIndex>> TieredIndex::Open(
+    const std::string& path) {
+  TieredImageHeader header = {};
+  IndexImageFile image;
+  RETURN_IF_ERROR(image.Open(path, kImageTag, &header, sizeof(header)));
+
+  Options options;
+  options.dim = header.dim;
+  options.page_size = header.page_size;
+  options.leaf_data_size = header.leaf_data_size;
+  options.min_utilization = header.min_utilization;
+  options.reinsert_fraction = header.reinsert_fraction;
+  if (!PlausibleOptions(options)) {
+    return Status::Corruption("implausible tiered index header");
+  }
+  auto index = std::make_unique<TieredIndex>(options);
+  const std::shared_ptr<const TierState> cur = index->LoadState();
+  RETURN_IF_ERROR(cur->static_tier->LoadPages(
+      image.stream(), header.root_id, header.root_level, header.size));
+  TierState next = *cur;
+  next.size = header.size;
+  index->PublishState(std::move(next));
+  return index;
+}
+
+// --------------------------------------------------------------------------
+// Snapshots & search
+// --------------------------------------------------------------------------
+
+TieredIndex::CapturedView TieredIndex::CaptureState() const {
+  // Lock-free snapshot acquisition: load the published state, pin a delta
+  // snapshot, and retry when a mutation committed in between — the delta
+  // snapshot's version then differs from the one the state was published
+  // with. Mutators store state_ strictly AFTER the delta mutation it
+  // describes, so version equality proves (state, delta_snap) describe the
+  // same commit. Reading through writer_mu_ instead would nest that lock
+  // under every storage lock held by callers of size()/AcquireSnapshot().
+  for (;;) {
+    std::shared_ptr<const TierState> state = LoadState();
+    std::unique_ptr<IndexSnapshot> delta_snap =
+        state->delta->AcquireSnapshot();
+    if (delta_snap->version() == state->delta_version) {
+      return CapturedView{std::move(state), std::move(delta_snap)};
+    }
+  }
+}
+
+// A pinned two-tier read view. Member order is destruction-critical: the
+// epoch guard, page snapshot (static tier) and delta snapshot must die
+// before the TierState whose shared_ptrs keep their owners alive.
+class TieredSnapshot : public IndexSnapshot, public SearchDispatch {
+ public:
+  TieredSnapshot(const TieredIndex* index, TieredIndex::CapturedView view)
+      : IndexSnapshot(index),
+        dim_(index->dim()),
+        state_(std::move(view.state)),
+        static_tree_(state_->static_tier),
+        tombstones_(state_->tombstones),
+        version_(state_->version),
+        size_(state_->size),
+        guard_(static_tree_->epoch_domain()),
+        snap_(static_tree_->AcquirePageSnapshot(guard_)),
+        delta_snap_(std::move(view.delta_snap)) {}
+
+  [[nodiscard]] QueryResult Search(PointView query,
+                                   const QuerySpec& spec) const override {
+    return RunValidatedSearch(*this, dim_, query, spec);
+  }
+
+  uint64_t version() const override { return version_; }
+  size_t size() const override { return size_; }
+
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override {
+    return MergedKnn(query, k, io, QuerySpec::Knn(k),
+                     static_tree_->KnnDfsSnapshot(snap_, query, k, io,
+                                                  tombstones_.get()));
+  }
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override {
+    return MergedKnn(query, k, io, QuerySpec::KnnBestFirst(k),
+                     static_tree_->KnnBestFirstSnapshot(snap_, query, k, io,
+                                                        tombstones_.get()));
+  }
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override {
+    std::vector<Neighbor> merged = static_tree_->RangeSnapshot(
+        snap_, query, radius, io, tombstones_.get());
+    QueryResult delta_result =
+        delta_snap_->Search(query, QuerySpec::Range(radius));
+    io->MergeFrom(delta_result.io);
+    merged.insert(merged.end(), delta_result.neighbors.begin(),
+                  delta_result.neighbors.end());
+    std::sort(merged.begin(), merged.end());  // canonical (distance, oid)
+    return merged;
+  }
+
+ private:
+  // Merges the static tier's top-k with the delta's top-k: the true top-k
+  // of the union is a subset of the union of per-tier top-k lists, so the
+  // canonical merge-then-truncate is exact.
+  std::vector<Neighbor> MergedKnn(PointView query, int k, IoStatsDelta* io,
+                                  const QuerySpec& delta_spec,
+                                  std::vector<Neighbor> from_static) const {
+    QueryResult delta_result = delta_snap_->Search(query, delta_spec);
+    io->MergeFrom(delta_result.io);
+    std::vector<Neighbor> merged;
+    merged.reserve(from_static.size() + delta_result.neighbors.size());
+    std::merge(from_static.begin(), from_static.end(),
+               delta_result.neighbors.begin(), delta_result.neighbors.end(),
+               std::back_inserter(merged));
+    if (merged.size() > static_cast<size_t>(k)) {
+      merged.resize(static_cast<size_t>(k));
+    }
+    return merged;
+  }
+
+  int dim_;
+  std::shared_ptr<const TieredIndex::TierState> state_;
+  std::shared_ptr<const StaticSRTree> static_tree_;
+  std::shared_ptr<const TombstoneSet> tombstones_;
+  uint64_t version_;
+  size_t size_;
+  EpochGuard guard_;
+  PageFile::Snapshot snap_;
+  std::unique_ptr<IndexSnapshot> delta_snap_;
+};
+
+std::unique_ptr<IndexSnapshot> TieredIndex::AcquireSnapshot() const {
+  return std::make_unique<TieredSnapshot>(this, CaptureState());
+}
+
+std::vector<Neighbor> TieredIndex::KnnDfsImpl(PointView query, int k,
+                                              IoStatsDelta* io) const {
+  return TieredSnapshot(this, CaptureState()).KnnDfsImpl(query, k, io);
+}
+
+std::vector<Neighbor> TieredIndex::KnnBestFirstImpl(PointView query, int k,
+                                                    IoStatsDelta* io) const {
+  return TieredSnapshot(this, CaptureState()).KnnBestFirstImpl(query, k, io);
+}
+
+std::vector<Neighbor> TieredIndex::RangeImpl(PointView query, double radius,
+                                             IoStatsDelta* io) const {
+  return TieredSnapshot(this, CaptureState()).RangeImpl(query, radius, io);
+}
+
+// --------------------------------------------------------------------------
+// Introspection & plumbing
+// --------------------------------------------------------------------------
+
+Status TieredIndex::ExportEntries(
+    const std::function<void(PointView, uint32_t)>& fn) const {
+  MutexLock lock(writer_mu_);  // exclude mutators: the live delta is walked
+  const std::shared_ptr<const TierState> cur = LoadState();
+  const TombstoneSet& tombstones = *cur->tombstones;
+  Point scratch;
+  RETURN_IF_ERROR(
+      cur->static_tier->ExportEntries([&](PointView p, uint32_t oid) {
+        if (!tombstones.empty()) {
+          scratch.assign(p.begin(), p.end());
+          if (tombstones.count({scratch, oid}) > 0) return;
+        }
+        fn(p, oid);
+      }));
+  return cur->delta->ExportEntries(fn);
+}
+
+TreeStats TieredIndex::GetTreeStats() const {
+  const std::shared_ptr<const TierState> cur = LoadState();
+  const TreeStats s = cur->static_tier->GetTreeStats();
+  const TreeStats d = cur->delta->GetTreeStats();
+  TreeStats merged;
+  merged.height = std::max(s.height, d.height);
+  merged.node_count = s.node_count + d.node_count;
+  merged.leaf_count = s.leaf_count + d.leaf_count;
+  // Includes tombstoned static entries: these are physical-page statistics.
+  merged.entry_count = s.entry_count + d.entry_count;
+  return merged;
+}
+
+MaintenanceStats TieredIndex::GetMaintenanceStats() const {
+  return LoadState()->delta->GetMaintenanceStats();
+}
+
+Status TieredIndex::CheckInvariants() const {
+  MutexLock lock(writer_mu_);  // exclude mutators: bookkeeping must be still
+  const std::shared_ptr<const TierState> cur = LoadState();
+  RETURN_IF_ERROR(cur->static_tier->CheckInvariants());
+  RETURN_IF_ERROR(cur->delta->CheckInvariants());
+  for (const auto& [point, oid] : *cur->tombstones) {
+    if (!cur->static_tier->Contains(point, oid)) {
+      return Status::Corruption("tombstone names a pair not in static tier");
+    }
+  }
+  const size_t tombstone_count = cur->tombstones->size();
+  const size_t physical = cur->static_tier->size() + cur->delta->size();
+  if (physical < tombstone_count ||
+      physical - tombstone_count != cur->size) {
+    return Status::Corruption("tiered size bookkeeping is inconsistent");
+  }
+  return Status::OK();
+}
+
+RegionSummary TieredIndex::LeafRegionSummary() const {
+  // The static tier holds the bulk of the data; its leaf regions are the
+  // meaningful geometry for the paper's figures.
+  return LoadState()->static_tier->LeafRegionSummary();
+}
+
+const IoStats& TieredIndex::io_stats() const {
+  MutexLock lock(writer_mu_);  // guards legacy_io_stats_
+  const std::shared_ptr<const TierState> cur = LoadState();
+  legacy_io_stats_ = IoStats{};
+  AccumulateStats(cur->static_tier->GetIoStats(), &legacy_io_stats_);
+  AccumulateStats(cur->delta->GetIoStats(), &legacy_io_stats_);
+  return legacy_io_stats_;
+}
+
+void TieredIndex::ResetIoStats() {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  // This IS the reset interface, forwarded to both tiers; the quiesce
+  // contract (see PointIndex::ResetIoStats) is the caller's.
+  cur->static_tier->ResetIoStats();  // srlint: allow(R1) reset-interface fan-out
+  cur->delta->ResetIoStats();        // srlint: allow(R1) reset-interface fan-out
+}
+
+IoStats TieredIndex::GetIoStats() const {
+  const std::shared_ptr<const TierState> cur = LoadState();
+  IoStats merged;
+  AccumulateStats(cur->static_tier->GetIoStats(), &merged);
+  AccumulateStats(cur->delta->GetIoStats(), &merged);
+  return merged;
+}
+
+void TieredIndex::SimulateBufferPool(size_t capacity) {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  cur->static_tier->SimulateBufferPool(capacity);
+  cur->delta->SimulateBufferPool(capacity);
+}
+
+void TieredIndex::UseBufferPool(size_t capacity) {
+  MutexLock lock(writer_mu_);
+  const std::shared_ptr<const TierState> cur = LoadState();
+  cur->static_tier->UseBufferPool(capacity);
+  cur->delta->UseBufferPool(capacity);
+}
+
+size_t TieredIndex::leaf_capacity() const {
+  return LoadState()->static_tier->leaf_capacity();
+}
+
+size_t TieredIndex::node_capacity() const {
+  return LoadState()->static_tier->node_capacity();
+}
+
+EpochManager* TieredIndex::epoch_domain_for_test() const {
+  return LoadState()->delta->epoch_domain_for_test();
+}
+
+size_t TieredIndex::delta_size_for_test() const {
+  return LoadState()->delta->size();
+}
+
+size_t TieredIndex::tombstone_count_for_test() const {
+  return LoadState()->tombstones->size();
+}
+
+}  // namespace srtree

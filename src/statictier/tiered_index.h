@@ -1,0 +1,186 @@
+// TieredIndex: the production-style two-tier serving arrangement over the
+// SR-tree family (ROADMAP item #2).
+//
+//   * a read-optimized, immutable StaticSRTree holds the bulk of the data
+//     (flat BFS-serialized page image, SoA blocks, zero-deserialization
+//     queries);
+//   * a small dynamic SR-tree "delta" absorbs every Insert;
+//   * Deletes against static-tier points become tombstones — (point, oid)
+//     pairs kept in a copy-on-write set that the static leaf scans consult,
+//     so a masked point can never appear in (or displace a live point from)
+//     a query result;
+//   * queries run against both tiers and merge in the canonical Neighbor
+//     (distance, oid) order, making results byte-identical to a single-tier
+//     index over the same logical contents;
+//   * Compact() bulk-rebuilds the static tier from static-minus-tombstones
+//     plus delta via the VAMSplit build and swaps it in. Snapshots hold
+//     shared ownership of the tiers they were acquired against, so
+//     concurrent readers keep traversing the pre-compaction tiers
+//     undisturbed; the swapped-out tree is freed when the last such snapshot
+//     dies.
+//
+// Writer exclusion matches the dynamic SR-tree: one mutator at a time
+// (enforced by writer_mu_). Readers never take that lock: mutators publish
+// an immutable TierState wholesale through an atomic shared_ptr, and
+// Search() / AcquireSnapshot() capture it lock-free (RCU-style), pairing it
+// with a delta snapshot via a version-checked retry.
+
+#ifndef SRTREE_STATICTIER_TIERED_INDEX_H_
+#define SRTREE_STATICTIER_TIERED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/mutex.h"
+#include "src/index/point_index.h"
+#include "src/statictier/static_sr_tree.h"
+
+namespace srtree {
+
+class TieredIndex : public PointIndex {
+ public:
+  struct Options {
+    int dim = 2;
+    size_t page_size = kDefaultPageSize;
+    // Dynamic-delta knobs, forwarded to the SR-tree (see IndexConfig).
+    size_t leaf_data_size = 0;  // attached bytes per leaf entry
+    double min_utilization = 0.4;
+    double reinsert_fraction = 0.3;
+  };
+
+  explicit TieredIndex(const Options& options);
+  ~TieredIndex() override;
+
+  static constexpr char kImageTag[] = "srtiered";
+
+  // Save() compacts on the way out: the image holds ONE merged static tier
+  // (delta and tombstones applied), so Open() restores the same logical
+  // contents with an empty delta. version() restarts at 1 after Open.
+  Status Save(const std::string& path) const override;
+  static StatusOr<std::unique_ptr<TieredIndex>> Open(const std::string& path);
+
+  int dim() const override { return options_.dim; }
+  size_t size() const override;
+  std::string name() const override { return "Tiered SR-tree"; }
+  const Options& options() const { return options_; }
+
+  Status Insert(PointView point, uint32_t oid) override;
+  Status Delete(PointView point, uint32_t oid) override;
+  Status BulkLoad(const std::vector<Point>& points,
+                  const std::vector<uint32_t>& oids) override;
+
+  // Rebuilds the static tier from the current logical contents (static
+  // minus tombstones, plus delta) and swaps it in; the delta and tombstone
+  // set come back empty. Logical contents, size() and the version counter
+  // are unchanged — concurrent snapshot readers are never disturbed.
+  Status Compact() override;
+
+  Status ExportEntries(
+      const std::function<void(PointView, uint32_t)>& fn) const override;
+
+  TreeStats GetTreeStats() const override;
+  MaintenanceStats GetMaintenanceStats() const override;
+  Status CheckInvariants() const override;
+  RegionSummary LeafRegionSummary() const override;
+
+  const IoStats& io_stats() const override;
+  void ResetIoStats() override;
+  IoStats GetIoStats() const override;
+  void SimulateBufferPool(size_t capacity) override;
+  void UseBufferPool(size_t capacity) override;
+
+  size_t leaf_capacity() const override;
+  size_t node_capacity() const override;
+
+  [[nodiscard]] std::unique_ptr<IndexSnapshot> AcquireSnapshot()
+      const override;
+
+  EpochManager* epoch_domain_for_test() const override;
+
+  // Test hooks.
+  size_t delta_size_for_test() const;
+  size_t tombstone_count_for_test() const;
+
+ protected:
+  std::vector<Neighbor> KnnDfsImpl(PointView query, int k,
+                                   IoStatsDelta* io) const override;
+  std::vector<Neighbor> KnnBestFirstImpl(PointView query, int k,
+                                         IoStatsDelta* io) const override;
+  std::vector<Neighbor> RangeImpl(PointView query, double radius,
+                                  IoStatsDelta* io) const override;
+
+ private:
+  friend class TieredSnapshot;
+
+  // The immutable state readers capture: shared ownership of both tiers
+  // plus the tombstone set, and the (version, size) they correspond to.
+  // Mutators (serialized by writer_mu_) never edit a published TierState —
+  // they build a fresh one and store it wholesale into state_, so a single
+  // atomic load observes a fully consistent tier arrangement.
+  struct TierState {
+    std::shared_ptr<StaticSRTree> static_tier;
+    std::shared_ptr<PointIndex> delta;
+    std::shared_ptr<const TombstoneSet> tombstones;
+    // Bumped per successful Insert/Delete; Compact() leaves it alone.
+    uint64_t version = 1;
+    size_t size = 0;
+    // The delta tree's own committed version when this state was
+    // published; CaptureState() uses it to pair the state with a delta
+    // snapshot without taking writer_mu_.
+    uint64_t delta_version = 0;
+  };
+
+  // A pinned read view: the published state plus a delta snapshot at
+  // exactly state->delta_version.
+  struct CapturedView {
+    std::shared_ptr<const TierState> state;
+    std::unique_ptr<IndexSnapshot> delta_snap;
+  };
+
+  CapturedView CaptureState() const;
+  // state_ is accessed exclusively through these two helpers. The free
+  // functions are used instead of std::atomic<shared_ptr> because
+  // libstdc++'s _Sp_atomic lock-bit protocol is invisible to TSan (gcc
+  // 12), whereas the free functions go through an instrumented mutex
+  // pool; semantics are identical (acquire load / release store).
+  std::shared_ptr<const TierState> LoadState() const {
+    return std::atomic_load_explicit(&state_, std::memory_order_acquire);
+  }
+  void PublishState(TierState next) {
+    std::atomic_store_explicit(
+        &state_, std::make_shared<const TierState>(std::move(next)),
+        std::memory_order_release);
+  }
+  std::shared_ptr<PointIndex> MakeDelta() const;
+  // Collects state's logical contents (static minus tombstones + delta).
+  // Callers hold writer_mu_ so the live delta cannot move underneath.
+  Status CollectLogicalContents(const TierState& state,
+                                std::vector<Point>* points,
+                                std::vector<uint32_t>* oids) const;
+
+  const Options options_;
+
+  // One mutator at a time. Readers never take it — they load state_ —
+  // so the lock must never be reachable from a read accessor: that would
+  // nest it under the storage locks its critical sections acquire.
+  // mutable: Save() is const but must exclude writers.
+  mutable Mutex writer_mu_;
+  // The published state. Accessed via LoadState() by readers and replaced
+  // wholesale by mutators via PublishState() (store strictly after the
+  // delta mutation it describes, so CaptureState()'s version check is
+  // sound).
+  std::shared_ptr<const TierState> state_ UNGUARDED_OK(
+      "touched only through std::atomic_load/atomic_store in "
+      "LoadState()/PublishState(); mutators are serialized by writer_mu_");
+
+  // Backing store for the deprecated io_stats() reference accessor.
+  mutable IoStats legacy_io_stats_ GUARDED_BY(writer_mu_);
+};
+
+}  // namespace srtree
+
+#endif  // SRTREE_STATICTIER_TIERED_INDEX_H_

@@ -146,8 +146,15 @@ Status IndexImageFile::Open(const std::string& path, const char* tag,
   }
   in_.read(tag_bytes, sizeof(tag_bytes));
   if (!in_.good()) return Status::Corruption("truncated index image: " + path);
+  // Validate the caller's tag before building the comparison buffer: the
+  // on-disk field is exactly kIndexImageTagBytes wide, so an oversize (or
+  // empty) expectation is a caller bug, not a file mismatch.
+  const size_t tag_len = std::strlen(tag);
+  if (tag_len == 0 || tag_len > kIndexImageTagBytes) {
+    return Status::InvalidArgument("index image tag must be 1..8 bytes");
+  }
   char want_tag[kIndexImageTagBytes] = {};
-  std::memcpy(want_tag, tag, std::strlen(tag));
+  std::memcpy(want_tag, tag, tag_len);
   if (std::memcmp(tag_bytes, want_tag, kIndexImageTagBytes) != 0) {
     return Status::Corruption(
         "index image type mismatch: file is '" +

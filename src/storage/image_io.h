@@ -160,8 +160,9 @@ class IndexImageFile {
 };
 
 // Identifies a saved index file: returns the container tag for a v2 image,
-// or the sniffed legacy marker "legacy-sr-v1" for a pre-v2 SR-tree file.
-// Corruption if the file is neither.
+// or the sniffed legacy marker "legacy-sr-v1" for a pre-v2 SR-tree file (no
+// longer openable — the marker exists so Open paths can explain WHY the file
+// fails instead of reporting garbage). Corruption if the file is neither.
 StatusOr<std::string> PeekIndexImageTag(const std::string& path);
 
 }  // namespace srtree

@@ -39,26 +39,14 @@ namespace {
 // cancel out exactly and the footer check would pass; over the raw bytes
 // alone a splice survives only with the generic 2^-32 collision odds.
 //
-// Format v1 (legacy, read-only for one release): the same header without
-// live_count/CRCs, host-endian PODs, no footer. Accepted by LoadFrom so
-// images written before the v2 bump keep opening; Save always writes v2.
+// Format v1 (the pre-checksum, host-endian layout) is no longer readable:
+// its read-compatibility window ("one release") has closed, and it was the
+// last unchecksummed load path. LoadFrom rejects version 1 with an explicit
+// "re-save with v2" Corruption so old images fail loudly, not as garbage.
 constexpr uint32_t kPageFileMagic = 0x53525046;    // "SRPF"
 constexpr uint32_t kPageFileFooterMagic = 0x45505253;  // "SRPE"
 constexpr uint32_t kPageFileVersion = 2;
-constexpr uint32_t kLegacyPageFileVersion = 1;
-
-// v1 wrote host-endian PODs; these exist only for the legacy read path
-// (and the v1 fixture writer the compatibility tests use).
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return in.good();
-}
+constexpr uint32_t kRetiredPageFileVersion = 1;
 
 // Bytes remaining between the stream position and EOF, or -1 when the
 // stream is not seekable.
@@ -387,20 +375,6 @@ Status PageFile::SaveTo(std::ostream& out) const {
   return Status::OK();
 }
 
-Status PageFile::SaveToV1ForTest(std::ostream& out) const {
-  WritePod(out, kPageFileMagic);
-  WritePod(out, kLegacyPageFileVersion);
-  WritePod(out, static_cast<uint64_t>(page_size_));
-  WritePod(out, static_cast<uint64_t>(pages_.size()));
-  for (size_t i = 0; i < pages_.size(); ++i) {
-    const uint8_t live = live_[i] ? 1 : 0;
-    WritePod(out, live);
-    if (live) out.write(pages_[i].get(), static_cast<std::streamsize>(page_size_));
-  }
-  if (!out.good()) return Status::IoError("short write while saving pages");
-  return Status::OK();
-}
-
 Status PageFile::LoadFrom(std::istream& in) {
   // Everything is staged into locals and swapped in only after the whole
   // image validates: a corrupt or truncated image must leave this PageFile
@@ -409,36 +383,34 @@ Status PageFile::LoadFrom(std::istream& in) {
   std::vector<bool> live;
   std::vector<PageId> free_list;
   size_t live_pages = 0;
-  bool legacy = false;
 
   uint32_t magic = 0, version = 0;
   if (!GetLe32(in, &magic) || magic != kPageFileMagic) {
     return Status::Corruption("not a page-file image (bad magic)");
   }
-  if (!GetLe32(in, &version) ||
-      (version != kPageFileVersion && version != kLegacyPageFileVersion)) {
+  if (!GetLe32(in, &version)) {
     return Status::Corruption("unsupported page-file image version");
   }
-  legacy = version == kLegacyPageFileVersion;
+  if (version == kRetiredPageFileVersion) {
+    return Status::Corruption(
+        "pre-v2 page-file image is no longer readable; re-save with v2 "
+        "using a release that still reads it");
+  }
+  if (version != kPageFileVersion) {
+    return Status::Corruption("unsupported page-file image version");
+  }
 
   uint64_t page_size = 0, page_count = 0, live_count = 0;
   uint32_t header_crc = 0;
-  if (legacy) {
-    // v1 wrote the header PODs host-endian with no checksum.
-    if (!ReadPod(in, &page_size) || !ReadPod(in, &page_count)) {
-      return Status::Corruption("truncated page-file header");
-    }
-  } else {
-    if (!GetLe64(in, &page_size) || !GetLe64(in, &page_count) ||
-        !GetLe64(in, &live_count) || !GetLe32(in, &header_crc)) {
-      return Status::Corruption("truncated page-file header");
-    }
-    if (HeaderCrc(page_size, page_count, live_count) != header_crc) {
-      return Status::Corruption("page-file header checksum mismatch");
-    }
-    if (live_count > page_count) {
-      return Status::Corruption("page-file header live count exceeds pages");
-    }
+  if (!GetLe64(in, &page_size) || !GetLe64(in, &page_count) ||
+      !GetLe64(in, &live_count) || !GetLe32(in, &header_crc)) {
+    return Status::Corruption("truncated page-file header");
+  }
+  if (HeaderCrc(page_size, page_count, live_count) != header_crc) {
+    return Status::Corruption("page-file header checksum mismatch");
+  }
+  if (live_count > page_count) {
+    return Status::Corruption("page-file header live count exceeds pages");
   }
   if (page_size != page_size_) {
     return Status::InvalidArgument("image page size does not match");
@@ -452,35 +424,25 @@ Status PageFile::LoadFrom(std::istream& in) {
   // be rejected up front, not discovered one heap block at a time.
   const int64_t remaining = RemainingBytes(in);
   if (remaining >= 0) {
-    if (legacy) {
-      // Each v1 record consumes at least its live byte.
-      if (page_count > static_cast<uint64_t>(remaining)) {
-        return Status::Corruption(
-            "page-file image truncated (header claims more pages than bytes)");
-      }
-    } else {
-      // v2 images are sized exactly by the header; the image extends to the
-      // end of the stream, so any mismatch means truncation or trailing
-      // garbage.
-      constexpr uint64_t kFooterBytes = 4 + 8 + 8 + 4;
-      const uint64_t expected =
-          page_count + live_count * (page_size + 4) + kFooterBytes;
-      if (expected != static_cast<uint64_t>(remaining)) {
-        return Status::Corruption("page-file image size mismatch");
-      }
+    // v2 images are sized exactly by the header; the image extends to the
+    // end of the stream, so any mismatch means truncation or trailing
+    // garbage.
+    constexpr uint64_t kFooterBytes = 4 + 8 + 8 + 4;
+    const uint64_t expected =
+        page_count + live_count * (page_size + 4) + kFooterBytes;
+    if (expected != static_cast<uint64_t>(remaining)) {
+      return Status::Corruption("page-file image size mismatch");
     }
   }
 
   // Mirror of SaveTo's running image CRC: raw bytes only, never the
-  // embedded CRC words (unused on the legacy path).
+  // embedded CRC words.
   uint32_t image_crc = 0;
-  if (!legacy) {
-    image_crc = CrcExtendLe32(image_crc, kPageFileMagic);
-    image_crc = CrcExtendLe32(image_crc, kPageFileVersion);
-    image_crc = CrcExtendLe64(image_crc, page_size);
-    image_crc = CrcExtendLe64(image_crc, page_count);
-    image_crc = CrcExtendLe64(image_crc, live_count);
-  }
+  image_crc = CrcExtendLe32(image_crc, kPageFileMagic);
+  image_crc = CrcExtendLe32(image_crc, kPageFileVersion);
+  image_crc = CrcExtendLe64(image_crc, page_size);
+  image_crc = CrcExtendLe64(image_crc, page_count);
+  image_crc = CrcExtendLe64(image_crc, live_count);
 
   pages.reserve(page_count);
   live.reserve(page_count);
@@ -489,28 +451,24 @@ Status PageFile::LoadFrom(std::istream& in) {
     if (flag == std::char_traits<char>::eof()) {
       return Status::Corruption("truncated page-file image");
     }
-    if (!legacy && flag != 0 && flag != 1) {
+    if (flag != 0 && flag != 1) {
       return Status::Corruption("page-file record has invalid live flag");
     }
-    if (!legacy) {
-      const char flag_byte = static_cast<char>(flag);
-      image_crc = Crc32cExtend(image_crc, &flag_byte, 1);
-    }
+    const char flag_byte = static_cast<char>(flag);
+    image_crc = Crc32cExtend(image_crc, &flag_byte, 1);
     if (flag != 0) {
       auto page = std::make_unique<char[]>(page_size_);
       in.read(page.get(), static_cast<std::streamsize>(page_size_));
       if (!in.good()) return Status::Corruption("truncated page contents");
-      if (!legacy) {
-        uint32_t page_crc = 0;
-        if (!GetLe32(in, &page_crc)) {
-          return Status::Corruption("truncated page checksum");
-        }
-        if (Crc32c(page.get(), page_size_) != page_crc) {
-          return Status::Corruption("page checksum mismatch at page " +
-                                    std::to_string(i));
-        }
-        image_crc = Crc32cExtend(image_crc, page.get(), page_size_);
+      uint32_t page_crc = 0;
+      if (!GetLe32(in, &page_crc)) {
+        return Status::Corruption("truncated page checksum");
       }
+      if (Crc32c(page.get(), page_size_) != page_crc) {
+        return Status::Corruption("page checksum mismatch at page " +
+                                  std::to_string(i));
+      }
+      image_crc = Crc32cExtend(image_crc, page.get(), page_size_);
       pages.push_back(std::move(page));
       live.push_back(true);
       ++live_pages;
@@ -521,7 +479,7 @@ Status PageFile::LoadFrom(std::istream& in) {
       free_list.push_back(static_cast<PageId>(i));
     }
   }
-  if (!legacy) {
+  {
     uint32_t footer_magic = 0, footer_crc = 0;
     uint64_t footer_pages = 0, footer_live = 0;
     if (!GetLe32(in, &footer_magic) || footer_magic != kPageFileFooterMagic ||
@@ -561,7 +519,6 @@ Status PageFile::LoadFrom(std::istream& in) {
   live_ = std::move(live);
   free_list_ = std::move(free_list);
   live_pages_ = live_pages;
-  loaded_legacy_image_ = legacy;
   shared_with_committed_.assign(pages_.size(), false);
   page_stamp_.resize(pages_.size());
   for (size_t i = 0; i < pages_.size(); ++i) page_stamp_[i] = next_stamp_++;

@@ -191,20 +191,13 @@ class PageFile {
   //   * LoadFrom is all-or-nothing: the image is staged into fresh state
   //     and swapped in only after every checksum and count validates. On
   //     any failure this PageFile — possibly a live index — is untouched.
-  //   * v1 (pre-checksum) images are still accepted read-compatibly for
-  //     one release; loaded_legacy_image() reports that case.
+  //   * v1 (pre-checksum) images are no longer readable: their one-release
+  //     compatibility window has closed, and LoadFrom rejects them with an
+  //     explicit "re-save with v2" Corruption.
   Status SaveTo(std::ostream& out) const;
   Status LoadFrom(std::istream& in);
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
-
-  // Writes the legacy v1 (unchecksummed, host-endian) image; exists only
-  // so the compatibility tests can generate v1 fixtures.
-  Status SaveToV1ForTest(std::ostream& out) const;
-
-  // True when the last successful LoadFrom read a legacy v1 image (the
-  // compatibility window new code should not extend).
-  bool loaded_legacy_image() const { return loaded_legacy_image_; }
 
   // DEPRECATED: unsynchronized views of the counters; valid only while no
   // concurrent Read() is in flight (the legacy reset-then-peek measurement
@@ -271,8 +264,6 @@ class PageFile {
       "single-writer working state; readers go through committed_");
   size_t live_pages_ UNGUARDED_OK(
       "single-writer working state; readers go through committed_") = 0;
-  bool loaded_legacy_image_ UNGUARDED_OK(
-      "single-writer working state; readers go through committed_") = false;
   mutable IoStats stats_ GUARDED_BY(stats_mu_);
 
   // --- commit-protocol state (owned by the single writer, except

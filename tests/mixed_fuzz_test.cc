@@ -12,6 +12,7 @@
 #include "src/benchlib/experiment.h"
 #include "src/core/sr_tree.h"
 #include "src/debug/fuzzer.h"
+#include "src/statictier/tiered_index.h"
 #include "src/storage/epoch.h"
 
 namespace srtree {
@@ -61,6 +62,31 @@ TEST(MixedFuzzTest, BufferPooledReadersMatchOracleWhileWriterCommits) {
 
   tree.epochs_for_test().ReclaimExpired();
   EXPECT_EQ(tree.epochs_for_test().retired_count(), 0u);
+}
+
+// The tiered index under the same schedule, with the writer additionally
+// calling Compact() every 150 committed mutations while readers hold live
+// snapshots. Compact() swaps the whole static tier out from under them; the
+// version → committed-prefix mapping (and the final version == v0 +
+// num_mutations check inside the harness) verifies that a compaction is
+// representation-only: no version bump, no observable content change.
+TEST(MixedFuzzTest, TieredReadersSurviveCompactionUnderneath) {
+  TieredIndex::Options options;
+  options.dim = 6;
+  options.page_size = 1024;
+  TieredIndex index(options);
+
+  debug::MixedFuzzOptions fuzz;
+  fuzz.seed = 20260810;
+  fuzz.initial_points = 1000;
+  fuzz.num_mutations = 900;
+  fuzz.num_reader_threads = 4;
+  fuzz.compact_every = 150;
+  const Status status = debug::RunMixedReadWriteFuzz(index, fuzz);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // Every compaction drains the delta; the trailing mutations after the
+  // last Compact() are all that may remain in it.
+  EXPECT_LE(index.delta_size_for_test(), 150u);
 }
 
 // The frozen-tree structures advertise no snapshot isolation (version 0);

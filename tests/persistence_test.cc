@@ -222,21 +222,60 @@ TEST(PageFilePersistenceTest, TornSpliceOfTwoValidImagesRejected) {
   EXPECT_TRUE(status.IsCorruption()) << status.ToString();
 }
 
-TEST(PageFilePersistenceTest, V1ImageStillLoads) {
-  PageFile file(64);
-  const PageId a = file.Allocate();
-  std::vector<char> data(64, 'v');
-  file.Write(a, data.data());
+// The v1 (pre-checksum, host-endian) read path has been removed: a version-1
+// image must fail loudly with a "re-save with v2" message, and must leave
+// the target PageFile untouched.
+TEST(PageFilePersistenceTest, V1ImageIsRejectedWithClearError) {
   std::ostringstream buf(std::ios::binary);
-  ASSERT_TRUE(file.SaveToV1ForTest(buf).ok());
+  PutLe32(buf, 0x53525046u);  // "SRPF" page-file magic
+  PutLe32(buf, 1u);           // retired format version
+  // v1 header continuation (page size, page count) — never reached.
+  PutLe64(buf, 64u);
+  PutLe64(buf, 0u);
 
-  PageFile restored(64);
+  PageFile target(64);
+  const PageId keep = target.Allocate();
+  std::vector<char> data(64, 'k');
+  target.Write(keep, data.data());
+
   std::istringstream in(std::move(buf).str(), std::ios::binary);
-  ASSERT_TRUE(restored.LoadFrom(in).ok());
-  EXPECT_TRUE(restored.loaded_legacy_image());
-  EXPECT_EQ(restored.live_pages(), 1u);
-  EXPECT_EQ(std::string(restored.PeekPage(a), 64), std::string(64, 'v'));
-  EXPECT_FALSE(file.loaded_legacy_image());
+  const Status status = target.LoadFrom(in);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_NE(status.message().find("re-save with v2"), std::string::npos)
+      << status.ToString();
+  // The rejected load left the existing contents byte-for-byte intact.
+  EXPECT_EQ(target.live_pages(), 1u);
+  EXPECT_EQ(std::string(target.PeekPage(keep), 64), std::string(64, 'k'));
+}
+
+// Regression: IndexImageFile::Open used to memcpy strlen(tag) bytes of the
+// caller's tag into a fixed 8-byte buffer — an over-long tag overran the
+// stack. It must now be rejected up front, as the write side already does.
+TEST(IndexImageTest, OversizeAndEmptyOpenTagsRejected) {
+  SRTree::Options options;
+  options.dim = 2;
+  options.page_size = 1024;
+  options.leaf_data_size = 0;
+  SRTree tree(options);
+  ASSERT_TRUE(tree.Insert(Point{0.25, 0.75}, 1).ok());
+  const std::string path = TempPath("tag_bounds.idx");
+  ASSERT_TRUE(tree.Save(path).ok());
+
+  char header[64] = {};
+  IndexImageFile image;
+  Status status = image.Open(path, "definitely-more-than-eight-bytes", header,
+                             sizeof(header));
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+
+  IndexImageFile image2;
+  status = image2.Open(path, "", header, sizeof(header));
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+
+  // An exactly-8-byte tag is the longest legal tag and still round-trips
+  // through the normal Open path (wrong tag → Corruption, not a crash).
+  IndexImageFile image3;
+  status = image3.Open(path, "eightchr", header, sizeof(header));
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
 }
 
 // ---------------------------------------------------------------------------
@@ -343,34 +382,36 @@ TEST(OpenIndexTest, RejectsGarbageAndForeignFiles) {
   EXPECT_FALSE(OpenIndex(bare).ok());
 }
 
-TEST(OpenIndexTest, LegacySrTreeV1ImageStillOpens) {
-  SRTree::Options options;
-  options.dim = 4;
-  options.page_size = 1024;
-  options.leaf_data_size = 0;
-  SRTree tree(options);
-  const Dataset data = MakeUniformDataset(200, 4, /*seed=*/53);
-  for (size_t i = 0; i < data.size(); ++i) {
-    ASSERT_TRUE(tree.Insert(data.point(i), static_cast<uint32_t>(i)).ok());
-  }
+// A pre-v2 SR-tree file is still RECOGNIZED (so the failure names the real
+// cause) but no longer opens: the compatibility window closed and the v1
+// path — the last unchecksummed loader — was removed.
+TEST(OpenIndexTest, LegacySrTreeV1ImageIsRecognizedButRejected) {
   const std::string path = TempPath("legacy_sr_v1.idx");
-  ASSERT_TRUE(tree.SaveLegacyV1ForTest(path).ok());
+  // First 4 bytes of the retired format: the raw "SRT1" header magic.
+  std::string bytes;
+  bytes.push_back('1');
+  bytes.push_back('T');
+  bytes.push_back('R');
+  bytes.push_back('S');
+  bytes.append(128, '\0');  // rest of what used to be the v1 header
+  ASSERT_TRUE(WriteStringToFileForTest(bytes, path).ok());
 
   StatusOr<std::string> tag = PeekIndexImageTag(path);
   ASSERT_TRUE(tag.ok()) << tag.status().ToString();
   EXPECT_EQ(*tag, "legacy-sr-v1");
 
   auto reopened = OpenIndex(path);
-  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
-  EXPECT_EQ((*reopened)->size(), tree.size());
-  EXPECT_TRUE((*reopened)->CheckInvariants().ok());
-  const Point q = Point(4, 0.5);
-  const auto expected = tree.Search(q, QuerySpec::Knn(5)).neighbors;
-  const auto actual = (*reopened)->Search(q, QuerySpec::Knn(5)).neighbors;
-  ASSERT_EQ(actual.size(), expected.size());
-  for (size_t i = 0; i < actual.size(); ++i) {
-    EXPECT_EQ(actual[i].oid, expected[i].oid);
-  }
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsInvalidArgument())
+      << reopened.status().ToString();
+  EXPECT_NE(reopened.status().message().find("re-save with v2"),
+            std::string::npos)
+      << reopened.status().ToString();
+
+  auto direct = SRTree::Open(path);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsInvalidArgument())
+      << direct.status().ToString();
 }
 
 }  // namespace

@@ -112,6 +112,10 @@ inline std::string TypeToken(IndexType type) {
       return "TvTree";
     case IndexType::kScan:
       return "Scan";
+    case IndexType::kStaticSRTree:
+      return "StaticSRTree";
+    case IndexType::kTieredSRTree:
+      return "TieredSRTree";
   }
   return "Unknown";
 }

@@ -1,0 +1,309 @@
+// TieredIndex: static tier + dynamic delta + tombstones. These tests cover
+// delete-masking of static points (the tombstone path), re-insert after a
+// tombstone, Compact() semantics (contents/version preserved, delta and
+// tombstones drained, snapshot readers undisturbed), the Save/Open round
+// trip through the factory, and full mutation fuzz with a compaction
+// schedule folded in.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/debug/fuzzer.h"
+#include "src/debug/structural_auditor.h"
+#include "src/index/brute_force.h"
+#include "src/index/index_factory.h"
+#include "src/statictier/tiered_index.h"
+#include "src/storage/image_io.h"
+#include "src/workload/queries.h"
+#include "src/workload/uniform.h"
+
+namespace srtree {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TieredIndex::Options SmallOptions(int dim) {
+  TieredIndex::Options options;
+  options.dim = dim;
+  options.page_size = 1024;
+  return options;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].oid, want[i].oid) << "rank " << i;
+    EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9) << "rank " << i;
+  }
+}
+
+// Bulk-loads `n` points into the tiered index (→ static tier) and a
+// brute-force oracle; returns the points for later targeting.
+std::vector<Point> LoadBoth(TieredIndex& index, BruteForceIndex& oracle,
+                            size_t n, int dim, uint64_t seed) {
+  const Dataset data = MakeUniformDataset(n, dim, seed);
+  std::vector<Point> points;
+  std::vector<uint32_t> oids;
+  for (size_t i = 0; i < data.size(); ++i) {
+    points.emplace_back(data.point(i).begin(), data.point(i).end());
+    oids.push_back(static_cast<uint32_t>(i));
+  }
+  EXPECT_TRUE(index.BulkLoad(points, oids).ok());
+  EXPECT_TRUE(oracle.BulkLoad(points, oids).ok());
+  return points;
+}
+
+TEST(TieredIndexTest, DeletesMaskStaticPointsInAllQueryKinds) {
+  constexpr int kDim = 4;
+  TieredIndex index(SmallOptions(kDim));
+  BruteForceIndex::Options bf;
+  bf.dim = kDim;
+  BruteForceIndex oracle(bf);
+  const std::vector<Point> points = LoadBoth(index, oracle, 1000, kDim, 43);
+
+  // Delete every third static point: these become tombstones (the static
+  // tier is immutable), and a few fresh inserts land in the delta.
+  for (size_t i = 0; i < points.size(); i += 3) {
+    ASSERT_TRUE(index.Delete(points[i], static_cast<uint32_t>(i)).ok());
+    ASSERT_TRUE(oracle.Delete(points[i], static_cast<uint32_t>(i)).ok());
+  }
+  EXPECT_GT(index.tombstone_count_for_test(), 0u);
+  for (size_t i = 0; i < 50; ++i) {
+    Point p = points[i];
+    p[0] += 0.37;
+    const uint32_t oid = static_cast<uint32_t>(10000 + i);
+    ASSERT_TRUE(index.Insert(p, oid).ok());
+    ASSERT_TRUE(oracle.Insert(p, oid).ok());
+  }
+  EXPECT_EQ(index.size(), oracle.size());
+  EXPECT_TRUE(index.CheckInvariants().ok());
+
+  for (size_t qi = 0; qi < 20; ++qi) {
+    const Point& q = points[qi * 7 % points.size()];
+    ExpectSameNeighbors(index.Search(q, QuerySpec::Knn(10)).neighbors,
+                        oracle.Search(q, QuerySpec::Knn(10)).neighbors);
+    ExpectSameNeighbors(index.Search(q, QuerySpec::KnnBestFirst(10)).neighbors,
+                        oracle.Search(q, QuerySpec::KnnBestFirst(10)).neighbors);
+    const double radius =
+        oracle.Search(q, QuerySpec::Knn(8)).neighbors.back().distance;
+    ExpectSameNeighbors(index.Search(q, QuerySpec::Range(radius)).neighbors,
+                        oracle.Search(q, QuerySpec::Range(radius)).neighbors);
+  }
+}
+
+TEST(TieredIndexTest, ReinsertAfterTombstoneServesFromDelta) {
+  constexpr int kDim = 3;
+  TieredIndex index(SmallOptions(kDim));
+  BruteForceIndex::Options bf;
+  bf.dim = kDim;
+  BruteForceIndex oracle(bf);
+  const std::vector<Point> points = LoadBoth(index, oracle, 200, kDim, 47);
+
+  // Delete a static pair, then insert the exact same (point, oid) again:
+  // the delta copy must serve queries even though the tombstone persists.
+  ASSERT_TRUE(index.Delete(points[5], 5).ok());
+  ASSERT_TRUE(oracle.Delete(points[5], 5).ok());
+  ASSERT_TRUE(index.Insert(points[5], 5).ok());
+  ASSERT_TRUE(oracle.Insert(points[5], 5).ok());
+  EXPECT_EQ(index.size(), oracle.size());
+
+  const auto got = index.Search(points[5], QuerySpec::Knn(1)).neighbors;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].oid, 5u);
+  EXPECT_EQ(got[0].distance, 0.0);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+
+  // Compacting afterwards folds everything back into one clean static tier.
+  ASSERT_TRUE(index.Compact().ok());
+  const auto after = index.Search(points[5], QuerySpec::Knn(1)).neighbors;
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].oid, 5u);
+}
+
+TEST(TieredIndexTest, CompactPreservesContentsVersionAndDrainsDelta) {
+  constexpr int kDim = 4;
+  TieredIndex index(SmallOptions(kDim));
+  BruteForceIndex::Options bf;
+  bf.dim = kDim;
+  BruteForceIndex oracle(bf);
+  const std::vector<Point> points = LoadBoth(index, oracle, 600, kDim, 53);
+
+  for (size_t i = 0; i < points.size(); i += 5) {
+    ASSERT_TRUE(index.Delete(points[i], static_cast<uint32_t>(i)).ok());
+    ASSERT_TRUE(oracle.Delete(points[i], static_cast<uint32_t>(i)).ok());
+  }
+  for (size_t i = 0; i < 80; ++i) {
+    Point p = points[i];
+    p[1] += 0.21;
+    ASSERT_TRUE(index.Insert(p, static_cast<uint32_t>(5000 + i)).ok());
+    ASSERT_TRUE(oracle.Insert(p, static_cast<uint32_t>(5000 + i)).ok());
+  }
+  EXPECT_GT(index.delta_size_for_test(), 0u);
+  EXPECT_GT(index.tombstone_count_for_test(), 0u);
+
+  const uint64_t version_before = index.AcquireSnapshot()->version();
+  const size_t size_before = index.size();
+  ASSERT_TRUE(index.Compact().ok());
+
+  // Representation changed, contents did not: delta and tombstones are
+  // drained, size and version are untouched, queries still match.
+  EXPECT_EQ(index.delta_size_for_test(), 0u);
+  EXPECT_EQ(index.tombstone_count_for_test(), 0u);
+  EXPECT_EQ(index.size(), size_before);
+  EXPECT_EQ(index.AcquireSnapshot()->version(), version_before);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  EXPECT_TRUE(debug::StructuralAuditor().Audit(index).empty());
+  for (size_t qi = 0; qi < 15; ++qi) {
+    const Point& q = points[qi * 11 % points.size()];
+    ExpectSameNeighbors(index.Search(q, QuerySpec::Knn(10)).neighbors,
+                        oracle.Search(q, QuerySpec::Knn(10)).neighbors);
+  }
+}
+
+TEST(TieredIndexTest, SnapshotPinnedBeforeCompactSeesOldContents) {
+  constexpr int kDim = 3;
+  TieredIndex index(SmallOptions(kDim));
+  BruteForceIndex::Options bf;
+  bf.dim = kDim;
+  BruteForceIndex oracle(bf);
+  const std::vector<Point> points = LoadBoth(index, oracle, 300, kDim, 59);
+
+  const std::unique_ptr<IndexSnapshot> snap = index.AcquireSnapshot();
+  const size_t snap_size = snap->size();
+
+  // Mutate and compact AFTER the snapshot was pinned: the snapshot must
+  // keep answering from the pre-mutation tiers.
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index.Delete(points[i], static_cast<uint32_t>(i)).ok());
+  }
+  ASSERT_TRUE(index.Compact().ok());
+  EXPECT_EQ(index.size(), points.size() - 100);
+
+  EXPECT_EQ(snap->size(), snap_size);
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const Point& q = points[qi];  // deleted from the live index, not the snap
+    const auto got = snap->Search(q, QuerySpec::Knn(1)).neighbors;
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].oid, static_cast<uint32_t>(qi));
+    EXPECT_EQ(got[0].distance, 0.0);
+    // The live index must NOT return the deleted point at distance 0.
+    const auto live = index.Search(q, QuerySpec::Knn(1)).neighbors;
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_NE(live[0].oid, static_cast<uint32_t>(qi));
+  }
+}
+
+TEST(TieredIndexTest, SaveOpenRoundTripThroughFactory) {
+  constexpr int kDim = 5;
+  TieredIndex index(SmallOptions(kDim));
+  BruteForceIndex::Options bf;
+  bf.dim = kDim;
+  BruteForceIndex oracle(bf);
+  const std::vector<Point> points = LoadBoth(index, oracle, 800, kDim, 61);
+  for (size_t i = 0; i < points.size(); i += 6) {
+    ASSERT_TRUE(index.Delete(points[i], static_cast<uint32_t>(i)).ok());
+    ASSERT_TRUE(oracle.Delete(points[i], static_cast<uint32_t>(i)).ok());
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    Point p = points[i];
+    p[2] += 0.13;
+    ASSERT_TRUE(index.Insert(p, static_cast<uint32_t>(7000 + i)).ok());
+    ASSERT_TRUE(oracle.Insert(p, static_cast<uint32_t>(7000 + i)).ok());
+  }
+
+  const std::string path = TempPath("tiered.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  StatusOr<std::string> tag = PeekIndexImageTag(path);
+  ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+  EXPECT_EQ(*tag, TieredIndex::kImageTag);
+
+  auto reopened = OpenIndex(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), oracle.size());
+  EXPECT_TRUE((*reopened)->CheckInvariants().ok());
+  // The image holds one merged static tier; the restored delta is empty.
+  auto* tiered = dynamic_cast<TieredIndex*>(reopened->get());
+  ASSERT_NE(tiered, nullptr);
+  EXPECT_EQ(tiered->delta_size_for_test(), 0u);
+  EXPECT_EQ(tiered->tombstone_count_for_test(), 0u);
+
+  for (size_t qi = 0; qi < 15; ++qi) {
+    const Point& q = points[qi * 13 % points.size()];
+    ExpectSameNeighbors((*reopened)->Search(q, QuerySpec::Knn(10)).neighbors,
+                        oracle.Search(q, QuerySpec::Knn(10)).neighbors);
+    const double radius =
+        oracle.Search(q, QuerySpec::Knn(5)).neighbors.back().distance;
+    ExpectSameNeighbors(
+        (*reopened)->Search(q, QuerySpec::Range(radius)).neighbors,
+        oracle.Search(q, QuerySpec::Range(radius)).neighbors);
+  }
+
+  // The reopened index stays fully mutable.
+  ASSERT_TRUE(tiered->Insert(Point(kDim, 0.5), 99999).ok());
+  ASSERT_TRUE(tiered->Delete(points[1], 1).ok());
+  EXPECT_TRUE(tiered->CheckInvariants().ok());
+}
+
+// Full mutation fuzz through the factory, with a compaction every other
+// batch folded into the schedule: results must stay oracle-exact and the
+// audit clean across insert/delete/compact interleavings.
+TEST(TieredIndexTest, MutationFuzzWithCompactionSchedule) {
+  IndexConfig config;
+  config.dim = 4;
+  config.page_size = 1024;
+  config.leaf_data_size = 0;
+  std::unique_ptr<PointIndex> index =
+      MakeIndex(IndexType::kTieredSRTree, config);
+
+  debug::FuzzOptions options;
+  options.seed = 818;
+  options.num_mutations = 3000;
+  options.batch_size = 250;
+  options.initial_points = 1500;
+  options.compact_every_batches = 2;
+
+  debug::MutationFuzzer fuzzer(options);
+  const Status status = fuzzer.Run(index);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(fuzzer.stats().compacts, 5u);
+}
+
+// Save/Open round-trips interleaved with mutations AND compactions.
+TEST(TieredIndexTest, MutationFuzzWithReopenAndCompaction) {
+  IndexConfig config;
+  config.dim = 4;
+  config.page_size = 1024;
+  config.leaf_data_size = 0;
+  std::unique_ptr<PointIndex> index =
+      MakeIndex(IndexType::kTieredSRTree, config);
+
+  const std::string path = TempPath("tiered_fuzz_roundtrip.idx");
+  debug::FuzzOptions options;
+  options.seed = 919;
+  options.num_mutations = 2000;
+  options.batch_size = 250;
+  options.initial_points = 1000;
+  options.compact_every_batches = 3;
+  options.reopen_every_batches = 4;
+
+  debug::MutationFuzzer fuzzer(options);
+  const Status status = fuzzer.Run(
+      index,
+      [&path](PointIndex& current) -> StatusOr<std::unique_ptr<PointIndex>> {
+        RETURN_IF_ERROR(current.Save(path));
+        return OpenIndex(path);
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(fuzzer.stats().reopens, 1u);
+  EXPECT_GE(fuzzer.stats().compacts, 1u);
+}
+
+}  // namespace
+}  // namespace srtree

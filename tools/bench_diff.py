@@ -29,6 +29,11 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"bench_diff.py: cannot read {path}: {e}")
+    # A repo-root trajectory file (see tools/bench_trajectory.py) holds a
+    # history of snapshots; diff against its most recent entry.
+    history = doc.get("history")
+    if isinstance(history, list) and history:
+        doc = history[-1]
     tables = doc.get("tables")
     if not isinstance(tables, list):
         sys.exit(f"bench_diff.py: {path}: missing 'tables' list")

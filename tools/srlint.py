@@ -41,6 +41,11 @@ tools/lint.py checks file *shape* (guards, include style); srlint checks
       SoA forms on the search path, the single-point forms elsewhere — so
       every distance benefits from the dispatched implementation and the
       partial-distance-pruning contract (src/geometry/kernel.h).
+  R8  tier isolation: src/statictier/ never includes a dynamic-tree
+      header. The static tier composes its delta through the PointIndex
+      interface and the src/index/ factory; a concrete tree include would
+      couple the read-optimized tier to one tree's internals and defeat
+      the point of the tiered split.
 
 A finding on one line can be waived in place with a comment naming the rule
 and a reason, e.g.
@@ -72,8 +77,8 @@ from typing import NamedTuple
 FIRST_PARTY_DIRS = ("src", "tests", "bench", "tools", "examples")
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
 
-WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-7])\)")
-EXPECT_RE = re.compile(r"srlint-expect\((R[1-7])\)")  # self-test fixtures
+WAIVER_RE = re.compile(r"srlint:\s*allow\((R[1-8])\)")
+EXPECT_RE = re.compile(r"srlint-expect\((R[1-8])\)")  # self-test fixtures
 
 
 class Finding(NamedTuple):
@@ -224,6 +229,11 @@ R6_ALLOWED_DIRS = ("src/storage/",)
 R7_CALL_RE = re.compile(r"(?<![\w.>])(SquaredDistance|Distance)\s*\(")
 R7_TREE_DIRS = R3_TREE_DIRS
 
+# The static tier talks to its dynamic delta through PointIndex and the
+# factory only; the dirs it must never include are the dynamic trees'.
+R8_CONSUMER_DIRS = ("src/statictier/",)
+R8_TREE_DIRS = R3_TREE_DIRS
+
 
 def check_r1(rel: str, lines: list[str]):
     if rel in R1_ALLOWED_FILES:
@@ -305,6 +315,21 @@ def check_r7(rel: str, lines: list[str]):
                 f"through GetDistanceKernel() — batched SoA forms on the "
                 f"search path, SquaredL2()/L2() elsewhere "
                 f"(src/geometry/kernel.h)")
+
+
+def check_r8(rel: str, lines: list[str], raw_lines: list[str]):
+    if not rel.startswith(R8_CONSUMER_DIRS):
+        return
+    for lineno, (line, raw) in enumerate(zip(lines, raw_lines), start=1):
+        if not re.match(r"^\s*#\s*include\b", line):
+            continue
+        m = R3_INCLUDE_RE.match(raw)
+        if m and m.group(1).startswith(R8_TREE_DIRS):
+            yield Finding(
+                rel, lineno, "R8",
+                f'include of dynamic-tree header "{m.group(1)}"; the static '
+                f"tier composes its delta through PointIndex / "
+                f"src/index/index_factory.h only")
 
 
 def check_r6(rel: str, lines: list[str]):
@@ -400,7 +425,8 @@ def lint_files(root: pathlib.Path, files: list[str]) -> list[Finding]:
                   *check_r3(rel, code_lines, raw_lines),
                   *check_r4(rel, code_lines, registered),
                   *check_r5(rel, code_lines), *check_r6(rel, code_lines),
-                  *check_r7(rel, code_lines)):
+                  *check_r7(rel, code_lines),
+                  *check_r8(rel, code_lines, raw_lines)):
             if f.rule not in waived.get(f.lineno, set()):
                 findings.append(f)
     return sorted(findings)
@@ -449,7 +475,7 @@ def run_self_test() -> int:
         ok = False
         print(f"self-test: SPURIOUS finding {rule} at {rel}:{lineno}")
     rules_seen = {rule for _, _, rule in want}
-    for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+    for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
         if rule not in rules_seen:
             ok = False
             print(f"self-test: fixture tree seeds no {rule} violation")

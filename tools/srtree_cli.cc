@@ -61,9 +61,11 @@ StatusOr<IndexType> ParseIndexType(const std::string& name) {
   if (name == "vamsplit") return IndexType::kVamSplitRTree;
   if (name == "xtree") return IndexType::kXTree;
   if (name == "tvtree") return IndexType::kTvTree;
+  if (name == "static") return IndexType::kStaticSRTree;
+  if (name == "tiered") return IndexType::kTieredSRTree;
   return Status::InvalidArgument(
       "unknown --type '" + name +
-      "' (want sr|ss|rstar|kdb|vamsplit|xtree|tvtree)");
+      "' (want sr|ss|rstar|kdb|vamsplit|xtree|tvtree|static|tiered)");
 }
 
 int RunGenerate(int argc, char** argv) {
